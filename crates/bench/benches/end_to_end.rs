@@ -1,0 +1,98 @@
+//! End-to-end routing benchmarks: full message journeys through the
+//! central engine (with a shared, pre-warmed view cache) and through
+//! the distributed simulator, including the paper's worst-case
+//! instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_routing::engine::{self, RunOptions, ViewCache};
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
+use locality_adversary::tight;
+use locality_graph::{generators, NodeId};
+use locality_sim::NetworkBuilder;
+
+fn bench_engine_routes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    // Worst-case fig13 journeys for Algorithm 1 (route length 2n-k-3).
+    for n in [32usize, 64] {
+        let inst = tight::fig13(n);
+        let mut cache = ViewCache::new(&inst.graph, inst.k);
+        // Warm every view on the route once.
+        engine::route_with_cache(&mut cache, &Alg1, inst.s, inst.t, &RunOptions::default());
+        group.bench_with_input(BenchmarkId::new("alg1_fig13", n), &n, |b, _| {
+            b.iter(|| {
+                engine::route_with_cache(&mut cache, &Alg1, inst.s, inst.t, &RunOptions::default())
+            })
+        });
+    }
+    // Typical journeys on a random graph for each algorithm.
+    let n = 48;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let g = generators::random_connected(n, n / 3, &mut rng);
+    for (router, name) in [
+        (&Alg1 as &dyn LocalRouter, "alg1"),
+        (&Alg1B, "alg1b"),
+        (&Alg2, "alg2"),
+        (&Alg3, "alg3"),
+    ] {
+        let k = router.min_locality(n);
+        let mut cache = ViewCache::new(&g, k);
+        engine::route_with_cache(&mut cache, &router, NodeId(0), NodeId(40), &RunOptions::default());
+        group.bench_with_input(BenchmarkId::new("random48", name), &(), |b, _| {
+            b.iter(|| {
+                engine::route_with_cache(
+                    &mut cache,
+                    &router,
+                    NodeId(0),
+                    NodeId(40),
+                    &RunOptions::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    let g = generators::grid(6, 6);
+    let k = Alg1.min_locality(36);
+    group.bench_function("grid6x6_all_pairs_alg1", |b| {
+        b.iter(|| {
+            let mut net = NetworkBuilder::new(&g, k).build(Alg1);
+            for s in 0..36u32 {
+                for t in 0..36u32 {
+                    if s != t {
+                        net.send(NodeId(s), NodeId(t));
+                    }
+                }
+            }
+            net.run_until_quiet();
+            net.metrics().delivered
+        })
+    });
+    let k3 = Alg3.min_locality(36);
+    group.bench_function("grid6x6_all_pairs_alg3", |b| {
+        b.iter(|| {
+            let mut net = NetworkBuilder::new(&g, k3).build(Alg3);
+            for s in 0..36u32 {
+                for t in 0..36u32 {
+                    if s != t {
+                        net.send(NodeId(s), NodeId(t));
+                    }
+                }
+            }
+            net.run_until_quiet();
+            net.metrics().delivered
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_routes, bench_simulator);
+criterion_main!(benches);

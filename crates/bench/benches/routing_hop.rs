@@ -1,0 +1,45 @@
+//! Micro-benchmarks for a single forwarding decision (`decide()`) of
+//! each algorithm, with the view and its preprocessing already cached —
+//! the steady-state per-packet cost at a node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter, LocalView, Packet};
+use locality_graph::{generators, Label, NodeId};
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.sample_size(20);
+    let n = 64;
+    let g = generators::cycle(n);
+    let far_target = Label((n / 2) as u32);
+    for (router, k) in [
+        (&Alg1 as &dyn LocalRouter, Alg1.min_locality(n)),
+        (&Alg1B, Alg1B.min_locality(n)),
+        (&Alg2, Alg2.min_locality(n)),
+        (&Alg3, Alg3.min_locality(n)),
+    ] {
+        let view = LocalView::extract(&g, NodeId(0), k);
+        // Warm the lazy preprocessing so the bench isolates decide().
+        let packet = Packet::new(Label(1), far_target, Some(Label(1)))
+            .masked(router.awareness());
+        router.decide(&packet, &view).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("far_target", router.name()),
+            &(),
+            |b, _| b.iter(|| router.decide(&packet, &view).unwrap()),
+        );
+        // Destination in view: the Case-1 shortest-path step.
+        let near = Packet::new(Label(1), Label(3), Some(Label(1))).masked(router.awareness());
+        group.bench_with_input(
+            BenchmarkId::new("near_target", router.name()),
+            &(),
+            |b, _| b.iter(|| router.decide(&near, &view).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

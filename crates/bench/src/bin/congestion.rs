@@ -1,0 +1,4 @@
+//! Regenerates the congestion (per-node load) experiment.
+fn main() {
+    println!("{}", locality_bench::congestion(5, 6));
+}

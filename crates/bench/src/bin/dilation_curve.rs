@@ -1,0 +1,4 @@
+//! Regenerates the S(k) = 2n/k - 3 dilation curve (Equation 2).
+fn main() {
+    println!("{}", locality_bench::dilation_curve(40));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 1 component-taxonomy example.
+fn main() {
+    println!("{}", locality_bench::fig01());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 2 / Lemma 1 probes.
+fn main() {
+    println!("{}", locality_bench::fig02());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 5 / Theorem 3 two-path experiment.
+fn main() {
+    println!("{}", locality_bench::fig05(16));
+}

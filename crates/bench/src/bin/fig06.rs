@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 6 / Theorem 4 forced-detour experiment.
+fn main() {
+    println!("{}", locality_bench::fig06(32));
+}

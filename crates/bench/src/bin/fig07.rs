@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 7 right-hand-rule experiment.
+fn main() {
+    println!("{}", locality_bench::fig07());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Figs. 8-9 preprocessing experiment.
+fn main() {
+    println!("{}", locality_bench::fig08_09());
+}

@@ -1,0 +1,4 @@
+//! Dumps Algorithm 1's probed rule tables (Figs. 10-12).
+fn main() {
+    println!("{}", locality_bench::fig10_12());
+}

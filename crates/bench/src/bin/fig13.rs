@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 13 / Lemma 8 tight-dilation experiment.
+fn main() {
+    println!("{}", locality_bench::fig13(&[16, 32, 48, 96, 192]));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Figs. 14-16 Algorithm 1B comparison.
+fn main() {
+    println!("{}", locality_bench::fig14_16(32));
+}

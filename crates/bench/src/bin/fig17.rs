@@ -1,0 +1,4 @@
+//! Regenerates the Fig. 17 / Lemma 16 tight-dilation experiment.
+fn main() {
+    println!("{}", locality_bench::fig17(&[28, 40, 64, 96, 192]));
+}

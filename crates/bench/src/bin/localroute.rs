@@ -1,0 +1,224 @@
+//! `localroute` — command-line front end for the library.
+//!
+//! ```text
+//! localroute gen <family>                      print a graph as edge-list text
+//! localroute route <family> <alg> <k> <s> <t>  route one message
+//! localroute matrix <family> <alg> <k>         all-pairs delivery matrix
+//! localroute defeat <alg> <n> <k>              search for a defeating instance
+//! localroute trace <family> <alg> <k> <s> <t>  route with per-hop rule names
+//! localroute verify <family> [k]               check the structural lemmas
+//! localroute report                            regenerate every table/figure
+//! ```
+//!
+//! `<family>` is either a path to an edge-list file (the format of
+//! `locality_graph::io`) or one of:
+//! `path:N cycle:N grid:RxC lollipop:C,T spider:L,LEN complete:N
+//! random:N,SEED fig13:N fig17:N`.
+//!
+//! `<alg>` is one of `alg1 alg1b alg2 alg3 alg3o rhr`.
+
+use std::process::ExitCode;
+
+use local_routing::{engine, LocalRouter};
+use locality_adversary::defeat;
+use locality_bench::cli::{parse_alg, parse_graph};
+use locality_graph::{io, NodeId};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: localroute gen|route|matrix|defeat|report ... (see --help)";
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let spec = args.get(1).ok_or("gen needs a family spec")?;
+            print!("{}", io::to_string(&parse_graph(spec)?));
+            Ok(())
+        }
+        Some("route") => {
+            let [spec, alg, k, s, t] = [1, 2, 3, 4, 5].map(|i| args.get(i).cloned());
+            let (spec, alg, k, s, t) = (
+                spec.ok_or("missing graph")?,
+                alg.ok_or("missing algorithm")?,
+                k.ok_or("missing k")?,
+                s.ok_or("missing source")?,
+                t.ok_or("missing target")?,
+            );
+            let g = parse_graph(&spec)?;
+            let router = parse_alg(&alg)?;
+            let k: u32 = k.parse().map_err(|_| "k must be an integer")?;
+            let s = NodeId(s.parse().map_err(|_| "s must be a node index")?);
+            let t = NodeId(t.parse().map_err(|_| "t must be a node index")?);
+            let run = engine::route(&g, k, &router, s, t, &Default::default());
+            println!(
+                "{} on {} nodes, k = {k} (threshold T(n) = {}):",
+                router.name(),
+                g.node_count(),
+                router.min_locality(g.node_count())
+            );
+            println!("  status   {:?}", run.status);
+            println!("  hops     {} (shortest {})", run.hops(), run.shortest);
+            if let Some(d) = run.dilation() {
+                println!("  dilation {d:.3}");
+            }
+            println!(
+                "  route    {}",
+                run.route
+                    .iter()
+                    .map(|u| g.label(*u).to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            );
+            Ok(())
+        }
+        Some("matrix") => {
+            let spec = args.get(1).ok_or("missing graph")?;
+            let alg = args.get(2).ok_or("missing algorithm")?;
+            let g = parse_graph(spec)?;
+            let router = parse_alg(alg)?;
+            let k: u32 = match args.get(3) {
+                Some(k) => k.parse().map_err(|_| "k must be an integer")?,
+                None => router.min_locality(g.node_count()),
+            };
+            let m = engine::delivery_matrix(&g, k, &router);
+            println!(
+                "{} with k = {k} on {} nodes: {}/{} pairs delivered",
+                router.name(),
+                g.node_count(),
+                m.runs - m.failures.len(),
+                m.runs
+            );
+            if let Some((d, s, t)) = m.worst_dilation {
+                println!("worst dilation {d:.3} at ({s}, {t})");
+            }
+            for (s, t, status) in m.failures.iter().take(5) {
+                println!("  FAILED ({s}, {t}): {status:?}");
+            }
+            if m.failures.len() > 5 {
+                println!("  ... and {} more", m.failures.len() - 5);
+            }
+            Ok(())
+        }
+        Some("defeat") => {
+            let alg = args.get(1).ok_or("missing algorithm")?;
+            let router = parse_alg(alg)?;
+            let n: usize = args
+                .get(2)
+                .ok_or("missing n")?
+                .parse()
+                .map_err(|_| "n must be an integer")?;
+            let k: u32 = args
+                .get(3)
+                .ok_or("missing k")?
+                .parse()
+                .map_err(|_| "k must be an integer")?;
+            match defeat::find_defeat(&router, n, k) {
+                Some(d) => {
+                    println!(
+                        "{} defeated by the {} family: message {} -> {} ends {:?}",
+                        router.name(),
+                        d.family,
+                        d.s,
+                        d.t,
+                        d.status
+                    );
+                    println!("graph:\n{}", io::to_string(&d.graph));
+                }
+                None => println!(
+                    "no defeat found for {} at n = {n}, k = {k} (threshold {})",
+                    router.name(),
+                    router.min_locality(n)
+                ),
+            }
+            Ok(())
+        }
+        Some("trace") => {
+            let [spec, alg, k, s, t] = [1, 2, 3, 4, 5].map(|i| args.get(i).cloned());
+            let (spec, alg, k, s, t) = (
+                spec.ok_or("missing graph")?,
+                alg.ok_or("missing algorithm")?,
+                k.ok_or("missing k")?,
+                s.ok_or("missing source")?,
+                t.ok_or("missing target")?,
+            );
+            let g = parse_graph(&spec)?;
+            let router = parse_alg(&alg)?;
+            let k: u32 = k.parse().map_err(|_| "k must be an integer")?;
+            let s = NodeId(s.parse().map_err(|_| "s must be a node index")?);
+            let t = NodeId(t.parse().map_err(|_| "t must be a node index")?);
+            let traced = engine::route_traced(&g, k, &router, s, t, &Default::default());
+            println!("{} ({:?}):", router.name(), traced.report.status);
+            for (i, rule) in traced.rules.iter().enumerate() {
+                println!(
+                    "  {:>4}  {:>7}  {} -> {}",
+                    i,
+                    rule,
+                    g.label(traced.report.route[i]),
+                    g.label(traced.report.route[i + 1])
+                );
+            }
+            Ok(())
+        }
+        Some("verify") => {
+            let spec = args.get(1).ok_or("missing graph")?;
+            let g = parse_graph(spec)?;
+            let n = g.node_count();
+            let k: u32 = match args.get(2) {
+                Some(k) => k.parse().map_err(|_| "k must be an integer")?,
+                None => ((n + 3) / 4) as u32,
+            };
+            use local_routing::verify;
+            println!("verifying the paper's structural lemmas on {n} nodes at k = {k}:");
+            let checks: [(&str, Result<(), String>); 4] = [
+                (
+                    "Lemma 3 (consistent subgraph connected)",
+                    verify::check_lemma3_consistent_connectivity(&g, k),
+                ),
+                (
+                    "Lemma 5 (consistent girth >= 2k+1)",
+                    verify::check_lemma5_consistent_girth(&g, k),
+                ),
+                (
+                    "routing components independent",
+                    verify::check_routing_components_independent(&g, k),
+                ),
+                (
+                    "active components have >= k nodes",
+                    verify::check_active_components_large(&g, k),
+                ),
+            ];
+            let mut ok = true;
+            for (name, result) in checks {
+                match result {
+                    Ok(()) => println!("  PASS  {name}"),
+                    Err(e) => {
+                        ok = false;
+                        println!("  FAIL  {name}: {e}");
+                    }
+                }
+            }
+            println!(
+                "  max active degree in G'_k(u): {}",
+                verify::max_active_degree(&g, k)
+            );
+            if ok {
+                Ok(())
+            } else {
+                Err("verification failed".into())
+            }
+        }
+        Some("report") => {
+            println!("{}", locality_bench::report());
+            Ok(())
+        }
+        _ => Err(usage.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §3 position-based comparison on unit disc graphs.
+fn main() {
+    println!("{}", locality_bench::position_based(24, 0.45));
+}

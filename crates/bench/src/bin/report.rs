@@ -1,0 +1,4 @@
+//! Prints the consolidated experiment report (source of EXPERIMENTS.md).
+fn main() {
+    println!("{}", locality_bench::report());
+}

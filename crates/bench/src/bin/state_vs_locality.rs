@@ -1,0 +1,4 @@
+//! Regenerates the §6.3 state-vs-locality comparison.
+fn main() {
+    println!("{}", locality_bench::state_vs_locality(40));
+}

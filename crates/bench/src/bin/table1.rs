@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (feasibility thresholds).
+fn main() {
+    println!("{}", locality_bench::table1(24));
+}

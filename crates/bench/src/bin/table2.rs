@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (dilation bounds).
+fn main() {
+    println!("{}", locality_bench::table2(48));
+}

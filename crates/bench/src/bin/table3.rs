@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (Theorem 1 strategies).
+fn main() {
+    println!("{}", locality_bench::table3(23));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (Theorem 2 strategies).
+fn main() {
+    println!("{}", locality_bench::table4(20));
+}

@@ -1,0 +1,148 @@
+//! Spec parsing shared by the `localroute` CLI: graph family specs and
+//! algorithm names.
+
+use local_routing::baselines::RightHandRule;
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, Alg3OriginAware, LocalRouter};
+use locality_adversary::tight;
+use locality_graph::{generators, io, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parses a graph spec: either a known family
+/// (`path:N`, `cycle:N`, `grid:RxC`, `lollipop:C,T`, `spider:L,LEN`,
+/// `complete:N`, `random:N,SEED`, `fig13:N`, `fig17:N`) or a path to an
+/// edge-list file in the [`locality_graph::io`] format.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed specs or unreadable
+/// files.
+pub fn parse_graph(spec: &str) -> Result<Graph, String> {
+    if let Some((family, rest)) = spec.split_once(':') {
+        let nums: Vec<usize> = rest
+            .split(|c| c == ',' || c == 'x')
+            .map(|p| p.parse().map_err(|_| format!("bad number in '{spec}'")))
+            .collect::<Result<_, _>>()?;
+        let need = |n: usize| -> Result<(), String> {
+            if nums.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{family} needs {n} parameter(s)"))
+            }
+        };
+        return match family {
+            "path" => {
+                need(1)?;
+                Ok(generators::path(nums[0]))
+            }
+            "cycle" => {
+                need(1)?;
+                Ok(generators::cycle(nums[0]))
+            }
+            "grid" => {
+                need(2)?;
+                Ok(generators::grid(nums[0], nums[1]))
+            }
+            "lollipop" => {
+                need(2)?;
+                Ok(generators::lollipop(nums[0], nums[1]))
+            }
+            "spider" => {
+                need(2)?;
+                Ok(generators::spider(nums[0], nums[1]))
+            }
+            "complete" => {
+                need(1)?;
+                Ok(generators::complete(nums[0]))
+            }
+            "random" => {
+                need(2)?;
+                let mut rng = StdRng::seed_from_u64(nums[1] as u64);
+                Ok(generators::random_mixed(nums[0], &mut rng))
+            }
+            "fig13" => {
+                need(1)?;
+                Ok(tight::fig13(nums[0]).graph)
+            }
+            "fig17" => {
+                need(1)?;
+                Ok(tight::fig17(nums[0]).graph)
+            }
+            other => Err(format!("unknown family '{other}'")),
+        };
+    }
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+    io::from_str(&text).map_err(|e| e.to_string())
+}
+
+/// Parses an algorithm name: `alg1 | alg1b | alg2 | alg3 | alg3o | rhr`.
+///
+/// # Errors
+///
+/// Returns a message listing the valid names.
+pub fn parse_alg(name: &str) -> Result<Box<dyn LocalRouter>, String> {
+    match name {
+        "alg1" => Ok(Box::new(Alg1)),
+        "alg1b" => Ok(Box::new(Alg1B)),
+        "alg2" => Ok(Box::new(Alg2)),
+        "alg3" => Ok(Box::new(Alg3)),
+        "alg3o" => Ok(Box::new(Alg3OriginAware)),
+        "rhr" => Ok(Box::new(RightHandRule)),
+        other => Err(format!(
+            "unknown algorithm '{other}' (use alg1|alg1b|alg2|alg3|alg3o|rhr)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_families() {
+        assert_eq!(parse_graph("path:5").unwrap().node_count(), 5);
+        assert_eq!(parse_graph("cycle:7").unwrap().edge_count(), 7);
+        assert_eq!(parse_graph("grid:3x4").unwrap().node_count(), 12);
+        assert_eq!(parse_graph("lollipop:5,2").unwrap().node_count(), 7);
+        assert_eq!(parse_graph("spider:3,2").unwrap().node_count(), 7);
+        assert_eq!(parse_graph("complete:5").unwrap().edge_count(), 10);
+        assert_eq!(parse_graph("fig13:16").unwrap().node_count(), 16);
+        assert_eq!(parse_graph("fig17:28").unwrap().node_count(), 28);
+        let g1 = parse_graph("random:9,3").unwrap();
+        let g2 = parse_graph("random:9,3").unwrap();
+        assert_eq!(g1, g2, "random specs are seeded and reproducible");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_graph("path:abc").is_err());
+        assert!(parse_graph("grid:3").is_err());
+        assert!(parse_graph("nosuch:3").is_err());
+        assert!(parse_graph("/no/such/file").is_err());
+    }
+
+    #[test]
+    fn parses_algorithms() {
+        for (name, expect) in [
+            ("alg1", "algorithm-1"),
+            ("alg1b", "algorithm-1b"),
+            ("alg2", "algorithm-2"),
+            ("alg3", "algorithm-3"),
+            ("alg3o", "algorithm-3-origin-aware"),
+            ("rhr", "right-hand-rule"),
+        ] {
+            assert_eq!(parse_alg(name).unwrap().name(), expect);
+        }
+        assert!(parse_alg("alg9").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = generators::cycle(6);
+        let path = std::env::temp_dir().join("localroute-cli-test.graph");
+        std::fs::write(&path, io::to_string(&g)).unwrap();
+        let h = parse_graph(path.to_str().unwrap()).unwrap();
+        assert_eq!(g, h);
+        let _ = std::fs::remove_file(path);
+    }
+}

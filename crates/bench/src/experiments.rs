@@ -1,0 +1,866 @@
+//! One regeneration function per table/figure of the paper. Each
+//! returns its output as text; `bin/<id>` wrappers print single
+//! experiments and `bin/report` prints them all (that output is the
+//! basis of EXPERIMENTS.md).
+
+use local_routing::baselines::RightHandRule;
+use local_routing::engine::{self, RunOptions};
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter, LocalView, Packet};
+use locality_adversary::{defeat, lemma1, thm1, thm2, thm3, thm4, tight};
+use locality_graph::components::ComponentAnalysis;
+use locality_graph::{generators, neighborhood, permute, Graph, Label, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::format::{f3, tick, Table};
+
+fn delivery_ok<R: LocalRouter + ?Sized>(router: &R, g: &Graph, k: u32) -> bool {
+    engine::delivery_matrix(g, k, router).all_delivered()
+}
+
+/// A deterministic random validation suite shared by the feasibility
+/// experiments.
+fn random_suite(seed: u64, count: usize, max_n: usize) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let n = rng.gen_range(4..=max_n);
+            permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng)
+        })
+        .collect()
+}
+
+/// **Table 1** — the feasibility thresholds `T(n)`.
+///
+/// For each awareness combination: run the matching algorithm at its
+/// threshold over an exhaustive small-graph suite plus a randomized
+/// suite (expect universal delivery), then run it one below the
+/// threshold and exhibit the defeating family.
+pub fn table1(n: usize) -> String {
+    let mut out = String::from("## Table 1 — feasibility thresholds T(n)\n\n");
+    let combos: Vec<(&str, &str, Box<dyn LocalRouter>)> = vec![
+        ("pred-aware / origin-aware", "n/4", Box::new(Alg1)),
+        ("pred-aware / origin-aware (1B)", "n/4", Box::new(Alg1B)),
+        ("pred-aware / origin-oblivious", "n/3", Box::new(Alg2)),
+        ("pred-oblivious / origin-aware", "n/2", Box::new(Alg3)),
+        ("pred-oblivious / origin-oblivious", "n/2", Box::new(Alg3)),
+    ];
+    let mut table = Table::new(&[
+        "awareness",
+        "paper T(n)",
+        "k=T(n) suites",
+        "k=T(n)-1 defeated by",
+    ]);
+    let suite: Vec<Graph> = {
+        let mut s = random_suite(0xbcd, 40, n);
+        for g in generators::all_connected(5) {
+            s.push(g);
+        }
+        s
+    };
+    for (name, paper, router) in &combos {
+        let k = router.min_locality(n);
+        let mut ok = true;
+        for g in &suite {
+            let kk = router.min_locality(g.node_count());
+            ok &= delivery_ok(router.as_ref(), g, kk);
+        }
+        let defeated = defeat::find_defeat(router.as_ref(), n, k.saturating_sub(1))
+            .map(|d| format!("{} ({:?})", d.family, d.status))
+            .unwrap_or_else(|| "NOT DEFEATED".to_string());
+        table.row(&[
+            name.to_string(),
+            paper.to_string(),
+            format!(
+                "{} ({} graphs, all pairs)",
+                tick(ok),
+                suite.len()
+            ),
+            defeated,
+        ]);
+        let _ = ok;
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\n(suite: all connected graphs on 5 nodes + 40 random relabelled graphs up to n={n};\n \
+         thresholds used: Alg1/1B ceil(n/4), Alg2 ceil(n/3), Alg3 floor(n/2))\n"
+    ));
+    out
+}
+
+/// **Table 2** — dilation bounds at `k ∈ {n/4, n/3, n/2}`.
+pub fn table2(n: usize) -> String {
+    assert!(n % 12 == 0, "use n divisible by 12 so all three k are exact");
+    let mut out = String::from("## Table 2 — dilation bounds\n\n");
+    let mut table = Table::new(&[
+        "k",
+        "paper LB",
+        "S(k)=2n/k-3",
+        "forced (paths)",
+        "algorithm",
+        "measured worst",
+        "paper UB",
+    ]);
+    // k = n/4: lower bound 5, upper bound 6 (Alg 1B); Alg 1 reaches 7.
+    let k4 = (n / 4) as u32;
+    let fig13 = tight::fig13(n);
+    let (_, d13) = fig13.measure(&Alg1);
+    let fig17 = tight::fig17(n);
+    let (_, d17) = fig17.measure(&Alg1B);
+    let forced4 = thm4::measured_worst_dilation(&Alg1, n, k4).unwrap_or(f64::NAN);
+    table.row(&[
+        "n/4".into(),
+        "5".into(),
+        f3(thm4::s_of_k(n, k4)),
+        f3(forced4),
+        "Alg 1 on fig13".into(),
+        f3(d13),
+        "7 (Lemma 8)".to_string(),
+    ]);
+    table.row(&[
+        "n/4".into(),
+        "5".into(),
+        f3(thm4::s_of_k(n, k4)),
+        f3(forced4),
+        "Alg 1B on fig17".into(),
+        f3(d17),
+        "6 (Lemma 16)".to_string(),
+    ]);
+    // k = n/3: tight at 3.
+    let k3 = (n / 3) as u32;
+    let forced3 = thm4::measured_worst_dilation(&Alg2, n, k3).unwrap_or(f64::NAN);
+    let mut worst2: f64 = forced3;
+    for g in random_suite(0x7ab2e, 25, n) {
+        let kk = Alg2.min_locality(g.node_count());
+        if let Some((d, _, _)) = engine::delivery_matrix(&g, kk, &Alg2).worst_dilation {
+            worst2 = worst2.max(d);
+        }
+    }
+    table.row(&[
+        "n/3".into(),
+        "3".into(),
+        f3(thm4::s_of_k(n, k3)),
+        f3(forced3),
+        "Alg 2 (paths+random)".into(),
+        f3(worst2),
+        "3 (Thm 7)".to_string(),
+    ]);
+    // k = n/2: shortest paths.
+    let k2 = (n / 2) as u32;
+    let mut worst3: f64 = 1.0;
+    for g in random_suite(0x317, 25, n) {
+        let kk = Alg3.min_locality(g.node_count());
+        if let Some((d, _, _)) = engine::delivery_matrix(&g, kk, &Alg3).worst_dilation {
+            worst3 = worst3.max(d);
+        }
+    }
+    table.row(&[
+        "n/2".into(),
+        "1".into(),
+        f3(thm4::s_of_k(n, k2)),
+        "-".into(),
+        "Alg 3 (random)".into(),
+        f3(worst3),
+        "1 (Thm 8)".to_string(),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(&format!("\n(n = {n}; 'forced' = worst dilation on the Theorem 4 path family)\n"));
+    out
+}
+
+/// **Table 3** — the six hub strategies on the Theorem 1 family.
+pub fn table3(n: usize) -> String {
+    let r = (n - 3) / 4;
+    let rows = thm1::table3(n, r as u32);
+    let mut out = format!("## Table 3 — Theorem 1 strategies (n = {n}, k = r = {r})\n\n");
+    let mut table = Table::new(&["strategy", "G1", "G2", "G3", "matches paper"]);
+    for (row, paper) in rows.iter().zip(thm1::PAPER_TABLE3) {
+        let name = format!(
+            "(P{} P{} P{} P{})",
+            row.cycle_order[0] + 1,
+            row.cycle_order[1] + 1,
+            row.cycle_order[2] + 1,
+            row.cycle_order[3] + 1
+        );
+        table.row(&[
+            name,
+            outcome(row.outcomes[0]),
+            outcome(row.outcomes[1]),
+            outcome(row.outcomes[2]),
+            tick(row.outcomes == paper).to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// **Table 4** — the six `(permutation, initial direction)` strategies
+/// on the Theorem 2 family.
+pub fn table4(n: usize) -> String {
+    let r = (n - 2) / 3;
+    let rows = thm2::table4(n, r as u32);
+    let mut out = format!("## Table 4 — Theorem 2 strategies (n = {n}, k = r = {r})\n\n");
+    let mut table = Table::new(&["permutation", "initial", "G1", "G2", "G3", "matches paper"]);
+    for (row, paper) in rows.iter().zip(thm2::PAPER_TABLE4) {
+        let name = format!(
+            "(P{} P{} P{})",
+            row.cycle_order[0] + 1,
+            row.cycle_order[1] + 1,
+            row.cycle_order[2] + 1
+        );
+        table.row(&[
+            name,
+            format!("toward {}", ["a", "b", "c"][row.initial]),
+            outcome(row.outcomes[0]),
+            outcome(row.outcomes[1]),
+            outcome(row.outcomes[2]),
+            tick(row.outcomes == paper).to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+fn outcome(ok: bool) -> String {
+    if ok { "succeeds" } else { "fails" }.to_string()
+}
+
+/// **Fig. 1** — the local-component taxonomy on the figure's example
+/// neighbourhood.
+pub fn fig01() -> String {
+    // The Fig. 1 reconstruction: k = 8, four components.
+    let k = 8;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next = 1u32;
+    // B1: independent active path of length 8.
+    let mut prev = 0;
+    for _ in 0..8 {
+        edges.push((prev, next));
+        prev = next;
+        next += 1;
+    }
+    // B2: independent passive path of length 3.
+    prev = 0;
+    for _ in 0..3 {
+        edges.push((prev, next));
+        prev = next;
+        next += 1;
+    }
+    // B3: constrained active, two roots meeting at w then a tail.
+    let x1 = next;
+    let x2 = next + 1;
+    let w = next + 2;
+    next += 3;
+    edges.push((0, x1));
+    edges.push((0, x2));
+    edges.push((x1, w));
+    edges.push((x2, w));
+    prev = w;
+    for _ in 0..6 {
+        edges.push((prev, next));
+        prev = next;
+        next += 1;
+    }
+    // B4: active, not independent, not constrained.
+    let a1 = next;
+    let c1 = next + 1;
+    next += 2;
+    edges.push((0, a1));
+    edges.push((0, c1));
+    edges.push((a1, c1));
+    for start in [a1, c1] {
+        prev = start;
+        for _ in 0..7 {
+            edges.push((prev, next));
+            prev = next;
+            next += 1;
+        }
+    }
+    let g = Graph::from_edges(next as usize, &edges).expect("figure graph is simple");
+    let view = neighborhood::k_neighborhood(&g, NodeId(0), k);
+    let analysis = ComponentAnalysis::analyze(&view, NodeId(0), k);
+    let mut out = String::from("## Fig. 1 — local component taxonomy (k = 8)\n\n");
+    let mut table = Table::new(&["component", "nodes", "roots", "active", "independent", "constrained"]);
+    for (i, c) in analysis.components.iter().enumerate() {
+        table.row(&[
+            format!("B{}", i + 1),
+            c.nodes.len().to_string(),
+            c.roots.len().to_string(),
+            c.is_active().to_string(),
+            c.is_independent().to_string(),
+            c.is_constrained().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!("\nactive degree of u: {}\n", analysis.active_degree()));
+    out
+}
+
+/// **Fig. 2 / Lemma 1** — local routing functions are circular
+/// permutations; violators are defeated.
+pub fn fig02() -> String {
+    let mut out = String::from("## Fig. 2 / Lemma 1 — circular permutation probes\n\n");
+    let mut table = Table::new(&["router", "hub degree", "local function class"]);
+    let k = 3;
+    for (router, max_legs) in [
+        (&Alg1 as &dyn LocalRouter, 3usize),
+        (&Alg1B as &dyn LocalRouter, 3),
+        (&Alg2 as &dyn LocalRouter, 2),
+    ] {
+        for legs in 2..=max_legs {
+            let g = generators::spider(legs, k as usize);
+            let view = LocalView::extract(&g, NodeId(0), k);
+            let f = lemma1::probe_local_function(&router, &view, Label(900), Label(901));
+            table.row(&[
+                router.name().to_string(),
+                legs.to_string(),
+                format!("{:?}", lemma1::classify(&f)),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    let defeat = lemma1::defeat_on_fig2(&local_routing::baselines::LowestRankForward, 3, 3);
+    out.push_str(&format!(
+        "\nlowest-rank-forward (not surjective) defeated on Fig. 2 placement: {:?}\n",
+        defeat
+    ));
+    out
+}
+
+/// **Fig. 5 / Theorem 3** — identical views force identical first
+/// moves; each direction strategy loses one of the two paths.
+pub fn fig05(n: usize) -> String {
+    let p = thm3::instance_pair(n);
+    let mut out = format!("## Fig. 5 / Theorem 3 — two-path family (n = {n}, r = {})\n\n", p.r);
+    let k = p.r as u32;
+    let same = LocalView::extract(&p.g1, p.s, k).fingerprint()
+        == LocalView::extract(&p.g2, p.s, k).fingerprint();
+    out.push_str(&format!("views of s identical at k = {k}: {same}\n"));
+    let mut table = Table::new(&["strategy at s", "G1 (t right)", "G2 (t left)"]);
+    for s_high in [false, true] {
+        let mut arrows = std::collections::BTreeMap::new();
+        arrows.insert(p.g1.label(p.s), s_high);
+        let router = locality_adversary::strategy::ArrowRouter::new(arrows, s_high);
+        let r1 = engine::route(&p.g1, k, &router, p.s, p.t1, &RunOptions::default());
+        let r2 = engine::route(&p.g2, k, &router, p.s, p.t2, &RunOptions::default());
+        table.row(&[
+            if s_high { "go high (right)" } else { "go low (left)" }.to_string(),
+            outcome(r1.status.is_delivered()),
+            outcome(r2.status.is_delivered()),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// **Fig. 6 / Theorem 4** — the forced detour on the path family.
+pub fn fig06(n: usize) -> String {
+    let k = Alg1.min_locality(n);
+    let mut out = format!("## Fig. 6 / Theorem 4 — dilation lower bound (n = {n}, k = {k})\n\n");
+    let bound = thm4::dilation_lower_bound(n, k);
+    let measured = thm4::measured_worst_dilation(&Alg1, n, k).unwrap_or(f64::NAN);
+    out.push_str(&format!(
+        "lower bound (2n-3k-1)/(k+1) = {}\nAlgorithm 1 worst dilation on the family = {} (meets the bound exactly)\n",
+        f3(bound),
+        f3(measured)
+    ));
+    // Route shape: out (n-2k-1 hops), turn, back, to t.
+    for (g, s, t) in thm4::path_instances(n, k) {
+        let run = engine::route(&g, k, &Alg1, s, t, &RunOptions::default());
+        if run.dilation().map_or(false, |d| (d - measured).abs() < 1e-9) {
+            let turn = run
+                .route
+                .windows(3)
+                .position(|w| w[0] == w[2])
+                .map(|i| i + 1);
+            out.push_str(&format!(
+                "witness route: {} hops, shortest {}, turns around after {:?} hops\n",
+                run.hops(),
+                run.shortest,
+                turn
+            ));
+            break;
+        }
+    }
+    out
+}
+
+/// **Fig. 7** — the right-hand rule on trees vs long cycles.
+pub fn fig07() -> String {
+    let mut out = String::from("## Fig. 7 — right-hand rule baseline\n\n");
+    let mut table = Table::new(&["graph", "k", "right-hand rule", "algorithm 1"]);
+    let tree = generators::binary_tree(4);
+    let k_tree = 2;
+    let rhr_tree = delivery_ok(&RightHandRule, &tree, k_tree);
+    let lolly = generators::lollipop(20, 3);
+    let s = NodeId(10);
+    let t = NodeId(22);
+    let rhr_run = engine::route(&lolly, 2, &RightHandRule, s, t, &RunOptions::default());
+    let alg1_k = Alg1.min_locality(lolly.node_count());
+    let alg1_run = engine::route(&lolly, alg1_k, &Alg1, s, t, &RunOptions::default());
+    table.row(&[
+        "binary tree (15)".to_string(),
+        k_tree.to_string(),
+        outcome(rhr_tree),
+        outcome(delivery_ok(&Alg1, &tree, Alg1.min_locality(15))),
+    ]);
+    table.row(&[
+        "lollipop(20)+tail(3)".to_string(),
+        "2 / 6".to_string(),
+        format!("{:?}", rhr_run.status),
+        format!("{:?} in {} hops", alg1_run.status, alg1_run.hops()),
+    ]);
+    out.push_str(&table.render());
+    out.push_str("\n(the rule orbits the cycle forever once every visited view excludes t)\n");
+    out
+}
+
+/// **Figs. 8–9** — preprocessing: dormant edges and consistent girth.
+pub fn fig08_09() -> String {
+    use local_routing::preprocess;
+    let mut out = String::from("## Figs. 8-9 — preprocessing (dormant edges, consistency)\n\n");
+    let mut table = Table::new(&[
+        "graph",
+        "k",
+        "inconsistent edges",
+        "consistent girth",
+        ">= 2k+1",
+        "consistent connected",
+    ]);
+    for (name, g) in [
+        ("complete(7)", generators::complete(7)),
+        ("grid(3x4)", generators::grid(3, 4)),
+        ("theta(2,3,4)", generators::theta(&[2, 3, 4])),
+        ("cycle(8)", generators::cycle(8)),
+    ] {
+        for k in [2u32, 3] {
+            let bad = preprocess::inconsistent_edges(&g, k);
+            let sub = preprocess::consistent_subgraph(&g, k);
+            let girth = locality_graph::cycles::girth(&sub);
+            table.row(&[
+                name.to_string(),
+                k.to_string(),
+                bad.len().to_string(),
+                girth.map(|x| x.to_string()).unwrap_or_else(|| "acyclic".into()),
+                tick(girth.map_or(true, |x| x >= 2 * k + 1)).to_string(),
+                tick(locality_graph::traversal::is_connected(&sub)).to_string(),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// **Figs. 10–12** — Algorithm 1's rule tables, probed live.
+pub fn fig10_12() -> String {
+    let mut out = String::from("## Figs. 10-12 — Algorithm 1 forwarding rules (probed)\n\n");
+    let k = 3;
+    let mut table = Table::new(&["context", "active degree", "from", "to"]);
+    // U-rules: hub of a spider, origin far away.
+    for legs in 1..=3usize {
+        let g = generators::spider(legs.max(2), k as usize);
+        let view = LocalView::extract(&g, NodeId(0), k);
+        let mut nbrs: Vec<NodeId> = view.center_neighbors().to_vec();
+        view.sort_by_label(&mut nbrs);
+        for &v in nbrs.iter().take(legs.max(2)) {
+            let packet = Packet::new(Label(900), Label(901), Some(view.label(v)));
+            if let Ok(to) = Alg1.decide(&packet, &view) {
+                table.row(&[
+                    format!("U{} (s,t unseen)", legs.max(2)),
+                    legs.max(2).to_string(),
+                    view.label(v).to_string(),
+                    to.to_string(),
+                ]);
+            }
+        }
+    }
+    // S-rules: the hub is the origin.
+    for legs in 2..=3usize {
+        let g = generators::spider(legs, k as usize);
+        let view = LocalView::extract(&g, NodeId(0), k);
+        let origin = view.center_label();
+        let first = Packet::new(origin, Label(901), None);
+        if let Ok(to) = Alg1.decide(&first, &view) {
+            table.row(&[
+                format!("S{legs} (u = s)"),
+                legs.to_string(),
+                "⊥".to_string(),
+                to.to_string(),
+            ]);
+        }
+        let mut nbrs: Vec<NodeId> = view.center_neighbors().to_vec();
+        view.sort_by_label(&mut nbrs);
+        for &v in &nbrs {
+            let packet = Packet::new(origin, Label(901), Some(view.label(v)));
+            if let Ok(to) = Alg1.decide(&packet, &view) {
+                table.row(&[
+                    format!("S{legs} (u = s)"),
+                    legs.to_string(),
+                    view.label(v).to_string(),
+                    to.to_string(),
+                ]);
+            }
+        }
+    }
+    // US-rules: the origin sits in a passive component of the hub —
+    // spider legs of length k are the active components, plus a shorter
+    // pendant path holding s.
+    for legs in 2..=3usize {
+        let spider = generators::spider(legs, k as usize);
+        let mut b = locality_graph::GraphBuilder::new();
+        for x in spider.nodes() {
+            b.add_node(spider.label(x)).expect("fresh");
+        }
+        for (x, y) in spider.edges() {
+            b.add_edge(x, y).expect("simple");
+        }
+        let p_root = b
+            .add_node(Label(spider.node_count() as u32))
+            .expect("fresh");
+        b.add_edge(NodeId(0), p_root).expect("simple");
+        let s = b
+            .add_node(Label(spider.node_count() as u32 + 1))
+            .expect("fresh");
+        b.add_edge(p_root, s).expect("simple");
+        let g = b.build();
+        let view = LocalView::extract(&g, NodeId(0), k);
+        let origin = g.label(s);
+        let mut nbrs: Vec<NodeId> = view.center_neighbors().to_vec();
+        view.sort_by_label(&mut nbrs);
+        for &v in &nbrs {
+            let packet = Packet::new(origin, Label(901), Some(view.label(v)));
+            if let Ok((to, rule)) = Alg1.decide_explained(&packet, &view) {
+                table.row(&[
+                    format!("{rule} (s passive)"),
+                    legs.to_string(),
+                    view.label(v).to_string(),
+                    to.to_string(),
+                ]);
+            }
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str("\n(S/US-rules probe sequentially and reverse at the last port; U-rules are\nlabel-order circular permutations — see the rule table in the alg1 docs)\n");
+    out
+}
+
+/// **Fig. 13 / Lemma 8** — Algorithm 1's dilation tends to 7.
+pub fn fig13(ns: &[usize]) -> String {
+    let mut out = String::from("## Fig. 13 / Lemma 8 — Algorithm 1 tight instance\n\n");
+    let mut table = Table::new(&[
+        "n",
+        "k=n/4",
+        "route",
+        "paper 2n-k-3",
+        "dilation",
+        "paper 7-96/(n+12)",
+    ]);
+    for &n in ns {
+        let inst = tight::fig13(n);
+        let (hops, d) = inst.measure(&Alg1);
+        table.row(&[
+            n.to_string(),
+            inst.k.to_string(),
+            hops.to_string(),
+            inst.predicted_route.to_string(),
+            f3(d),
+            f3(7.0 - 96.0 / (n as f64 + 12.0)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// **Figs. 14–16 / Appendix A** — Algorithm 1B's pre-emptive reversal.
+pub fn fig14_16(n: usize) -> String {
+    let mut out = String::from("## Figs. 14-16 — Algorithm 1B pre-emptive reversal\n\n");
+    let inst = tight::fig13(n);
+    let (h1, d1) = inst.measure(&Alg1);
+    let (h1b, d1b) = inst.measure(&Alg1B);
+    out.push_str(&format!(
+        "on fig13(n={n}): Alg 1 route {h1} (dilation {}), Alg 1B route {h1b} (dilation {})\n",
+        f3(d1),
+        f3(d1b)
+    ));
+    out.push_str("Lemma 14: Alg 1B's route is a subsequence of Alg 1's — verified on random suites in tests.\n");
+    out
+}
+
+/// **Fig. 17 / Lemma 16** — Algorithm 1B's dilation tends to 6.
+pub fn fig17(ns: &[usize]) -> String {
+    let mut out = String::from("## Fig. 17 / Lemma 16 — Algorithm 1B tight instance\n\n");
+    let mut table = Table::new(&[
+        "n",
+        "k=n/4",
+        "route",
+        "paper n+2k-6",
+        "dilation",
+        "paper 6-48/(n+4)",
+    ]);
+    for &n in ns {
+        let inst = tight::fig17(n);
+        let (hops, d) = inst.measure(&Alg1B);
+        table.row(&[
+            n.to_string(),
+            inst.k.to_string(),
+            hops.to_string(),
+            inst.predicted_route.to_string(),
+            f3(d),
+            f3(6.0 - 48.0 / (n as f64 + 4.0)),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// **Equation 2** — the `S(k) = 2n/k - 3` dilation curve, with the
+/// forced dilation of Algorithm 1 on the Theorem 4 path family.
+pub fn dilation_curve(n: usize) -> String {
+    let mut out = format!("## Equation 2 — S(k) = 2n/k - 3 (n = {n})\n\n");
+    let mut table = Table::new(&["k/n", "k", "bound (2n-3k-1)/(k+1)", "S(k)", "Alg 1 forced"]);
+    let k_min = Alg1.min_locality(n); // below this Algorithm 1 may fail
+    let mut k = k_min;
+    while (k as usize) < n / 2 {
+        let forced = thm4::measured_worst_dilation(&Alg1, n, k);
+        table.row(&[
+            f3(k as f64 / n as f64),
+            k.to_string(),
+            f3(thm4::dilation_lower_bound(n, k)),
+            f3(thm4::s_of_k(n, k)),
+            forced.map(f3).unwrap_or_else(|| "-".into()),
+        ]);
+        k += ((n / 20).max(1)) as u32;
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// **§6.3 extension** — the memory/locality trade-off: what message
+/// state buys relative to the paper's stateless thresholds.
+pub fn state_vs_locality(n: usize) -> String {
+    use local_routing::stateful::{self, DfsStateRouter};
+    let mut out = format!("## §6.3 extension — state vs locality (cycle, n = {n})\n\n");
+    let g = generators::cycle(n);
+    let (s, t) = (NodeId(0), NodeId((n / 2) as u32));
+    let mut table = Table::new(&["approach", "k", "state bits", "route", "traffic"]);
+    for (router, name) in [
+        (&Alg1 as &dyn LocalRouter, "Alg 1 (stateless)"),
+        (&Alg2, "Alg 2 (stateless)"),
+        (&Alg3, "Alg 3 (stateless)"),
+    ] {
+        let k = router.min_locality(n);
+        let run = engine::route(&g, k, &router, s, t, &RunOptions::default());
+        table.row(&[
+            name.to_string(),
+            k.to_string(),
+            "0".to_string(),
+            run.hops().to_string(),
+            run.hops().to_string(),
+        ]);
+    }
+    let dfs = stateful::route_stateful(&g, 1, &DfsStateRouter, s, t, &RunOptions::default());
+    table.row(&[
+        "DFS with message state".to_string(),
+        "1".to_string(),
+        dfs.max_state_bits.to_string(),
+        dfs.report.hops().to_string(),
+        dfs.report.hops().to_string(),
+    ]);
+    let ttl = n as u32;
+    let fl = locality_sim::flood::flood(&g, s, t, ttl, 1 << 22);
+    table.row(&[
+        "flooding (memoryless)".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        fl.first_arrival.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+        format!("{} transmissions", fl.transmissions),
+    ]);
+    let fm = locality_sim::flood::flood_with_memory(&g, s, t, ttl);
+    table.row(&[
+        "flooding (per-node memory)".to_string(),
+        "0".to_string(),
+        "1/node".to_string(),
+        fm.first_arrival.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+        format!("{} transmissions", fm.transmissions),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(
+        "\n(the paper's thresholds are the price of statelessness: with message\n \
+         state, k = 1 suffices — Braverman gets the state down to Θ(log n) bits)\n",
+    );
+    out
+}
+
+/// **§3 context** — position-based comparators on random unit disc
+/// graphs: location-aware greedy and compass versus the
+/// position-oblivious Algorithm 1.
+pub fn position_based(n: usize, radius: f64) -> String {
+    use local_routing::position::{route_position, CompassRouter, GreedyRouter};
+    use locality_graph::geo;
+    let mut out = format!(
+        "## §3 context — position-based routing on unit disc graphs (n = {n}, r = {radius})\n\n"
+    );
+    let mut rng = StdRng::seed_from_u64(0x9e0);
+    let mut table = Table::new(&["approach", "information", "delivered", "of pairs"]);
+    let mut greedy_ok = 0usize;
+    let mut compass_ok = 0usize;
+    let mut alg1_ok = 0usize;
+    let mut total = 0usize;
+    for _ in 0..6 {
+        let g = geo::random_connected_udg(n, radius, &mut rng);
+        let k = Alg1.min_locality(n);
+        for s in g.graph.nodes() {
+            for t in g.graph.nodes().filter(|&t| t != s) {
+                total += 1;
+                if route_position(&g, &GreedyRouter, s, t).delivered() {
+                    greedy_ok += 1;
+                }
+                if route_position(&g, &CompassRouter, s, t).delivered() {
+                    compass_ok += 1;
+                }
+                let run = engine::route(&g.graph, k, &Alg1, s, t, &RunOptions::default());
+                if run.status.is_delivered() {
+                    alg1_ok += 1;
+                }
+            }
+        }
+    }
+    let pct = |x: usize| format!("{:.1}%", 100.0 * x as f64 / total as f64);
+    table.row(&["greedy (1-local)", "coordinates", &pct(greedy_ok), &total.to_string()]);
+    table.row(&["compass (1-local)", "coordinates", &pct(compass_ok), &total.to_string()]);
+    table.row(&[
+        "Algorithm 1 (k = n/4)",
+        "topology only",
+        &pct(alg1_ok),
+        &total.to_string(),
+    ]);
+    out.push_str(&table.render());
+    out.push_str(
+        "\n(greedy/compass know every coordinate yet can get stuck or cycle in\n \
+         voids; the position-oblivious algorithm pays for its guarantee with\n \
+         a Θ(n) view instead — the trade the paper quantifies)\n",
+    );
+    out
+}
+
+/// **§2.2 extension** — congestion: per-node load under all-pairs
+/// traffic on a grid, for the locality extremes.
+pub fn congestion(rows: usize, cols: usize) -> String {
+    use locality_sim::NetworkBuilder;
+    let g = generators::grid(rows, cols);
+    let n = g.node_count();
+    let mut out = format!("## §2.2 extension — congestion on a {rows}x{cols} grid (all pairs)\n\n");
+    let mut table = Table::new(&["algorithm", "k", "delivered", "mean hops", "max node load"]);
+    for (router, name) in [
+        (&Alg1 as &dyn LocalRouter, "Alg 1"),
+        (&Alg1B, "Alg 1B"),
+        (&Alg2, "Alg 2"),
+        (&Alg3, "Alg 3"),
+    ] {
+        let k = router.min_locality(n);
+        // NetworkBuilder takes the router by value; dispatch on the name.
+        let mut net = match name {
+            "Alg 1" => NetworkBuilder::new(&g, k).build(Alg1),
+            "Alg 1B" => NetworkBuilder::new(&g, k).build(Alg1B),
+            "Alg 2" => NetworkBuilder::new(&g, k).build(Alg2),
+            _ => NetworkBuilder::new(&g, k).build(Alg3),
+        };
+        for s in g.nodes() {
+            for t in g.nodes().filter(|&t| t != s) {
+                net.send(s, t);
+            }
+        }
+        net.run_until_quiet();
+        let m = net.metrics();
+        table.row(&[
+            name.to_string(),
+            k.to_string(),
+            format!("{}/{}", m.delivered, m.sent),
+            f3(m.mean_hops().unwrap_or(0.0)),
+            m.max_node_load.to_string(),
+        ]);
+        let _ = router;
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\n(on a diameter-8 grid every algorithm's view covers the destination\n \
+         almost immediately, so all four route near-shortest with similar load;\n \
+         the loads diverge on the adversarial instances of Table 2)\n",
+    );
+    out
+}
+
+/// The consolidated experiment report (the source of EXPERIMENTS.md).
+pub fn report() -> String {
+    let sections = [
+        table1(24),
+        table2(48),
+        table3(23),
+        table4(20),
+        fig01(),
+        fig02(),
+        fig05(16),
+        fig06(32),
+        fig07(),
+        fig08_09(),
+        fig10_12(),
+        fig13(&[16, 32, 48, 96]),
+        fig14_16(32),
+        fig17(&[28, 40, 64, 96]),
+        dilation_curve(40),
+        state_vs_locality(40),
+        position_based(24, 0.45),
+        congestion(5, 6),
+    ];
+    let mut out = String::from(
+        "# Experiment report — Bounding the Locality of Distributed Routing Algorithms\n\n",
+    );
+    for s in sections {
+        out.push_str(&s);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_experiments_report_no_failures() {
+        let t1 = table1(20);
+        assert!(!t1.contains("FAIL"), "{t1}");
+        assert!(!t1.contains("NOT DEFEATED"), "{t1}");
+        let t3 = table3(23);
+        assert!(!t3.contains("FAIL"), "{t3}");
+        let t4 = table4(20);
+        assert!(!t4.contains("FAIL"), "{t4}");
+    }
+
+    #[test]
+    fn table2_shapes_hold() {
+        let t2 = table2(48);
+        assert!(t2.contains("6 (Lemma 16)"));
+        assert!(!t2.contains("NaN"));
+    }
+
+    #[test]
+    fn figure_experiments_render() {
+        for s in [
+            fig01(),
+            fig02(),
+            fig05(16),
+            fig06(32),
+            fig07(),
+            fig08_09(),
+            fig10_12(),
+            fig13(&[16, 32]),
+            fig14_16(32),
+            fig17(&[28, 40]),
+            dilation_curve(40),
+        ] {
+            assert!(s.contains("##"));
+            assert!(!s.contains("FAIL"), "{s}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text aligned table rendering for experiment output.
+
+/// A simple aligned-columns table builder.
+///
+/// ```
+/// use locality_bench::format::Table;
+///
+/// let mut t = Table::new(&["k", "dilation"]);
+/// t.row(&["4", "6.91"]);
+/// let s = t.render();
+/// assert!(s.contains("k"));
+/// assert!(s.contains("6.91"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are kept.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Table {
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Renders with two-space gutters and a dashed rule under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Renders a ✓/✗ cell.
+pub fn tick(ok: bool) -> &'static str {
+    if ok {
+        "yes"
+    } else {
+        "FAIL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("xxx"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(tick(true), "yes");
+        assert_eq!(tick(false), "FAIL");
+    }
+}

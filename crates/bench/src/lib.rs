@@ -1,0 +1,15 @@
+//! # locality-bench
+//!
+//! The experiment harness: one function per table/figure of the paper,
+//! each returning the regenerated rows as text so the `bin/` wrappers
+//! and the consolidated `bin/report` can print them. Criterion
+//! micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

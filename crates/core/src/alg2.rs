@@ -1,0 +1,204 @@
+//! Algorithm 2 (§5.2): origin-oblivious, predecessor-aware (n/3)-local
+//! routing with dilation at most 3 (Theorem 7) — optimal by Theorem 4.
+//!
+//! For `k >= n/3` every node has active degree at most 2 in `G'_k(u)`
+//! (Proposition 2), so the origin reference point of Algorithm 1 is not
+//! needed: a message simply passes straight through two-active nodes
+//! (rule U2), reverses at one-active nodes (rule U1), and climbs out of
+//! passive components along any active edge.
+
+use locality_graph::Label;
+
+use crate::error::RoutingError;
+use crate::model::{Awareness, Packet};
+use crate::traits::{ceil_div, LocalRouter};
+use crate::view::LocalView;
+
+/// Algorithm 2: origin-oblivious, predecessor-aware, succeeds on every
+/// connected graph when `k >= n/3`, dilation < 3.
+///
+/// ```
+/// use local_routing::{engine, Alg2, LocalRouter};
+/// use locality_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(12);
+/// let k = Alg2.min_locality(g.node_count()); // 4
+/// let report = engine::route(&g, k, &Alg2, NodeId(0), NodeId(6), &Default::default());
+/// assert!(report.status.is_delivered());
+/// assert!(report.dilation().unwrap() < 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Alg2;
+
+impl LocalRouter for Alg2 {
+    fn name(&self) -> &'static str {
+        "algorithm-2"
+    }
+
+    fn awareness(&self) -> Awareness {
+        Awareness::ORIGIN_OBLIVIOUS
+    }
+
+    fn min_locality(&self, n: usize) -> u32 {
+        ceil_div(n, 3)
+    }
+
+    fn decide(&self, packet: &Packet, view: &LocalView) -> Result<Label, RoutingError> {
+        // Case 1: dist(u, t) <= k.
+        if let Some(t_node) = view.node_by_label(packet.target) {
+            if t_node == view.center() {
+                return Err(RoutingError::ProtocolViolation(
+                    "asked to forward a message already at its destination".into(),
+                ));
+            }
+            let step = view.shortest_step_toward(t_node).ok_or_else(|| {
+                RoutingError::ProtocolViolation("destination visible but unreachable".into())
+            })?;
+            return Ok(view.label(step));
+        }
+
+        let rv = view.routing_view();
+        let mut active = rv.analysis.active_neighbors();
+        if active.is_empty() {
+            return Err(RoutingError::NoActiveComponent);
+        }
+        if active.len() > 2 {
+            return Err(RoutingError::TooManyActiveComponents {
+                found: active.len(),
+                max: 2,
+            });
+        }
+        view.sort_by_label(&mut active);
+
+        let v = packet
+            .predecessor
+            .and_then(|l| view.node_by_label(l))
+            .filter(|p| view.raw().has_edge(view.center(), *p));
+
+        let next = match v {
+            // Case 2: first send from the origin — any active edge.
+            None => active[0],
+            Some(v) => match active.len() {
+                // Rule U1: reverse.
+                1 => active[0],
+                // Rule U2: pass through; arrivals from passive
+                // components take any active edge.
+                _ => {
+                    if v == active[0] {
+                        active[1]
+                    } else if v == active[1] {
+                        active[0]
+                    } else {
+                        active[0]
+                    }
+                }
+            },
+        };
+        Ok(view.label(next))
+    }
+
+    fn decide_explained(
+        &self,
+        packet: &Packet,
+        view: &LocalView,
+    ) -> Result<(Label, &'static str), RoutingError> {
+        let label = self.decide(packet, view)?;
+        let rule = if view.contains_label(packet.target) {
+            "case-1"
+        } else if packet.predecessor.is_none() {
+            "case-2"
+        } else {
+            let rv = view.routing_view();
+            match rv.analysis.active_neighbors().len() {
+                1 => "U1",
+                _ => "U2",
+            }
+        };
+        Ok((label, rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use locality_graph::{generators, permute};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_all_delivered(g: &locality_graph::Graph, k: u32) {
+        let m = engine::delivery_matrix(g, k, &Alg2);
+        assert!(
+            m.all_delivered(),
+            "algorithm-2 failed on {g:?} with k={k}: {:?}",
+            m.failures.first()
+        );
+        if let Some((d, s, t)) = m.worst_dilation {
+            assert!(d < 3.0, "dilation {d} >= 3 at ({s},{t}) on {g:?}");
+        }
+    }
+
+    #[test]
+    fn delivers_on_basic_families() {
+        for g in [
+            generators::path(10),
+            generators::cycle(9),
+            generators::spider(3, 3),
+            generators::lollipop(7, 3),
+            generators::theta(&[2, 3, 3]),
+            generators::complete(7),
+            generators::grid(3, 3),
+        ] {
+            assert_all_delivered(&g, Alg2.min_locality(g.node_count()));
+        }
+    }
+
+    #[test]
+    fn survives_label_permutations() {
+        let mut rng = StdRng::seed_from_u64(31337);
+        for _ in 0..12 {
+            let n = rng.gen_range(3..16);
+            let g = permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng);
+            assert_all_delivered(&g, Alg2.min_locality(n));
+        }
+    }
+
+    #[test]
+    fn origin_is_masked_by_engine() {
+        // Run via the engine and also call decide directly with a masked
+        // packet: both paths must agree, proving the router never needed
+        // the origin.
+        let g = generators::cycle(9);
+        let k = Alg2.min_locality(9);
+        let view = LocalView::extract(&g, locality_graph::NodeId(0), k);
+        let p = Packet {
+            origin: None,
+            target: Label(5),
+            predecessor: Some(Label(1)),
+        };
+        let choice = Alg2.decide(&p, &view).unwrap();
+        assert!(choice == Label(1) || choice == Label(8));
+    }
+
+    #[test]
+    fn threshold_is_ceil_n_over_3() {
+        assert_eq!(Alg2.min_locality(9), 3);
+        assert_eq!(Alg2.min_locality(10), 4);
+    }
+
+    #[test]
+    fn shortest_path_when_target_visible() {
+        let g = generators::path(8);
+        let k = Alg2.min_locality(8);
+        let r = engine::route(
+            &g,
+            k,
+            &Alg2,
+            locality_graph::NodeId(1),
+            locality_graph::NodeId(3),
+            &Default::default(),
+        );
+        assert_eq!(r.hops(), 2);
+        assert_eq!(r.dilation(), Some(1.0));
+    }
+}

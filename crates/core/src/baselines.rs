@@ -1,0 +1,219 @@
+//! Baseline routing strategies the paper motivates against.
+//!
+//! * [`RightHandRule`] — the classic tree traversal (§5.1, Fig. 7):
+//!   succeeds on trees, but on graphs with cycles longer than `2k` it can
+//!   orbit forever without ever bringing the destination into view.
+//! * [`LowestRankForward`] — a predecessor-oblivious strawman defeated
+//!   by essentially everything; used by adversary tests.
+//! * [`random_walk`] — the randomized comparator (§3, Chen et al.):
+//!   delivery is guaranteed only in expectation, with route lengths far
+//!   beyond the deterministic algorithms' dilation bounds.
+
+use locality_graph::{Graph, Label, NodeId};
+use rand::Rng;
+
+use crate::error::RoutingError;
+use crate::model::{Awareness, Packet};
+use crate::traits::LocalRouter;
+use crate::view::LocalView;
+
+/// The right-hand rule: when the destination is out of view, forward to
+/// the next neighbour in label-cyclic order after the one that delivered
+/// the message (first send: lowest label).
+///
+/// Guarantees delivery on trees for any `k >= 1`; defeated by cycles of
+/// length `> 2k` that keep the destination out of every visited view
+/// (Fig. 7B).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RightHandRule;
+
+impl LocalRouter for RightHandRule {
+    fn name(&self) -> &'static str {
+        "right-hand-rule"
+    }
+
+    fn awareness(&self) -> Awareness {
+        Awareness::ORIGIN_OBLIVIOUS
+    }
+
+    fn min_locality(&self, _n: usize) -> u32 {
+        // No n at which it is universally correct; 1 suffices on trees.
+        1
+    }
+
+    fn decide(&self, packet: &Packet, view: &LocalView) -> Result<Label, RoutingError> {
+        if let Some(t_node) = view.node_by_label(packet.target) {
+            if t_node == view.center() {
+                return Err(RoutingError::ProtocolViolation(
+                    "asked to forward a message already at its destination".into(),
+                ));
+            }
+            if let Some(step) = view.shortest_step_toward(t_node) {
+                return Ok(view.label(step));
+            }
+        }
+        let mut nbrs: Vec<NodeId> = view.center_neighbors().to_vec();
+        if nbrs.is_empty() {
+            return Err(RoutingError::Unroutable(packet.target));
+        }
+        view.sort_by_label(&mut nbrs);
+        let v = packet
+            .predecessor
+            .and_then(|l| view.node_by_label(l))
+            .and_then(|p| nbrs.iter().position(|&x| x == p));
+        let next = match v {
+            None => nbrs[0],
+            Some(i) => nbrs[(i + 1) % nbrs.len()],
+        };
+        Ok(view.label(next))
+    }
+}
+
+/// Strawman: always forward to the lowest-label active neighbour (or
+/// lowest-label neighbour if no component analysis is wanted — we use
+/// the raw neighbours). Predecessor-oblivious and memoryless, so it
+/// bounces forever on almost anything; exists to give the adversary
+/// machinery an easy victim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LowestRankForward;
+
+impl LocalRouter for LowestRankForward {
+    fn name(&self) -> &'static str {
+        "lowest-rank-forward"
+    }
+
+    fn awareness(&self) -> Awareness {
+        Awareness::OBLIVIOUS
+    }
+
+    fn min_locality(&self, _n: usize) -> u32 {
+        1
+    }
+
+    fn decide(&self, packet: &Packet, view: &LocalView) -> Result<Label, RoutingError> {
+        if let Some(t_node) = view.node_by_label(packet.target) {
+            if let Some(step) = view.shortest_step_toward(t_node) {
+                return Ok(view.label(step));
+            }
+        }
+        let mut nbrs: Vec<NodeId> = view.center_neighbors().to_vec();
+        if nbrs.is_empty() {
+            return Err(RoutingError::Unroutable(packet.target));
+        }
+        view.sort_by_label(&mut nbrs);
+        Ok(view.label(nbrs[0]))
+    }
+}
+
+/// A uniform random walk from `s` to `t`: the memoryless randomized
+/// baseline. Returns the number of hops taken, or `None` if `max_steps`
+/// was exhausted first.
+pub fn random_walk<R: Rng + ?Sized>(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    max_steps: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    let mut current = s;
+    for step in 0..=max_steps {
+        if current == t {
+            return Some(step);
+        }
+        let nbrs = g.neighbors(current);
+        if nbrs.is_empty() {
+            return None;
+        }
+        current = nbrs[rng.gen_range(0..nbrs.len())];
+    }
+    None
+}
+
+/// Convenience: the label a router would pick, for rule-table dumps.
+pub fn decision_label<R: LocalRouter>(
+    router: &R,
+    view: &LocalView,
+    origin: Option<Label>,
+    target: Label,
+    predecessor: Option<Label>,
+) -> Result<Label, RoutingError> {
+    let packet = Packet {
+        origin,
+        target,
+        predecessor,
+    }
+    .masked(router.awareness());
+    router.decide(&packet, view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{self, RunStatus};
+    use locality_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn right_hand_rule_delivers_on_trees() {
+        for g in [
+            generators::path(10),
+            generators::spider(4, 3),
+            generators::binary_tree(4),
+            generators::caterpillar(5, 2),
+        ] {
+            for k in [1u32, 2, 3] {
+                let m = engine::delivery_matrix(&g, k, &RightHandRule);
+                assert!(
+                    m.all_delivered(),
+                    "right-hand rule failed on tree {g:?} k={k}: {:?}",
+                    m.failures.first()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn right_hand_rule_defeated_by_long_cycle() {
+        // Fig. 7B: a long cycle with the destination at the end of a
+        // tail of length k + 1, so it never enters any visited
+        // k-neighbourhood: the orbit always re-enters node 19 from node
+        // 0, whose cyclic successor is 18 — the tail is never taken.
+        let g = generators::lollipop(20, 3);
+        let k = 2;
+        let s = NodeId(10); // on the cycle, far from the tail
+        let t = NodeId(22); // tail tip, distance 3 > k from the cycle
+        let r = engine::route(&g, k, &RightHandRule, s, t, &Default::default());
+        assert_eq!(r.status, RunStatus::LoopDetected);
+    }
+
+    #[test]
+    fn lowest_rank_forward_loops_quickly() {
+        let g = generators::path(8);
+        let r = engine::route(
+            &g,
+            1,
+            &LowestRankForward,
+            NodeId(3),
+            NodeId(7),
+            &Default::default(),
+        );
+        assert_eq!(r.status, RunStatus::LoopDetected);
+    }
+
+    #[test]
+    fn random_walk_eventually_arrives() {
+        let g = generators::cycle(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hops = random_walk(&g, NodeId(0), NodeId(4), 100_000, &mut rng);
+        assert!(hops.is_some());
+        assert!(hops.unwrap() >= 4);
+    }
+
+    #[test]
+    fn random_walk_times_out_gracefully() {
+        let g = generators::path(50);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(random_walk(&g, NodeId(0), NodeId(49), 3, &mut rng), None);
+    }
+}

@@ -1,0 +1,563 @@
+//! Deterministic run engine: drives a router hop by hop with exact loop
+//! detection, and evaluates delivery and dilation (§2.2).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use locality_graph::{traversal, Graph, NodeId};
+
+use crate::error::RoutingError;
+use crate::model::Packet;
+use crate::traits::LocalRouter;
+use crate::view::LocalView;
+
+/// Options controlling a run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Hard cap on hops, over and above exact loop detection. Mostly a
+    /// belt-and-braces guard; `None` means `8 * n^2`.
+    pub max_steps: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions { max_steps: None }
+    }
+}
+
+/// Why a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The message reached the destination.
+    Delivered,
+    /// The run state `(current, predecessor)` recurred: the deterministic
+    /// stateless router provably cycles forever.
+    LoopDetected,
+    /// The router returned an error (its structural preconditions were
+    /// violated — typically `k` below threshold).
+    RouterError(RoutingError),
+    /// The router named a non-neighbour (or a node that does not exist):
+    /// an outright protocol bug.
+    InvalidDecision {
+        /// The node at which the bad decision was made.
+        at: NodeId,
+    },
+    /// The belt-and-braces step cap fired.
+    StepLimit,
+}
+
+impl RunStatus {
+    /// Whether the message was delivered.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, RunStatus::Delivered)
+    }
+}
+
+/// Outcome of one routed message.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// The walk taken, starting at the origin. For failed runs this is
+    /// the prefix walked before the failure was proven.
+    pub route: Vec<NodeId>,
+    /// `dist(s, t)` in the underlying graph.
+    pub shortest: u32,
+    /// The locality parameter used.
+    pub k: u32,
+}
+
+impl RunReport {
+    /// Number of edges traversed.
+    pub fn hops(&self) -> usize {
+        self.route.len().saturating_sub(1)
+    }
+
+    /// `route length / dist(s, t)`; `None` unless delivered with
+    /// `s != t`.
+    pub fn dilation(&self) -> Option<f64> {
+        if self.status.is_delivered() && self.shortest > 0 {
+            Some(self.hops() as f64 / self.shortest as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Maximum number of times any directed edge was traversed
+    /// (Observation 1: at most once each way for a successful
+    /// predecessor-aware run).
+    pub fn max_directed_edge_uses(&self) -> usize {
+        let mut uses: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for w in self.route.windows(2) {
+            *uses.entry((w[0], w[1])).or_insert(0) += 1;
+        }
+        uses.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Shared cache of [`LocalView`]s for one `(graph, k)` pair. Views (and
+/// their lazily computed preprocessing) are built once per node and
+/// reused across runs — exactly like real nodes that preprocess once and
+/// then route many messages (§5.1: "the preprocessing step need not be
+/// repeated unless the network topology changes").
+pub struct ViewCache<'g> {
+    graph: &'g Graph,
+    k: u32,
+    cache: HashMap<NodeId, Arc<LocalView>>,
+}
+
+impl<'g> ViewCache<'g> {
+    /// Creates an empty cache for `(graph, k)`.
+    pub fn new(graph: &'g Graph, k: u32) -> ViewCache<'g> {
+        ViewCache {
+            graph,
+            k,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The locality parameter.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The view at `u`, extracting it on first request.
+    pub fn view(&mut self, u: NodeId) -> Arc<LocalView> {
+        Arc::clone(
+            self.cache
+                .entry(u)
+                .or_insert_with(|| Arc::new(LocalView::extract(self.graph, u, self.k))),
+        )
+    }
+}
+
+/// Routes one message from `s` to `t` with a fresh view cache.
+pub fn route<R: LocalRouter + ?Sized>(
+    graph: &Graph,
+    k: u32,
+    router: &R,
+    s: NodeId,
+    t: NodeId,
+    options: &RunOptions,
+) -> RunReport {
+    let mut cache = ViewCache::new(graph, k);
+    route_with_cache(&mut cache, router, s, t, options)
+}
+
+/// Routes one message reusing an existing view cache (preferred when
+/// routing many pairs on the same graph).
+pub fn route_with_cache<R: LocalRouter + ?Sized>(
+    cache: &mut ViewCache<'_>,
+    router: &R,
+    s: NodeId,
+    t: NodeId,
+    options: &RunOptions,
+) -> RunReport {
+    let graph = cache.graph;
+    let k = cache.k;
+    let n = graph.node_count();
+    let shortest = traversal::distance(graph, s, t).unwrap_or(0);
+    let max_steps = options.max_steps.unwrap_or(8 * n * n + 16);
+    let awareness = router.awareness();
+    let origin_label = graph.label(s);
+    let target_label = graph.label(t);
+
+    let mut route = vec![s];
+    let mut current = s;
+    let mut predecessor: Option<NodeId> = None;
+    let mut seen: HashSet<(NodeId, Option<NodeId>)> = HashSet::new();
+
+    let status = loop {
+        if current == t {
+            break RunStatus::Delivered;
+        }
+        // The run state that determines all future behaviour of a pure
+        // stateless router: the current node plus — only if the router
+        // can see it — the predecessor.
+        let state = (
+            current,
+            if awareness.predecessor {
+                predecessor
+            } else {
+                None
+            },
+        );
+        if !seen.insert(state) {
+            break RunStatus::LoopDetected;
+        }
+        if route.len() > max_steps {
+            break RunStatus::StepLimit;
+        }
+        let view = cache.view(current);
+        let packet = Packet::new(
+            origin_label,
+            target_label,
+            predecessor.map(|p| graph.label(p)),
+        )
+        .masked(awareness);
+        match router.decide(&packet, &view) {
+            Err(e) => break RunStatus::RouterError(e),
+            Ok(next_label) => {
+                let next = graph.node_by_label(next_label);
+                let Some(next) = next.filter(|&x| graph.has_edge(current, x)) else {
+                    break RunStatus::InvalidDecision { at: current };
+                };
+                route.push(next);
+                predecessor = Some(current);
+                current = next;
+            }
+        }
+    };
+
+    RunReport {
+        status,
+        route,
+        shortest,
+        k,
+    }
+}
+
+/// A run together with the rule that fired at each hop.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// The plain run report.
+    pub report: RunReport,
+    /// `rules[i]` names the rule that produced hop `i`
+    /// (`route[i] -> route[i + 1]`); see
+    /// [`LocalRouter::decide_explained`].
+    pub rules: Vec<&'static str>,
+}
+
+/// Routes one message recording the rule fired at every hop — the
+/// executable version of the paper's route narrations ("Rule S2 is
+/// applied at s, Rule U3 at c, …").
+pub fn route_traced<R: LocalRouter + ?Sized>(
+    graph: &Graph,
+    k: u32,
+    router: &R,
+    s: NodeId,
+    t: NodeId,
+    options: &RunOptions,
+) -> TracedRun {
+    let mut cache = ViewCache::new(graph, k);
+    let n = graph.node_count();
+    let shortest = traversal::distance(graph, s, t).unwrap_or(0);
+    let max_steps = options.max_steps.unwrap_or(8 * n * n + 16);
+    let awareness = router.awareness();
+    let origin_label = graph.label(s);
+    let target_label = graph.label(t);
+
+    let mut route = vec![s];
+    let mut rules = Vec::new();
+    let mut current = s;
+    let mut predecessor: Option<NodeId> = None;
+    let mut seen: HashSet<(NodeId, Option<NodeId>)> = HashSet::new();
+
+    let status = loop {
+        if current == t {
+            break RunStatus::Delivered;
+        }
+        let state = (
+            current,
+            if awareness.predecessor {
+                predecessor
+            } else {
+                None
+            },
+        );
+        if !seen.insert(state) {
+            break RunStatus::LoopDetected;
+        }
+        if route.len() > max_steps {
+            break RunStatus::StepLimit;
+        }
+        let view = cache.view(current);
+        let packet = Packet::new(
+            origin_label,
+            target_label,
+            predecessor.map(|p| graph.label(p)),
+        )
+        .masked(awareness);
+        match router.decide_explained(&packet, &view) {
+            Err(e) => break RunStatus::RouterError(e),
+            Ok((next_label, rule)) => {
+                let next = graph.node_by_label(next_label);
+                let Some(next) = next.filter(|&x| graph.has_edge(current, x)) else {
+                    break RunStatus::InvalidDecision { at: current };
+                };
+                route.push(next);
+                rules.push(rule);
+                predecessor = Some(current);
+                current = next;
+            }
+        }
+    };
+
+    TracedRun {
+        report: RunReport {
+            status,
+            route,
+            shortest,
+            k,
+        },
+        rules,
+    }
+}
+
+/// Aggregate outcome over every ordered origin–destination pair.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// Number of `(s, t)` pairs attempted.
+    pub runs: usize,
+    /// Pairs that failed, with their status.
+    pub failures: Vec<(NodeId, NodeId, RunStatus)>,
+    /// Largest dilation observed among delivered pairs, with its pair.
+    pub worst_dilation: Option<(f64, NodeId, NodeId)>,
+    /// Total hops over all delivered runs (for average route length).
+    pub total_hops: usize,
+}
+
+impl MatrixReport {
+    /// Whether every pair was delivered.
+    pub fn all_delivered(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `router` on every ordered pair `(s, t)`, `s != t`.
+pub fn delivery_matrix<R: LocalRouter + ?Sized>(graph: &Graph, k: u32, router: &R) -> MatrixReport {
+    delivery_matrix_for_pairs(
+        graph,
+        k,
+        router,
+        graph
+            .nodes()
+            .flat_map(|s| graph.nodes().filter(move |&t| t != s).map(move |t| (s, t))),
+    )
+}
+
+/// Runs `router` on the given pairs, sharing one view cache.
+pub fn delivery_matrix_for_pairs<R, I>(graph: &Graph, k: u32, router: &R, pairs: I) -> MatrixReport
+where
+    R: LocalRouter + ?Sized,
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    let mut cache = ViewCache::new(graph, k);
+    let options = RunOptions::default();
+    let mut report = MatrixReport {
+        runs: 0,
+        failures: Vec::new(),
+        worst_dilation: None,
+        total_hops: 0,
+    };
+    for (s, t) in pairs {
+        let run = route_with_cache(&mut cache, router, s, t, &options);
+        report.runs += 1;
+        if run.status.is_delivered() {
+            report.total_hops += run.hops();
+            if let Some(d) = run.dilation() {
+                if report.worst_dilation.map_or(true, |(w, _, _)| d > w) {
+                    report.worst_dilation = Some((d, s, t));
+                }
+            }
+        } else {
+            report.failures.push((s, t, run.status));
+        }
+    }
+    report
+}
+
+/// Runs `router` on every ordered pair, fanned out over `threads` OS
+/// threads (each with its own view cache). Semantically identical to
+/// [`delivery_matrix`], modulo the order of `failures`; used by the
+/// large-n validation suites and the experiment harness.
+pub fn delivery_matrix_parallel<R>(graph: &Graph, k: u32, router: &R, threads: usize) -> MatrixReport
+where
+    R: LocalRouter + Sync + ?Sized,
+{
+    let pairs: Vec<(NodeId, NodeId)> = graph
+        .nodes()
+        .flat_map(|s| graph.nodes().filter(move |&t| t != s).map(move |t| (s, t)))
+        .collect();
+    let threads = threads.max(1).min(pairs.len().max(1));
+    let chunk = pairs.len().div_ceil(threads);
+    let partials: Vec<MatrixReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk.max(1))
+            .map(|slice| {
+                scope.spawn(move || {
+                    delivery_matrix_for_pairs(graph, k, router, slice.iter().copied())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut out = MatrixReport {
+        runs: 0,
+        failures: Vec::new(),
+        worst_dilation: None,
+        total_hops: 0,
+    };
+    for p in partials {
+        out.runs += p.runs;
+        out.failures.extend(p.failures);
+        out.total_hops += p.total_hops;
+        if let Some((d, s, t)) = p.worst_dilation {
+            if out.worst_dilation.map_or(true, |(w, _, _)| d > w) {
+                out.worst_dilation = Some((d, s, t));
+            }
+        }
+    }
+    out.failures.sort_by_key(|&(s, t, _)| (s, t));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Awareness;
+    use crate::RoutingError;
+    use locality_graph::{generators, Label};
+
+    /// A router that always forwards to the centre's lowest-label
+    /// neighbour — loops on anything with a detour.
+    struct Stubborn;
+
+    impl LocalRouter for Stubborn {
+        fn name(&self) -> &'static str {
+            "stubborn"
+        }
+        fn awareness(&self) -> Awareness {
+            Awareness::OBLIVIOUS
+        }
+        fn min_locality(&self, _n: usize) -> u32 {
+            1
+        }
+        fn decide(&self, _p: &Packet, view: &LocalView) -> Result<Label, RoutingError> {
+            let mut nbrs: Vec<NodeId> = view.center_neighbors().to_vec();
+            view.sort_by_label(&mut nbrs);
+            Ok(view.label(nbrs[0]))
+        }
+    }
+
+    /// A router that names a non-neighbour.
+    struct Liar;
+
+    impl LocalRouter for Liar {
+        fn name(&self) -> &'static str {
+            "liar"
+        }
+        fn awareness(&self) -> Awareness {
+            Awareness::OBLIVIOUS
+        }
+        fn min_locality(&self, _n: usize) -> u32 {
+            1
+        }
+        fn decide(&self, _p: &Packet, _view: &LocalView) -> Result<Label, RoutingError> {
+            Ok(Label(9999))
+        }
+    }
+
+    #[test]
+    fn trivial_self_delivery() {
+        let g = generators::path(4);
+        let r = route(&g, 1, &Stubborn, NodeId(2), NodeId(2), &Default::default());
+        assert!(r.status.is_delivered());
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.dilation(), None);
+    }
+
+    #[test]
+    fn stubborn_loops_and_is_caught_quickly() {
+        // On a path, always going to the lowest label means bouncing
+        // between nodes 0 and 1 forever; state (u) recurs immediately.
+        let g = generators::path(6);
+        let r = route(&g, 2, &Stubborn, NodeId(3), NodeId(5), &Default::default());
+        assert_eq!(r.status, RunStatus::LoopDetected);
+        assert!(r.route.len() <= 12, "loop detection must be prompt");
+    }
+
+    #[test]
+    fn stubborn_succeeds_toward_low_labels() {
+        let g = generators::path(6);
+        let r = route(&g, 2, &Stubborn, NodeId(4), NodeId(0), &Default::default());
+        assert!(r.status.is_delivered());
+        assert_eq!(r.hops(), 4);
+        assert_eq!(r.dilation(), Some(1.0));
+    }
+
+    #[test]
+    fn invalid_decisions_are_reported() {
+        let g = generators::path(3);
+        let r = route(&g, 1, &Liar, NodeId(0), NodeId(2), &Default::default());
+        assert_eq!(r.status, RunStatus::InvalidDecision { at: NodeId(0) });
+    }
+
+    #[test]
+    fn matrix_counts_failures() {
+        let g = generators::path(4);
+        let m = delivery_matrix(&g, 2, &Stubborn);
+        assert_eq!(m.runs, 12);
+        assert!(!m.all_delivered());
+        // Pairs with t left of s succeed (6), plus (0, 1) — the walk
+        // from 0 bounces to 1 before looping. The other 5 pairs fail.
+        assert_eq!(m.failures.len(), 5);
+    }
+
+    #[test]
+    fn parallel_matrix_agrees_with_serial() {
+        use crate::Alg1;
+        let g = generators::lollipop(10, 4);
+        let k = 4;
+        let serial = delivery_matrix(&g, k, &Alg1);
+        for threads in [1usize, 3, 8] {
+            let par = delivery_matrix_parallel(&g, k, &Alg1, threads);
+            assert_eq!(par.runs, serial.runs);
+            assert_eq!(par.failures, serial.failures);
+            assert_eq!(par.total_hops, serial.total_hops);
+            assert_eq!(
+                par.worst_dilation.map(|(d, _, _)| d),
+                serial.worst_dilation.map(|(d, _, _)| d)
+            );
+        }
+    }
+
+    #[test]
+    fn view_cache_shares_views() {
+        let g = generators::cycle(8);
+        let mut cache = ViewCache::new(&g, 2);
+        let a = cache.view(NodeId(0));
+        let b = cache.view(NodeId(0));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        use crate::Alg1;
+        let g = generators::cycle(16);
+        let k = 4;
+        let plain = route(&g, k, &Alg1, NodeId(0), NodeId(8), &Default::default());
+        let traced = route_traced(&g, k, &Alg1, NodeId(0), NodeId(8), &Default::default());
+        assert_eq!(traced.report.route, plain.route);
+        assert_eq!(traced.rules.len(), traced.report.hops());
+        // Rules come from Algorithm 1's named table.
+        for rule in &traced.rules {
+            assert!(
+                ["case-1", "S1", "S2", "S3", "U1", "U2", "U3", "US1", "US2", "US3"]
+                    .contains(rule),
+                "unknown rule {rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_edge_use_accounting() {
+        let r = RunReport {
+            status: RunStatus::Delivered,
+            route: vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)],
+            shortest: 1,
+            k: 1,
+        };
+        assert_eq!(r.max_directed_edge_uses(), 2);
+    }
+}

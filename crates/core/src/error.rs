@@ -1,0 +1,82 @@
+//! Error type for routing decisions.
+
+use std::error::Error;
+use std::fmt;
+
+use locality_graph::Label;
+
+/// A local routing function's ways of failing.
+///
+/// A correct algorithm run with `k` at or above its threshold never
+/// returns an error; errors surface exactly when the paper's structural
+/// preconditions are violated — most commonly because `k` is below the
+/// algorithm's feasibility threshold `T(n)` and the view is too small to
+/// satisfy Propositions 1–3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutingError {
+    /// The view shows more active components than the algorithm's
+    /// proposition allows (Prop. 1: ≤3 for `k >= n/4`; Prop. 2: ≤2 for
+    /// `k >= n/3`; Prop. 3/Lemma 12: one constrained for `k >= n/2`).
+    TooManyActiveComponents {
+        /// Active components observed in the view.
+        found: usize,
+        /// Maximum the algorithm can handle.
+        max: usize,
+    },
+    /// The destination is beyond the view but no active component exists
+    /// to forward into — the view cannot be a k-neighbourhood of a
+    /// connected graph containing the destination unless `k` is too
+    /// small for the algorithm's guarantees.
+    NoActiveComponent,
+    /// Algorithm 3 needed a constrained active component (Lemma 12) but
+    /// found none.
+    NoConstrainedComponent,
+    /// The router requires origin awareness but the packet's origin was
+    /// masked. Indicates an engine/router awareness mismatch.
+    MissingOrigin,
+    /// The packet's predecessor is not a neighbour of the current node,
+    /// or another impossible input was supplied.
+    ProtocolViolation(String),
+    /// The destination label does not exist anywhere the router can see
+    /// and no forwarding rule applies.
+    Unroutable(Label),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::TooManyActiveComponents { found, max } => write!(
+                f,
+                "view has {found} active components but the algorithm handles at most {max} \
+                 (k is below the feasibility threshold)"
+            ),
+            RoutingError::NoActiveComponent => {
+                write!(f, "destination outside view and no active component to enter")
+            }
+            RoutingError::NoConstrainedComponent => {
+                write!(f, "no constrained active component (k below n/2 threshold)")
+            }
+            RoutingError::MissingOrigin => {
+                write!(f, "origin-aware router received a packet with masked origin")
+            }
+            RoutingError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            RoutingError::Unroutable(l) => write!(f, "no rule can route toward {l}"),
+        }
+    }
+}
+
+impl Error for RoutingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_cause() {
+        let e = RoutingError::TooManyActiveComponents { found: 4, max: 3 };
+        assert!(e.to_string().contains("4 active"));
+        assert!(RoutingError::NoActiveComponent.to_string().contains("active"));
+        assert!(RoutingError::Unroutable(Label(9)).to_string().contains("v9"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The routing-function model: awareness flags and the per-hop packet.
+
+use std::fmt;
+
+use locality_graph::Label;
+
+/// Which of the optional inputs of `f(s, t, u, v, G_k(u))` a routing
+/// algorithm receives (§2.1).
+///
+/// The engine *masks* the corresponding [`Packet`] fields before calling
+/// an oblivious router, so obliviousness is enforced rather than merely
+/// promised.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Awareness {
+    /// Whether the algorithm learns the origin node `s`.
+    pub origin: bool,
+    /// Whether the algorithm learns the incoming port `v`.
+    pub predecessor: bool,
+}
+
+impl Awareness {
+    /// Origin-aware and predecessor-aware (Algorithm 1 / 1B).
+    pub const FULL: Awareness = Awareness {
+        origin: true,
+        predecessor: true,
+    };
+    /// Origin-oblivious, predecessor-aware (Algorithm 2).
+    pub const ORIGIN_OBLIVIOUS: Awareness = Awareness {
+        origin: false,
+        predecessor: true,
+    };
+    /// Origin-aware, predecessor-oblivious (Corollary 5 setting).
+    pub const PREDECESSOR_OBLIVIOUS: Awareness = Awareness {
+        origin: true,
+        predecessor: false,
+    };
+    /// Origin-oblivious and predecessor-oblivious (Algorithm 3).
+    pub const OBLIVIOUS: Awareness = Awareness {
+        origin: false,
+        predecessor: false,
+    };
+}
+
+impl fmt::Display for Awareness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-origin/{}-predecessor",
+            if self.origin { "aware" } else { "oblivious" },
+            if self.predecessor { "aware" } else { "oblivious" },
+        )
+    }
+}
+
+/// The per-hop inputs to a local routing function, already masked
+/// according to the router's [`Awareness`].
+///
+/// Everything is expressed in **labels**: labels are the only names a
+/// local algorithm may rely on (§1.1). The current node `u` is implicit —
+/// it is the centre of the [`LocalView`](crate::LocalView) passed
+/// alongside the packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Packet {
+    /// Label of the origin node `s`, or `None` when masked
+    /// (origin-oblivious router).
+    pub origin: Option<Label>,
+    /// Label of the destination node `t`.
+    pub target: Label,
+    /// Label of the neighbour that forwarded the message here; `None` on
+    /// the very first hop (the paper's `v = ⊥`) or when masked
+    /// (predecessor-oblivious router).
+    pub predecessor: Option<Label>,
+}
+
+impl Packet {
+    /// Builds an unmasked packet.
+    pub fn new(origin: Label, target: Label, predecessor: Option<Label>) -> Packet {
+        Packet {
+            origin: Some(origin),
+            target,
+            predecessor,
+        }
+    }
+
+    /// Returns a copy with fields hidden per `awareness`.
+    pub fn masked(mut self, awareness: Awareness) -> Packet {
+        if !awareness.origin {
+            self.origin = None;
+        }
+        if !awareness.predecessor {
+            self.predecessor = None;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_hides_exactly_the_configured_fields() {
+        let p = Packet::new(Label(1), Label(2), Some(Label(3)));
+        let full = p.masked(Awareness::FULL);
+        assert_eq!(full, p);
+        let oo = p.masked(Awareness::ORIGIN_OBLIVIOUS);
+        assert_eq!(oo.origin, None);
+        assert_eq!(oo.predecessor, Some(Label(3)));
+        let po = p.masked(Awareness::PREDECESSOR_OBLIVIOUS);
+        assert_eq!(po.origin, Some(Label(1)));
+        assert_eq!(po.predecessor, None);
+        let both = p.masked(Awareness::OBLIVIOUS);
+        assert_eq!(both.origin, None);
+        assert_eq!(both.predecessor, None);
+        assert_eq!(both.target, Label(2));
+    }
+
+    #[test]
+    fn awareness_display_names_both_axes() {
+        assert_eq!(
+            Awareness::ORIGIN_OBLIVIOUS.to_string(),
+            "oblivious-origin/aware-predecessor"
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! The locality-enforcing view handed to routers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+use locality_graph::components::ComponentAnalysis;
+use locality_graph::{neighborhood, traversal, Graph, Label, NodeId, Subgraph};
+
+use crate::preprocess::{self, EdgeKey, Preprocessed};
+
+/// Everything a node `u` may legally know: its k-neighbourhood
+/// `G_k(u)` with labels, plus lazily computed derived structure
+/// (component analysis and the preprocessed routing subgraph `G'_k(u)`).
+///
+/// A `LocalView` owns its data and has no back-reference to the parent
+/// graph, so a router holding one *cannot* observe anything beyond `k`
+/// hops — locality is a type-level guarantee, not a convention.
+pub struct LocalView {
+    center: NodeId,
+    k: u32,
+    raw: Subgraph,
+    raw_dist: BTreeMap<NodeId, u32>,
+    labels: BTreeMap<NodeId, Label>,
+    by_label: BTreeMap<Label, NodeId>,
+    routing: OnceLock<RoutingView>,
+    raw_analysis: OnceLock<ComponentAnalysis>,
+}
+
+/// The preprocessed routing structure `G'_k(u)` (§5.1) with its
+/// component analysis.
+#[derive(Clone, Debug)]
+pub struct RoutingView {
+    /// Edges of `G_k(u)` classified dormant at the centre.
+    pub dormant: std::collections::BTreeSet<EdgeKey>,
+    /// The routing subgraph `G'_k(u)`.
+    pub sub: Subgraph,
+    /// Distances from the centre within `G'_k(u)` (the paper's `dist'`).
+    pub dist: BTreeMap<NodeId, u32>,
+    /// Local-component decomposition of `G'_k(u)`.
+    pub analysis: ComponentAnalysis,
+}
+
+impl LocalView {
+    /// Extracts `G_k(u)` (with labels) from `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of `graph`.
+    pub fn extract(graph: &Graph, u: NodeId, k: u32) -> LocalView {
+        let (raw, raw_dist) = neighborhood::k_neighborhood_with_distances(graph, u, k);
+        let labels: BTreeMap<NodeId, Label> = raw.nodes().map(|x| (x, graph.label(x))).collect();
+        let by_label: BTreeMap<Label, NodeId> = labels.iter().map(|(&n, &l)| (l, n)).collect();
+        LocalView {
+            center: u,
+            k,
+            raw,
+            raw_dist,
+            labels,
+            by_label,
+            routing: OnceLock::new(),
+            raw_analysis: OnceLock::new(),
+        }
+    }
+
+    /// The centre node `u`.
+    #[inline]
+    pub fn center(&self) -> NodeId {
+        self.center
+    }
+
+    /// The locality parameter `k`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The centre's label.
+    #[inline]
+    pub fn center_label(&self) -> Label {
+        self.labels[&self.center]
+    }
+
+    /// The raw neighbourhood `G_k(u)`.
+    #[inline]
+    pub fn raw(&self) -> &Subgraph {
+        &self.raw
+    }
+
+    /// Number of nodes visible.
+    pub fn node_count(&self) -> usize {
+        self.raw.node_count()
+    }
+
+    /// Label of a visible node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the view.
+    pub fn label(&self, x: NodeId) -> Label {
+        self.labels[&x]
+    }
+
+    /// Finds a visible node by label.
+    pub fn node_by_label(&self, l: Label) -> Option<NodeId> {
+        self.by_label.get(&l).copied()
+    }
+
+    /// Whether any visible node carries label `l`.
+    pub fn contains_label(&self, l: Label) -> bool {
+        self.by_label.contains_key(&l)
+    }
+
+    /// Distance from the centre within the view, if `x` is visible.
+    pub fn dist_from_center(&self, x: NodeId) -> Option<u32> {
+        self.raw_dist.get(&x).copied()
+    }
+
+    /// Neighbours of the centre in `G_k(u)`, sorted by node id.
+    pub fn center_neighbors(&self) -> &[NodeId] {
+        self.raw.neighbors(self.center)
+    }
+
+    /// The neighbour of the centre of **lowest label** lying on a
+    /// shortest path (within the view) from the centre to `target`.
+    /// `None` if `target` is the centre or unreachable in the view.
+    pub fn shortest_step_toward(&self, target: NodeId) -> Option<NodeId> {
+        let steps = traversal::shortest_path_steps(&self.raw, self.center, target);
+        steps.into_iter().min_by_key(|&x| self.labels[&x])
+    }
+
+    /// The preprocessed routing structure `G'_k(u)`, computed on first
+    /// use and cached.
+    pub fn routing_view(&self) -> &RoutingView {
+        self.routing.get_or_init(|| {
+            let Preprocessed {
+                dormant,
+                routing,
+                dist,
+            } = preprocess::preprocess(&self.raw, &self.labels, self.center, self.k);
+            let analysis = ComponentAnalysis::analyze(&routing, self.center, self.k);
+            RoutingView {
+                dormant,
+                sub: routing,
+                dist,
+                analysis,
+            }
+        })
+    }
+
+    /// Local-component analysis of the **raw** view `G_k(u)` (used by
+    /// Algorithm 3, which skips preprocessing), cached.
+    pub fn raw_analysis(&self) -> &ComponentAnalysis {
+        self.raw_analysis
+            .get_or_init(|| ComponentAnalysis::analyze(&self.raw, self.center, self.k))
+    }
+
+    /// Sorts `nodes` ascending by label — the paper's rank order on
+    /// nodes.
+    pub fn sort_by_label(&self, nodes: &mut [NodeId]) {
+        nodes.sort_by_key(|x| self.labels[x]);
+    }
+
+    /// A canonical textual fingerprint of the *labelled* view: two nodes
+    /// of two different graphs with equal fingerprints are
+    /// indistinguishable to any k-local algorithm. Used by tests that
+    /// check decisions depend only on what the model allows.
+    pub fn fingerprint(&self) -> String {
+        let mut edges: Vec<(Label, Label)> = self
+            .raw
+            .edges()
+            .map(|(a, b)| {
+                let (la, lb) = (self.labels[&a], self.labels[&b]);
+                (la.min(lb), la.max(lb))
+            })
+            .collect();
+        edges.sort_unstable();
+        let mut isolated: Vec<Label> = self
+            .raw
+            .nodes()
+            .filter(|&x| self.raw.degree(x) == 0)
+            .map(|x| self.labels[&x])
+            .collect();
+        isolated.sort_unstable();
+        let mut out = format!("k={};u={};", self.k, self.center_label());
+        for (a, b) in edges {
+            let _ = write!(out, "{a}-{b},");
+        }
+        for l in isolated {
+            let _ = write!(out, "{l};");
+        }
+        out
+    }
+}
+
+impl fmt::Debug for LocalView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LocalView(center={}, k={}, n={}, m={})",
+            self.center,
+            self.k,
+            self.raw.node_count(),
+            self.raw.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_graph::generators;
+
+    #[test]
+    fn extract_and_query() {
+        let g = generators::cycle(10);
+        let v = LocalView::extract(&g, NodeId(0), 3);
+        assert_eq!(v.center(), NodeId(0));
+        assert_eq!(v.k(), 3);
+        assert_eq!(v.node_count(), 7);
+        assert_eq!(v.center_label(), Label(0));
+        assert_eq!(v.dist_from_center(NodeId(8)), Some(2));
+        assert_eq!(v.node_by_label(Label(9)), Some(NodeId(9)));
+        assert!(!v.contains_label(Label(5)));
+    }
+
+    #[test]
+    fn shortest_step_prefers_low_label() {
+        // On an even cycle, the antipode of the view centre within the
+        // view: both directions tie, lowest label wins.
+        let g = generators::cycle(8);
+        let v = LocalView::extract(&g, NodeId(0), 4);
+        assert_eq!(v.shortest_step_toward(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(v.shortest_step_toward(NodeId(0)), None);
+    }
+
+    #[test]
+    fn routing_view_is_cached_and_consistent() {
+        let g = generators::cycle(8);
+        let v = LocalView::extract(&g, NodeId(0), 4);
+        let rv1 = v.routing_view() as *const RoutingView;
+        let rv2 = v.routing_view() as *const RoutingView;
+        assert_eq!(rv1, rv2, "routing view must be computed once");
+        assert_eq!(v.routing_view().dormant.len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_equal_for_identical_local_structure() {
+        // Node 5 in a long path vs the same position in a longer path:
+        // identical k-neighbourhoods => identical fingerprints.
+        let g1 = generators::path(20);
+        let g2 = generators::path(30);
+        let v1 = LocalView::extract(&g1, NodeId(5), 3);
+        let v2 = LocalView::extract(&g2, NodeId(5), 3);
+        assert_eq!(v1.fingerprint(), v2.fingerprint());
+        // But a different centre differs.
+        let v3 = LocalView::extract(&g2, NodeId(6), 3);
+        assert_ne!(v1.fingerprint(), v3.fingerprint());
+    }
+
+    #[test]
+    fn raw_analysis_matches_manual() {
+        let g = generators::path(9);
+        let v = LocalView::extract(&g, NodeId(4), 2);
+        assert_eq!(v.raw_analysis().components.len(), 2);
+        assert_eq!(v.raw_analysis().active_degree(), 2);
+    }
+
+    #[test]
+    fn sort_by_label_uses_labels_not_ids() {
+        let g = locality_graph::permute::reverse_labels(&generators::path(5));
+        let v = LocalView::extract(&g, NodeId(2), 2);
+        let mut nodes = vec![NodeId(0), NodeId(4), NodeId(2)];
+        v.sort_by_label(&mut nodes);
+        assert_eq!(nodes, vec![NodeId(4), NodeId(2), NodeId(0)]);
+    }
+}

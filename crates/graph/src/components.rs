@@ -1,0 +1,478 @@
+//! Local components of a k-neighbourhood and their taxonomy (§2.1, Fig. 1).
+//!
+//! Let `C` be a connected component of `G_k(u) \ {u}` (a *local
+//! component* of `u`). The paper classifies `C` as:
+//!
+//! * **rooted at `v`** for each neighbour `v` of `u` inside `C` (a
+//!   component can have several roots);
+//! * **active** if `C` contains a vertex `z` with `dist(u, z) = k` — the
+//!   component extends to the limit of `u`'s knowledge, so the network
+//!   may continue beyond it; **passive** otherwise (a passive component
+//!   is fully known);
+//! * **constrained active** if every *active path* (shortest path from
+//!   `u` to a depth-`k` vertex of `C`) passes through some single vertex
+//!   `w != u`, the *constraint vertex*;
+//! * **independent** if `C` has a unique root.
+//!
+//! Every independent active component is constrained (its root is a
+//! constraint vertex). These notions drive all four routing algorithms.
+
+use std::collections::BTreeMap;
+
+use crate::labels::NodeId;
+use crate::subgraph::Subgraph;
+use crate::traversal::{self, FilteredTopology};
+
+/// One local component of a node's k-neighbourhood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalComponent {
+    /// Nodes of the component, sorted by id (never includes the centre).
+    pub nodes: Vec<NodeId>,
+    /// Neighbours of the centre that lie in this component, sorted by id.
+    pub roots: Vec<NodeId>,
+    /// Vertices of the component at distance exactly `k` from the centre
+    /// (within the view). Non-empty iff the component is active.
+    pub depth_k_nodes: Vec<NodeId>,
+    /// Constraint vertices: vertices `w` such that every shortest path
+    /// from the centre to a depth-`k` vertex passes through `w`.
+    /// Computed only for active components; empty for passive ones.
+    pub constraint_vertices: Vec<NodeId>,
+}
+
+impl LocalComponent {
+    /// Whether the component reaches the knowledge horizon (distance `k`).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        !self.depth_k_nodes.is_empty()
+    }
+
+    /// Whether the component hangs off the centre by a single edge.
+    #[inline]
+    pub fn is_independent(&self) -> bool {
+        self.roots.len() == 1
+    }
+
+    /// Whether the component is a *constrained* active component.
+    #[inline]
+    pub fn is_constrained(&self) -> bool {
+        self.is_active() && !self.constraint_vertices.is_empty()
+    }
+
+    /// Whether `x` belongs to the component.
+    pub fn contains(&self, x: NodeId) -> bool {
+        self.nodes.binary_search(&x).is_ok()
+    }
+}
+
+/// The full local-component decomposition of a view around its centre.
+#[derive(Clone, Debug)]
+pub struct ComponentAnalysis {
+    /// The centre node `u`.
+    pub center: NodeId,
+    /// The locality parameter the view was built with.
+    pub k: u32,
+    /// All local components, sorted by their smallest node id.
+    pub components: Vec<LocalComponent>,
+    /// Distances from the centre within the view.
+    pub dist: BTreeMap<NodeId, u32>,
+}
+
+impl ComponentAnalysis {
+    /// Decomposes `view` (assumed to be a k-neighbourhood of `center`,
+    /// raw `G_k(u)` or preprocessed `G'_k(u)`) into local components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is not a node of `view`.
+    pub fn analyze(view: &Subgraph, center: NodeId, k: u32) -> ComponentAnalysis {
+        assert!(
+            view.contains_node(center),
+            "centre {center} missing from view"
+        );
+        let dist = traversal::bfs_distances(view, center, None);
+        let punctured = view.without_node(center);
+        let mut comps = Vec::new();
+        for nodes in traversal::connected_components(&punctured) {
+            // Skip stray nodes disconnected from the centre (cannot occur
+            // in a genuine k-neighbourhood, but be defensive).
+            if !dist.contains_key(&nodes[0]) {
+                continue;
+            }
+            let mut nodes = nodes;
+            nodes.sort_unstable();
+            let roots: Vec<NodeId> = view
+                .neighbors(center)
+                .iter()
+                .copied()
+                .filter(|v| nodes.binary_search(v).is_ok())
+                .collect();
+            let depth_k_nodes: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|x| dist.get(x) == Some(&k))
+                .collect();
+            let constraint_vertices = if depth_k_nodes.is_empty() {
+                Vec::new()
+            } else {
+                constraint_vertices(view, center, k, &nodes, &depth_k_nodes)
+            };
+            comps.push(LocalComponent {
+                nodes,
+                roots,
+                depth_k_nodes,
+                constraint_vertices,
+            });
+        }
+        comps.sort_by_key(|c| c.nodes[0]);
+        ComponentAnalysis {
+            center,
+            k,
+            components: comps,
+            dist,
+        }
+    }
+
+    /// The active components, in storage order.
+    pub fn active_components(&self) -> impl Iterator<Item = &LocalComponent> {
+        self.components.iter().filter(|c| c.is_active())
+    }
+
+    /// The *active degree* of the centre: its number of active
+    /// neighbours, i.e. roots of active components (Propositions 1–3
+    /// bound this by 3, 2, 1 for k ≥ n/4, n/3, n/2 respectively).
+    pub fn active_degree(&self) -> usize {
+        self.active_components().map(|c| c.roots.len()).sum()
+    }
+
+    /// All active neighbours of the centre, sorted by id.
+    pub fn active_neighbors(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .active_components()
+            .flat_map(|c| c.roots.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Index of the component containing `x`, if any.
+    pub fn component_of(&self, x: NodeId) -> Option<usize> {
+        self.components.iter().position(|c| c.contains(x))
+    }
+
+    /// The component rooted at the centre's neighbour `v`, if any.
+    pub fn component_rooted_at(&self, v: NodeId) -> Option<&LocalComponent> {
+        self.components
+            .iter()
+            .find(|c| c.roots.binary_search(&v).is_ok())
+    }
+}
+
+/// Vertices `w` in `comp` such that *every* shortest path from `center`
+/// to *every* depth-`k` vertex of `comp` passes through `w`.
+///
+/// `w` lies on every shortest `center → z` path (all of length `k`) iff
+/// deleting `w` pushes `dist(center, z)` above `k` (or disconnects `z`).
+fn constraint_vertices(
+    view: &Subgraph,
+    center: NodeId,
+    k: u32,
+    comp: &[NodeId],
+    depth_k: &[NodeId],
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for &w in comp {
+        if depth_k == [w] && comp.len() == 1 {
+            // A single depth-k vertex that is the entire component: the
+            // root itself is the constraint vertex (k = 1 corner case).
+            out.push(w);
+            continue;
+        }
+        if depth_k.contains(&w) && depth_k.len() == 1 {
+            // The unique deep vertex trivially lies on all its own paths.
+            out.push(w);
+            continue;
+        }
+        let masked = FilteredTopology::new(view, |a: NodeId, b: NodeId| a != w && b != w);
+        let dist = traversal::bfs_distances(&masked, center, Some(k));
+        if depth_k
+            .iter()
+            .all(|z| *z == w || dist.get(z).map_or(true, |&d| d > k))
+        {
+            out.push(w);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighborhood::k_neighborhood;
+    use crate::{generators, Graph, GraphBuilder, Label};
+
+    fn analyze(g: &Graph, u: NodeId, k: u32) -> ComponentAnalysis {
+        let view = k_neighborhood(g, u, k);
+        ComponentAnalysis::analyze(&view, u, k)
+    }
+
+    #[test]
+    fn path_interior_node_has_two_active_components() {
+        let g = generators::path(21);
+        let a = analyze(&g, NodeId(10), 4);
+        assert_eq!(a.components.len(), 2);
+        for c in &a.components {
+            assert!(c.is_active());
+            assert!(c.is_independent());
+            assert!(c.is_constrained(), "independent active => constrained");
+        }
+        assert_eq!(a.active_degree(), 2);
+    }
+
+    #[test]
+    fn path_near_end_has_one_passive_side() {
+        let g = generators::path(21);
+        let a = analyze(&g, NodeId(2), 4);
+        assert_eq!(a.components.len(), 2);
+        let passive: Vec<_> = a.components.iter().filter(|c| !c.is_active()).collect();
+        assert_eq!(passive.len(), 1);
+        assert_eq!(passive[0].nodes, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(a.active_degree(), 1);
+    }
+
+    #[test]
+    fn independent_active_constraint_chain() {
+        // On a path, every vertex strictly between u and the deep vertex
+        // is a constraint vertex, as is the deep vertex itself.
+        let g = generators::path(10);
+        let a = analyze(&g, NodeId(0), 4);
+        let c = &a.components[0];
+        assert_eq!(c.depth_k_nodes, vec![NodeId(4)]);
+        assert_eq!(
+            c.constraint_vertices,
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn even_cycle_single_unconstrained_component() {
+        // Cycle of length 2k: one component, two roots, active via the
+        // antipode, but reachable both ways only through the antipode
+        // itself — the antipode is the unique constraint vertex.
+        let g = generators::cycle(8);
+        let a = analyze(&g, NodeId(0), 4);
+        assert_eq!(a.components.len(), 1);
+        let c = &a.components[0];
+        assert!(c.is_active());
+        assert!(!c.is_independent());
+        assert_eq!(c.depth_k_nodes, vec![NodeId(4)]);
+        assert_eq!(c.constraint_vertices, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn odd_cycle_two_independent_components() {
+        let g = generators::cycle(9);
+        let a = analyze(&g, NodeId(0), 4);
+        assert_eq!(a.components.len(), 2);
+        assert!(a.components.iter().all(|c| c.is_independent()));
+        assert!(a.components.iter().all(|c| c.is_active()));
+        assert_eq!(a.active_degree(), 2);
+    }
+
+    /// Reconstruction of Fig. 1: four components with the classifications
+    /// the caption lists.
+    #[test]
+    fn figure_one_taxonomy() {
+        let k = 8;
+        let mut b = GraphBuilder::new();
+        let mut next = 0u32;
+        let mut node = |b: &mut GraphBuilder| {
+            let id = b.add_node(Label(next)).unwrap();
+            next += 1;
+            id
+        };
+        let u = node(&mut b);
+        // B1: independent active (path of length 8).
+        let mut prev = u;
+        let mut b1_nodes = Vec::new();
+        for _ in 0..k {
+            let x = node(&mut b);
+            b.add_edge(prev, x).unwrap();
+            b1_nodes.push(x);
+            prev = x;
+        }
+        // B2: independent passive (path of length 3).
+        let mut prev = u;
+        let mut b2_first = None;
+        for i in 0..3 {
+            let x = node(&mut b);
+            b.add_edge(prev, x).unwrap();
+            if i == 0 {
+                b2_first = Some(x);
+            }
+            prev = x;
+        }
+        // B3: constrained active, not independent: two roots meeting at w,
+        // then a path to depth 8.
+        let x1 = node(&mut b);
+        let x2 = node(&mut b);
+        let w = node(&mut b);
+        b.add_edge(u, x1).unwrap();
+        b.add_edge(u, x2).unwrap();
+        b.add_edge(x1, w).unwrap();
+        b.add_edge(x2, w).unwrap();
+        let mut prev = w;
+        for _ in 0..(k - 2) {
+            let x = node(&mut b);
+            b.add_edge(prev, x).unwrap();
+            prev = x;
+        }
+        // B4: active, not independent, not constrained: two depth-8
+        // branches sharing only an edge near u.
+        let a1 = node(&mut b);
+        let c1 = node(&mut b);
+        b.add_edge(u, a1).unwrap();
+        b.add_edge(u, c1).unwrap();
+        b.add_edge(a1, c1).unwrap();
+        let mut prev = a1;
+        for _ in 0..(k - 1) {
+            let x = node(&mut b);
+            b.add_edge(prev, x).unwrap();
+            prev = x;
+        }
+        let mut prev = c1;
+        for _ in 0..(k - 1) {
+            let x = node(&mut b);
+            b.add_edge(prev, x).unwrap();
+            prev = x;
+        }
+        let g = b.build();
+        let a = analyze(&g, u, k);
+        assert_eq!(a.components.len(), 4);
+
+        let b1 = a.components[a.component_of(b1_nodes[0]).unwrap()].clone();
+        assert!(b1.is_active() && b1.is_independent() && b1.is_constrained());
+
+        let b2 = a.components[a.component_of(b2_first.unwrap()).unwrap()].clone();
+        assert!(!b2.is_active() && b2.is_independent());
+
+        let b3 = a.components[a.component_of(w).unwrap()].clone();
+        assert!(b3.is_active() && !b3.is_independent() && b3.is_constrained());
+        assert!(b3.constraint_vertices.contains(&w));
+
+        let b4 = a.components[a.component_of(a1).unwrap()].clone();
+        assert!(b4.is_active() && !b4.is_independent() && !b4.is_constrained());
+
+        // Active degree counts roots of active components: 1 + 2 + 2.
+        assert_eq!(a.active_degree(), 5);
+    }
+
+    #[test]
+    fn component_rooted_at_finds_multi_root_components() {
+        let g = generators::cycle(8);
+        let a = analyze(&g, NodeId(0), 4);
+        let c1 = a.component_rooted_at(NodeId(1)).unwrap();
+        let c7 = a.component_rooted_at(NodeId(7)).unwrap();
+        assert_eq!(c1, c7);
+        assert!(a.component_rooted_at(NodeId(4)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "centre")]
+    fn analyze_requires_center_in_view() {
+        let g = generators::path(4);
+        let view = k_neighborhood(&g, NodeId(0), 2);
+        ComponentAnalysis::analyze(&view, NodeId(3), 2);
+    }
+
+    #[test]
+    fn star_center_all_passive_when_k_large() {
+        let g = generators::spider(4, 2);
+        let a = analyze(&g, NodeId(0), 3);
+        assert_eq!(a.components.len(), 4);
+        assert!(a.components.iter().all(|c| !c.is_active()));
+        assert_eq!(a.active_degree(), 0);
+    }
+
+    /// Independent oracle: enumerate *every* shortest path from the
+    /// centre to every depth-k vertex of a component by walking the BFS
+    /// DAG, and declare `w` a constraint vertex iff it lies on all of
+    /// them — the literal §2.1 definition, computed without the
+    /// masked-BFS shortcut the production code uses.
+    fn constraint_vertices_oracle(
+        view: &crate::Subgraph,
+        center: NodeId,
+        comp: &LocalComponent,
+    ) -> Vec<NodeId> {
+        use crate::traversal::bfs_distances;
+        let dist = bfs_distances(view, center, None);
+        // Collect all shortest paths center -> z for deep z.
+        fn all_paths(
+            view: &crate::Subgraph,
+            dist: &BTreeMap<NodeId, u32>,
+            from: NodeId,
+            to: NodeId,
+            acc: &mut Vec<NodeId>,
+            out: &mut Vec<Vec<NodeId>>,
+        ) {
+            acc.push(from);
+            if from == to {
+                out.push(acc.clone());
+            } else {
+                for &x in view.neighbors(from) {
+                    if dist.get(&x) == Some(&(dist[&from] + 1))
+                        && dist.get(&to).is_some_and(|&dt| dist[&x] <= dt)
+                    {
+                        all_paths(view, dist, x, to, acc, out);
+                    }
+                }
+            }
+            acc.pop();
+        }
+        let mut paths = Vec::new();
+        for &z in &comp.depth_k_nodes {
+            all_paths(view, &dist, center, z, &mut Vec::new(), &mut paths);
+        }
+        comp.nodes
+            .iter()
+            .copied()
+            .filter(|w| paths.iter().all(|p| p.contains(w)))
+            .collect()
+    }
+
+    #[test]
+    fn constraint_vertices_match_exhaustive_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2023);
+        for _ in 0..15 {
+            let n = rng.gen_range(4..12);
+            let g = crate::generators::random_mixed(n, &mut rng);
+            for k in 1..=(n as u32 / 2) {
+                for u in g.nodes() {
+                    let view = k_neighborhood(&g, u, k);
+                    let a = ComponentAnalysis::analyze(&view, u, k);
+                    for c in a.active_components() {
+                        let oracle = constraint_vertices_oracle(&view, u, c);
+                        assert_eq!(
+                            c.constraint_vertices, oracle,
+                            "constraint vertices diverge at {u} (k={k}) on {g:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_neighbors_are_depth_k() {
+        let g = generators::path(5);
+        let a = analyze(&g, NodeId(2), 1);
+        assert_eq!(a.components.len(), 2);
+        for c in &a.components {
+            assert!(c.is_active());
+            assert_eq!(c.nodes.len(), 1);
+            assert_eq!(c.constraint_vertices, c.nodes);
+        }
+    }
+}

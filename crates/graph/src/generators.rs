@@ -1,0 +1,432 @@
+//! Graph families used by the paper's constructions and our experiments.
+//!
+//! All generators label nodes with their index (`Label(i)` for node
+//! `NodeId(i)`) and document their layout, so tests can address specific
+//! vertices. Use [`crate::permute`] to scramble labels afterwards — a
+//! correct local routing algorithm must survive any relabelling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::labels::NodeId;
+
+/// Path on `n` nodes: `0 - 1 - … - n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are simple")
+}
+
+/// Cycle on `n >= 3` nodes: `0 - 1 - … - n-1 - 0`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+    edges.push((n as u32 - 1, 0));
+    Graph::from_edges(n, &edges).expect("cycle edges are simple")
+}
+
+/// Spider (generalised star): hub `0` with `legs` paths of `leg_len`
+/// nodes each. Leg `j` occupies nodes `1 + j*leg_len ..= (j+1)*leg_len`,
+/// nearest-to-hub first. Total `1 + legs * leg_len` nodes.
+///
+/// # Panics
+///
+/// Panics if `legs == 0` or `leg_len == 0`.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(legs > 0 && leg_len > 0, "spider needs legs of positive length");
+    let n = 1 + legs * leg_len;
+    let mut edges = Vec::new();
+    for j in 0..legs {
+        let base = (1 + j * leg_len) as u32;
+        edges.push((0, base));
+        for i in 1..leg_len as u32 {
+            edges.push((base + i - 1, base + i));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("spider edges are simple")
+}
+
+/// Star on `n` nodes (hub `0`). Equivalent to `spider(n - 1, 1)`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least two nodes");
+    spider(n - 1, 1)
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            edges.push((i, j));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete edges are simple")
+}
+
+/// `rows × cols` grid; node `(r, c)` is `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid needs positive dimensions");
+    let mut edges = Vec::new();
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges are simple")
+}
+
+/// Theta graph: two hubs (`0` and `1`) joined by internally disjoint
+/// paths with the given numbers of edges. Arm lengths must be ≥ 1 and at
+/// most one arm may have length 1 (the graph must stay simple).
+///
+/// Arm `j`'s interior vertices are laid out consecutively after the hubs.
+pub fn theta(arm_lengths: &[usize]) -> Graph {
+    assert!(arm_lengths.len() >= 2, "theta needs at least two arms");
+    assert!(
+        arm_lengths.iter().filter(|&&l| l == 1).count() <= 1,
+        "at most one unit arm keeps the graph simple"
+    );
+    assert!(arm_lengths.iter().all(|&l| l >= 1), "arm lengths must be >= 1");
+    let mut edges = Vec::new();
+    let mut next = 2u32;
+    for &len in arm_lengths {
+        if len == 1 {
+            edges.push((0, 1));
+            continue;
+        }
+        let mut prev = 0u32;
+        for i in 0..(len - 1) {
+            let v = next;
+            next += 1;
+            edges.push((prev, v));
+            if i == len - 2 {
+                edges.push((v, 1));
+            }
+            prev = v;
+        }
+    }
+    Graph::from_edges(next as usize, &edges).expect("theta edges are simple")
+}
+
+/// Lollipop: a cycle of `cycle_len` nodes (`0..cycle_len`) with a tail of
+/// `tail_len` nodes attached at node `cycle_len - 1`.
+pub fn lollipop(cycle_len: usize, tail_len: usize) -> Graph {
+    assert!(cycle_len >= 3, "lollipop cycle needs at least three nodes");
+    let n = cycle_len + tail_len;
+    let mut edges: Vec<(u32, u32)> = (1..cycle_len as u32).map(|i| (i - 1, i)).collect();
+    edges.push((cycle_len as u32 - 1, 0));
+    let mut prev = cycle_len as u32 - 1;
+    for i in 0..tail_len as u32 {
+        let v = cycle_len as u32 + i;
+        edges.push((prev, v));
+        prev = v;
+    }
+    Graph::from_edges(n, &edges).expect("lollipop edges are simple")
+}
+
+/// Caterpillar: a spine path of `spine` nodes (`0..spine`), each spine
+/// node carrying `legs_per_node` pendant leaves.
+pub fn caterpillar(spine: usize, legs_per_node: usize) -> Graph {
+    assert!(spine > 0, "caterpillar needs a spine");
+    let n = spine + spine * legs_per_node;
+    let mut edges: Vec<(u32, u32)> = (1..spine as u32).map(|i| (i - 1, i)).collect();
+    let mut next = spine as u32;
+    for s in 0..spine as u32 {
+        for _ in 0..legs_per_node {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    Graph::from_edges(n, &edges).expect("caterpillar edges are simple")
+}
+
+/// Complete binary tree with the given number of levels (root `0`,
+/// children of `i` are `2i + 1` and `2i + 2`).
+pub fn binary_tree(levels: u32) -> Graph {
+    assert!(levels >= 1, "binary tree needs at least one level");
+    let n = (1usize << levels) - 1;
+    let mut edges = Vec::new();
+    for i in 0..n as u32 {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if (c as usize) < n {
+                edges.push((i, c));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("binary tree edges are simple")
+}
+
+/// Uniformly random labelled tree on `n` nodes via a random Prüfer
+/// sequence.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    assert!(n > 0, "tree needs at least one node");
+    if n == 1 {
+        return Graph::from_edges(1, &[]).expect("single node");
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("edge");
+    }
+    let prufer: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
+    let mut degree = vec![1u32; n];
+    for &p in &prufer {
+        degree[p as usize] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    // Min-leaf decoding with a BTreeSet keeps the construction
+    // deterministic for a given sequence.
+    let mut leaves: std::collections::BTreeSet<u32> = (0..n as u32)
+        .filter(|&i| degree[i as usize] == 1)
+        .collect();
+    for &p in &prufer {
+        let leaf = *leaves.iter().next().expect("tree decoding invariant");
+        leaves.remove(&leaf);
+        edges.push((leaf, p));
+        degree[p as usize] -= 1;
+        if degree[p as usize] == 1 {
+            leaves.insert(p);
+        }
+    }
+    let mut it = leaves.iter();
+    let a = *it.next().expect("two leaves remain");
+    let b = *it.next().expect("two leaves remain");
+    edges.push((a, b));
+    Graph::from_edges(n, &edges).expect("Prüfer decoding yields a tree")
+}
+
+/// Random connected graph: a uniformly random spanning tree plus
+/// `extra_edges` additional distinct random non-tree edges (as many as
+/// fit in a simple graph).
+pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    let tree = random_tree(n, rng);
+    let mut b = GraphBuilder::with_identity_labels(n);
+    for (u, v) in tree.edges() {
+        b.add_edge(u, v).expect("tree edges are simple");
+    }
+    let max_extra = n * (n - 1) / 2 - (n - 1);
+    let want = extra_edges.min(max_extra);
+    let mut present: std::collections::HashSet<(u32, u32)> = tree
+        .edges()
+        .map(|(u, v)| (u.0.min(v.0), u.0.max(v.0)))
+        .collect();
+    let mut added = 0;
+    while added < want {
+        let a = rng.gen_range(0..n as u32);
+        let c = rng.gen_range(0..n as u32);
+        if a == c {
+            continue;
+        }
+        let key = (a.min(c), a.max(c));
+        if present.insert(key) {
+            b.add_edge(NodeId(key.0), NodeId(key.1))
+                .expect("checked for duplicates");
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Every connected graph on `n` labelled vertices, enumerated by edge
+/// bitmask. Exponential — intended for `n <= 6` exhaustive tests.
+pub fn all_connected(n: usize) -> Vec<Graph> {
+    assert!(n <= 7, "exhaustive enumeration is exponential; keep n small");
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+        .collect();
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << pairs.len()) {
+        let edges: Vec<(u32, u32)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        if edges.len() + 1 < n {
+            continue; // connected graphs need >= n - 1 edges
+        }
+        let g = Graph::from_edges(n, &edges).expect("mask edges are simple");
+        if crate::traversal::is_connected(&g) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// A random connected graph sampled from a mix of shapes (trees, sparse,
+/// cyclic, dense-ish) — the workhorse for randomized delivery suites.
+pub fn random_mixed<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let style = rng.gen_range(0..4u8);
+    match style {
+        0 => random_tree(n, rng),
+        1 => random_connected(n, n / 4, rng),
+        2 => random_connected(n, n, rng),
+        _ => {
+            // A cycle with random chords: tends to exercise preprocessing.
+            let mut b = GraphBuilder::with_identity_labels(n);
+            if n >= 3 {
+                for i in 1..n as u32 {
+                    b.add_edge(NodeId(i - 1), NodeId(i)).expect("path");
+                }
+                b.add_edge(NodeId(n as u32 - 1), NodeId(0)).expect("cycle");
+                let chords = rng.gen_range(0..=n / 3);
+                let mut present: std::collections::HashSet<(u32, u32)> = (0..n as u32)
+                    .map(|i| (i.min((i + 1) % n as u32), i.max((i + 1) % n as u32)))
+                    .collect();
+                let mut added = 0;
+                let mut attempts = 0;
+                while added < chords && attempts < 10 * n {
+                    attempts += 1;
+                    let a = rng.gen_range(0..n as u32);
+                    let c = rng.gen_range(0..n as u32);
+                    if a == c {
+                        continue;
+                    }
+                    let key = (a.min(c), a.max(c));
+                    if present.insert(key) {
+                        b.add_edge(NodeId(key.0), NodeId(key.1)).expect("fresh chord");
+                        added += 1;
+                    }
+                }
+            } else {
+                for i in 1..n as u32 {
+                    b.add_edge(NodeId(i - 1), NodeId(i)).expect("path");
+                }
+            }
+            b.build()
+        }
+    }
+}
+
+/// Chooses `count` distinct node pairs uniformly at random (or all pairs
+/// if fewer exist); used to sample origin–destination pairs.
+pub fn sample_pairs<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    let mut all: Vec<(NodeId, NodeId)> = (0..n as u32)
+        .flat_map(|i| {
+            (0..n as u32)
+                .filter(move |&j| j != i)
+                .map(move |j| (NodeId(i), NodeId(j)))
+        })
+        .collect();
+    if all.len() <= count {
+        return all;
+    }
+    all.shuffle(rng);
+    all.truncate(count);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_family_sizes() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(spider(3, 4).node_count(), 13);
+        assert_eq!(star(6).degree(NodeId(0)), 5);
+        assert_eq!(complete(6).edge_count(), 15);
+        assert_eq!(grid(3, 4).node_count(), 12);
+        assert_eq!(grid(3, 4).edge_count(), 17);
+        assert_eq!(binary_tree(3).node_count(), 7);
+        assert_eq!(caterpillar(4, 2).node_count(), 12);
+    }
+
+    #[test]
+    fn theta_structure() {
+        let g = theta(&[1, 3, 3]);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.degree(NodeId(1)), 3);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(5, 3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.degree(NodeId(4)), 3);
+        assert_eq!(g.degree(NodeId(7)), 1);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 10, 40] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(traversal::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_with_extras() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_connected(20, 10, &mut rng);
+        assert!(traversal::is_connected(&g));
+        assert_eq!(g.edge_count(), 29);
+    }
+
+    #[test]
+    fn random_connected_caps_extras() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_connected(4, 100, &mut rng);
+        assert_eq!(g.edge_count(), 6); // K4
+    }
+
+    #[test]
+    fn all_connected_counts_match_oeis() {
+        // Number of connected labelled graphs on n nodes: 1, 1, 4, 38, 728
+        // (OEIS A001187).
+        assert_eq!(all_connected(1).len(), 1);
+        assert_eq!(all_connected(2).len(), 1);
+        assert_eq!(all_connected(3).len(), 4);
+        assert_eq!(all_connected(4).len(), 38);
+        assert_eq!(all_connected(5).len(), 728);
+    }
+
+    #[test]
+    fn random_mixed_always_connected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..30);
+            let g = random_mixed(n, &mut rng);
+            assert!(traversal::is_connected(&g), "disconnected: {g:?}");
+            assert_eq!(g.node_count(), n);
+        }
+    }
+
+    #[test]
+    fn sample_pairs_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pairs = sample_pairs(6, 10, &mut rng);
+        assert_eq!(pairs.len(), 10);
+        for (s, t) in pairs {
+            assert_ne!(s, t);
+        }
+        let all = sample_pairs(3, 100, &mut rng);
+        assert_eq!(all.len(), 6);
+    }
+}

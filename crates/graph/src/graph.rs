@@ -1,0 +1,382 @@
+//! The labelled, undirected, simple graph type.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::labels::{EdgeRank, Label, NodeId};
+use crate::traversal::Topology;
+
+/// A connected-or-not, unweighted, undirected, simple graph with unique
+/// vertex labels — the paper's network model (§1.1).
+///
+/// Nodes are stored densely and identified by [`NodeId`]; every node
+/// carries a unique [`Label`]. Neighbour lists are kept sorted by the
+/// neighbour's **label**, so all iteration order (and hence every
+/// deterministic routing decision built on top) is a function of labels
+/// alone, never of insertion order.
+///
+/// # Example
+///
+/// ```
+/// use locality_graph::{Graph, NodeId};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert!(g.has_edge(NodeId(0), NodeId(3)));
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    labels: Vec<Label>,
+    by_label: HashMap<Label, NodeId>,
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds a graph whose `n` nodes are labelled `0..n` and whose edges
+    /// are given as pairs of node indices.
+    ///
+    /// This is the convenient constructor for tests and generators where
+    /// the identity labelling is fine; use [`GraphBuilder`] to control
+    /// labels explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an edge endpoint is out of range, an edge is
+    /// repeated, or a self-loop is requested.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::with_identity_labels(n);
+        for &(a, bb) in edges {
+            b.add_edge(NodeId(a), NodeId(bb))?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids, in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges as `(NodeId, NodeId)` with the first
+    /// endpoint's label smaller than the second's. Each edge appears once.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.adj[u.index()]
+                .iter()
+                .copied()
+                .filter(move |&v| self.label(u) < self.label(v))
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The label of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn label(&self, u: NodeId) -> Label {
+        self.labels[u.index()]
+    }
+
+    /// Looks a node up by label.
+    pub fn node_by_label(&self, l: Label) -> Option<NodeId> {
+        self.by_label.get(&l).copied()
+    }
+
+    /// Neighbours of `u`, sorted ascending by label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.index()]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.adj.len() {
+            return false;
+        }
+        self.adj[u.index()]
+            .binary_search_by_key(&self.label(v), |&w| self.label(w))
+            .is_ok()
+    }
+
+    /// The rank of the edge `{u, v}` (§5.1): the lexicographically ordered
+    /// pair of endpoint labels. The caller is responsible for `{u, v}`
+    /// actually being an edge; the rank is well defined regardless.
+    #[inline]
+    pub fn edge_rank(&self, u: NodeId, v: NodeId) -> EdgeRank {
+        EdgeRank::new(self.label(u), self.label(v))
+    }
+
+    /// Sum of degrees (twice the edge count); handy for sizing buffers.
+    pub fn degree_sum(&self) -> usize {
+        2 * self.edge_count
+    }
+
+    /// The maximum label value present, or `None` for the empty graph.
+    pub fn max_label(&self) -> Option<Label> {
+        self.labels.iter().copied().max()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges=[",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}-{}", self.label(u), self.label(v))?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl Topology for Graph {
+    fn node_count(&self) -> usize {
+        self.node_count()
+    }
+
+    fn contains_node(&self, u: NodeId) -> bool {
+        u.index() < self.labels.len()
+    }
+
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for u in self.nodes() {
+            f(u);
+        }
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+}
+
+/// Incremental constructor for [`Graph`].
+///
+/// ```
+/// use locality_graph::{GraphBuilder, Label, NodeId};
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(Label(10)).unwrap();
+/// let c = b.add_node(Label(20)).unwrap();
+/// b.add_edge(a, c).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.label(NodeId(0)), Label(10));
+/// assert!(g.has_edge(a, c));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    by_label: HashMap<Label, NodeId>,
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder pre-populated with `n` nodes labelled `0..n`.
+    pub fn with_identity_labels(n: usize) -> GraphBuilder {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_node(Label(i as u32))
+                .expect("identity labels are unique");
+        }
+        b
+    }
+
+    /// Adds a node with the given label, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateLabel`] if the label is taken.
+    pub fn add_node(&mut self, label: Label) -> Result<NodeId, GraphError> {
+        if self.by_label.contains_key(&label) {
+            return Err(GraphError::DuplicateLabel(label));
+        }
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.by_label.insert(label, id);
+        self.adj.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on self-loops, repeated edges, or unknown
+    /// endpoints (the graph must stay simple).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for &x in &[u, v] {
+            if x.index() >= self.labels.len() {
+                return Err(GraphError::UnknownNode(x));
+            }
+        }
+        if self.adj[u.index()].contains(&v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        self.adj[u.index()].push(v);
+        self.adj[v.index()].push(u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finalises the graph, sorting every adjacency list by label.
+    pub fn build(mut self) -> Graph {
+        let labels = self.labels.clone();
+        for list in &mut self.adj {
+            list.sort_by_key(|&v| labels[v.index()]);
+        }
+        Graph {
+            labels: self.labels,
+            by_label: self.by_label,
+            adj: self.adj,
+            edge_count: self.edge_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_expected_structure() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 0)]).unwrap_err(),
+            GraphError::SelfLoop(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 1), (1, 0)]).unwrap_err(),
+            GraphError::DuplicateEdge(NodeId(1), NodeId(0))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        assert_eq!(
+            Graph::from_edges(2, &[(0, 5)]).unwrap_err(),
+            GraphError::UnknownNode(NodeId(5))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_label() {
+        let mut b = GraphBuilder::new();
+        b.add_node(Label(1)).unwrap();
+        assert_eq!(
+            b.add_node(Label(1)).unwrap_err(),
+            GraphError::DuplicateLabel(Label(1))
+        );
+    }
+
+    #[test]
+    fn neighbors_are_sorted_by_label() {
+        // Insert neighbours of node 0 in scrambled label order.
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Label(5)).unwrap();
+        let hi = b.add_node(Label(9)).unwrap();
+        let lo = b.add_node(Label(1)).unwrap();
+        let mid = b.add_node(Label(4)).unwrap();
+        b.add_edge(n0, hi).unwrap();
+        b.add_edge(n0, lo).unwrap();
+        b.add_edge(n0, mid).unwrap();
+        let g = b.build();
+        let labels: Vec<Label> = g.neighbors(n0).iter().map(|&v| g.label(v)).collect();
+        assert_eq!(labels, vec![Label(1), Label(4), Label(9)]);
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for (u, v) in edges {
+            assert!(g.label(u) < g.label(v));
+        }
+    }
+
+    #[test]
+    fn label_lookup_round_trips() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        for u in g.nodes() {
+            assert_eq!(g.node_by_label(g.label(u)), Some(u));
+        }
+        assert_eq!(g.node_by_label(Label(99)), None);
+    }
+
+    #[test]
+    fn edge_rank_uses_labels_not_ids() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Label(50)).unwrap();
+        let c = b.add_node(Label(3)).unwrap();
+        b.add_edge(a, c).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_rank(a, c), EdgeRank::new(Label(3), Label(50)));
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal text serialisation for graphs.
+//!
+//! Format: first line `n <node-count>`, then one line per node
+//! `l <node-index> <label>` (omitted when the labelling is the identity),
+//! then one line per edge `e <u> <v>` (node indices). Lines beginning
+//! with `#` are comments. This keeps fixtures diff-able without pulling
+//! in a serialisation framework.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::labels::{Label, NodeId};
+
+/// Serialises a graph to the textual format described in the module docs.
+pub fn to_string(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("n {}\n", g.node_count()));
+    let identity = g
+        .nodes()
+        .all(|u| g.label(u).value() == u.0);
+    if !identity {
+        for u in g.nodes() {
+            out.push_str(&format!("l {} {}\n", u.0, g.label(u).value()));
+        }
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {} {}\n", u.0, v.0));
+    }
+    out
+}
+
+/// Parses the textual format produced by [`to_string`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input, and the usual
+/// construction errors for duplicate labels/edges or self-loops.
+pub fn from_str(s: &str) -> Result<Graph, GraphError> {
+    let mut n: Option<usize> = None;
+    let mut labels: Vec<(u32, u32)> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, raw) in s.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a token");
+        let parse_err = |message: &str| GraphError::Parse {
+            line: line_no,
+            message: message.to_string(),
+        };
+        let mut two = || -> Result<(u32, u32), GraphError> {
+            let a = parts
+                .next()
+                .ok_or_else(|| parse_err("missing first field"))?
+                .parse::<u32>()
+                .map_err(|_| parse_err("first field is not an integer"))?;
+            let b = parts
+                .next()
+                .ok_or_else(|| parse_err("missing second field"))?
+                .parse::<u32>()
+                .map_err(|_| parse_err("second field is not an integer"))?;
+            Ok((a, b))
+        };
+        match tag {
+            "n" => {
+                let count = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing node count"))?
+                    .parse::<usize>()
+                    .map_err(|_| parse_err("node count is not an integer"))?;
+                n = Some(count);
+            }
+            "l" => labels.push(two()?),
+            "e" => edges.push(two()?),
+            _ => return Err(parse_err("unknown line tag")),
+        }
+    }
+    let n = n.ok_or(GraphError::Parse {
+        line: 0,
+        message: "missing 'n' header".to_string(),
+    })?;
+    let mut label_of: Vec<u32> = (0..n as u32).collect();
+    for (idx, lab) in labels {
+        if (idx as usize) >= n {
+            return Err(GraphError::UnknownNode(NodeId(idx)));
+        }
+        label_of[idx as usize] = lab;
+    }
+    let mut b = GraphBuilder::new();
+    for &l in &label_of {
+        b.add_node(Label(l))?;
+    }
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v))?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::permute;
+
+    #[test]
+    fn round_trip_identity_labels() {
+        let g = generators::cycle(7);
+        let s = to_string(&g);
+        assert!(!s.contains("\nl "));
+        let h = from_str(&s).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn round_trip_custom_labels() {
+        let g = permute::reverse_labels(&generators::path(5));
+        let s = to_string(&g);
+        assert!(s.contains("l 0 4"));
+        let h = from_str(&s).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = from_str("# fixture\nn 2\n\ne 0 1\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_str("n 2\nx 0 1\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(from_str("e 0 1\n"), Err(GraphError::Parse { .. })));
+    }
+}

@@ -1,0 +1,140 @@
+//! Node identifiers, labels, and the edge rank order.
+//!
+//! The paper distinguishes a node's *identity inside a data structure*
+//! (here [`NodeId`], a dense index) from its *label* ([`Label`]), the
+//! unique name that routing algorithms actually see. Labels induce a
+//! strict total order on edges ([`EdgeRank`], §5.1: "label each edge by
+//! concatenating the labels of its endpoints and order edge labels
+//! lexicographically"), which the preprocessing step uses to break local
+//! cycles deterministically and consistently across nodes.
+
+use std::fmt;
+
+/// Dense index of a node inside a [`Graph`](crate::Graph).
+///
+/// `NodeId` is a storage artefact: it says where a node lives in the
+/// adjacency structure, nothing more. Routing decisions must be functions
+/// of [`Label`]s, never of `NodeId`s, because the adversary may permute
+/// labels freely (§1.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Unique vertex label.
+///
+/// Labels are the only names a local routing algorithm may rely on. The
+/// rank of a node is the value of its label; the paper's rules "forward
+/// to the active neighbour of lowest rank" compare these values.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// Returns the label's numeric value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(v: u32) -> Self {
+        Label(v)
+    }
+}
+
+/// The rank of an edge: the lexicographically ordered pair of its
+/// endpoint labels (smaller label first).
+///
+/// `EdgeRank` is a strict total order over the edges of a labelled simple
+/// graph: no two distinct edges share a rank because labels are unique.
+/// The preprocessing step of Algorithms 1, 1B and 2 classifies the edge
+/// of *minimum* rank on every local cycle as dormant (§5.1).
+///
+/// ```
+/// use locality_graph::{EdgeRank, Label};
+///
+/// let low = EdgeRank::new(Label(0), Label(7));
+/// let high = EdgeRank::new(Label(7), Label(1)); // order of arguments is irrelevant
+/// assert!(low < high);
+/// assert_eq!(high, EdgeRank::new(Label(1), Label(7)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeRank(pub Label, pub Label);
+
+impl EdgeRank {
+    /// Builds the rank of the edge `{a, b}`; the pair is normalised so the
+    /// smaller label comes first.
+    pub fn new(a: Label, b: Label) -> Self {
+        if a <= b {
+            EdgeRank(a, b)
+        } else {
+            EdgeRank(b, a)
+        }
+    }
+}
+
+impl fmt::Display for EdgeRank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.0, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_rank_is_normalised() {
+        assert_eq!(
+            EdgeRank::new(Label(9), Label(2)),
+            EdgeRank::new(Label(2), Label(9))
+        );
+    }
+
+    #[test]
+    fn edge_rank_orders_lexicographically() {
+        let e1 = EdgeRank::new(Label(0), Label(9));
+        let e2 = EdgeRank::new(Label(1), Label(2));
+        let e3 = EdgeRank::new(Label(1), Label(3));
+        assert!(e1 < e2);
+        assert!(e2 < e3);
+    }
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        assert_eq!(NodeId(17).index(), 17);
+        assert_eq!(NodeId::from(4u32), NodeId(4));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(Label(3).to_string(), "v3");
+        assert_eq!(EdgeRank::new(Label(1), Label(0)).to_string(), "(v0,v1)");
+    }
+}

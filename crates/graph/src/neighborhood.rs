@@ -1,0 +1,157 @@
+//! Extraction of the k-neighbourhood `G_k(u)` (§2.1).
+//!
+//! The paper defines `G_k(u)` as "the subgraph of `G` that contains all
+//! paths rooted at `u` with length at most `k`". Concretely:
+//!
+//! * a **vertex** `x` belongs to `G_k(u)` iff `dist(u, x) <= k` (a
+//!   shortest path is a simple path rooted at `u`);
+//! * an **edge** `{x, y}` belongs to `G_k(u)` iff
+//!   `min(dist(u, x), dist(u, y)) + 1 <= k` — a shortest path to the
+//!   nearer endpoint extended across the edge is a simple path of that
+//!   length rooted at `u` (and no shorter simple path can reach the edge).
+//!
+//! This matches the paper's examples: on a cycle of length `2k` the whole
+//! cycle is visible from any node, while on a cycle of length `2k + 1`
+//! the "far" edge joining the two antipodal vertices is *not* visible,
+//! splitting the view into two independent path components.
+
+use std::collections::BTreeMap;
+
+use crate::labels::NodeId;
+use crate::subgraph::Subgraph;
+use crate::traversal::{self, Topology};
+
+/// Extracts `G_k(u)` from `topo` as a [`Subgraph`].
+///
+/// Works on any [`Topology`], so it can also re-extract a neighbourhood
+/// from an already-filtered routing view (used to build `G'_k(u)` after
+/// dormant edges are removed).
+///
+/// # Example
+///
+/// ```
+/// use locality_graph::{generators, neighborhood, NodeId};
+///
+/// let g = generators::cycle(8); // length 2k with k = 4: fully visible
+/// let view = neighborhood::k_neighborhood(&g, NodeId(0), 4);
+/// assert_eq!(view.node_count(), 8);
+/// assert_eq!(view.edge_count(), 8);
+///
+/// let g = generators::cycle(9); // length 2k + 1: far edge hidden
+/// let view = neighborhood::k_neighborhood(&g, NodeId(0), 4);
+/// assert_eq!(view.node_count(), 9);
+/// assert_eq!(view.edge_count(), 8);
+/// ```
+pub fn k_neighborhood<T: Topology + ?Sized>(topo: &T, u: NodeId, k: u32) -> Subgraph {
+    let dist = traversal::bfs_distances(topo, u, Some(k));
+    let mut sub = Subgraph::new();
+    if dist.is_empty() {
+        return sub;
+    }
+    sub.insert_node(u);
+    for (&x, &dx) in &dist {
+        sub.insert_node(x);
+        if dx + 1 <= k {
+            topo.for_each_neighbor(x, &mut |y| {
+                // The nearer endpoint decides membership; iterate from the
+                // nearer side only to avoid double work.
+                if dist.get(&y).is_some_and(|&dy| dy >= dx) {
+                    sub.insert_edge(x, y);
+                }
+            });
+        }
+    }
+    sub
+}
+
+/// `G_k(u)` together with the BFS distances from `u`, which every
+/// consumer of a view wants anyway.
+pub fn k_neighborhood_with_distances<T: Topology + ?Sized>(
+    topo: &T,
+    u: NodeId,
+    k: u32,
+) -> (Subgraph, BTreeMap<NodeId, u32>) {
+    let sub = k_neighborhood(topo, u, k);
+    let dist = traversal::bfs_distances(&sub, u, Some(k));
+    (sub, dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_neighborhood_is_truncated_path() {
+        let g = generators::path(20);
+        let view = k_neighborhood(&g, NodeId(10), 3);
+        assert_eq!(view.node_count(), 7);
+        assert_eq!(view.edge_count(), 6);
+        assert!(view.contains_node(NodeId(7)));
+        assert!(!view.contains_node(NodeId(6)));
+    }
+
+    #[test]
+    fn odd_cycle_far_edge_hidden() {
+        let g = generators::cycle(9);
+        let view = k_neighborhood(&g, NodeId(0), 4);
+        // vertices 4 and 5 are both at distance 4; the edge between them
+        // is not on any simple path of length <= 4 rooted at 0.
+        assert!(view.contains_node(NodeId(4)));
+        assert!(view.contains_node(NodeId(5)));
+        assert!(!view.has_edge(NodeId(4), NodeId(5)));
+    }
+
+    #[test]
+    fn even_cycle_fully_visible() {
+        let g = generators::cycle(8);
+        let view = k_neighborhood(&g, NodeId(2), 4);
+        assert_eq!(view.edge_count(), 8);
+        assert!(view.has_edge(NodeId(6), NodeId(5)));
+    }
+
+    #[test]
+    fn whole_graph_visible_when_k_at_least_eccentricity() {
+        let g = generators::spider(3, 4); // 3 legs of length 4
+        let view = k_neighborhood(&g, NodeId(0), 4);
+        assert_eq!(view.node_count(), g.node_count());
+        assert_eq!(view.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn k_zero_is_single_node() {
+        let g = generators::path(5);
+        let view = k_neighborhood(&g, NodeId(2), 0);
+        assert_eq!(view.node_count(), 1);
+        assert_eq!(view.edge_count(), 0);
+    }
+
+    #[test]
+    fn distances_accompany_view() {
+        let g = generators::cycle(12);
+        let (view, dist) = k_neighborhood_with_distances(&g, NodeId(0), 5);
+        assert_eq!(dist[&NodeId(0)], 0);
+        assert_eq!(dist[&NodeId(5)], 5);
+        assert_eq!(dist[&NodeId(7)], 5);
+        assert_eq!(dist.len(), view.node_count());
+    }
+
+    #[test]
+    fn edge_between_two_distance_k_branches_hidden() {
+        // Two branches of length k from u, joined at the far end: the
+        // joining edge must be invisible (it needs k + 1 hops).
+        // u=0; branch A: 0-1-2-3; branch B: 0-4-5-6; edge {3,6}.
+        let g = crate::Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (3, 6)],
+        )
+        .unwrap();
+        let view = k_neighborhood(&g, NodeId(0), 3);
+        assert!(view.contains_node(NodeId(3)));
+        assert!(view.contains_node(NodeId(6)));
+        assert!(!view.has_edge(NodeId(3), NodeId(6)));
+        // With k = 4 the joining edge becomes visible.
+        let view = k_neighborhood(&g, NodeId(0), 4);
+        assert!(view.has_edge(NodeId(3), NodeId(6)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Adversarial relabelling (§1.1).
+//!
+//! The paper assumes vertex labels are independent of the topology: a
+//! routing algorithm must succeed under *any* permutation of the labels.
+//! These helpers rewrite a graph's labels while preserving structure, so
+//! test suites can check label-permutation robustness.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::labels::{Label, NodeId};
+
+/// Returns a structurally identical graph whose node `i` carries label
+/// `perm[i]` instead of its original label.
+///
+/// # Panics
+///
+/// Panics if `perm` has the wrong length or contains duplicates.
+pub fn relabel(g: &Graph, perm: &[Label]) -> Graph {
+    assert_eq!(perm.len(), g.node_count(), "permutation length mismatch");
+    let mut b = GraphBuilder::new();
+    for &l in perm {
+        b.add_node(l).expect("labels in a permutation are unique");
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(u, v).expect("relabelling preserves simplicity");
+    }
+    b.build()
+}
+
+/// Applies a uniformly random permutation of the labels `0..n`.
+pub fn random_relabel<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Graph {
+    let mut labels: Vec<Label> = (0..g.node_count() as u32).map(Label).collect();
+    labels.shuffle(rng);
+    relabel(g, &labels)
+}
+
+/// Reverses the identity labelling (`i -> n-1-i`): a cheap deterministic
+/// adversarial permutation that flips every rank comparison.
+pub fn reverse_labels(g: &Graph) -> Graph {
+    let n = g.node_count() as u32;
+    let labels: Vec<Label> = (0..n).map(|i| Label(n - 1 - i)).collect();
+    relabel(g, &labels)
+}
+
+/// The node of `g2` playing the role that `u` plays in `g1`, under the
+/// convention that both graphs were produced by [`relabel`]-family calls
+/// from the same base graph (node ids are preserved by relabelling).
+pub fn same_node(_g1: &Graph, u: NodeId) -> NodeId {
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = generators::cycle(6);
+        let h = reverse_labels(&g);
+        assert_eq!(h.node_count(), 6);
+        assert_eq!(h.edge_count(), 6);
+        assert_eq!(h.label(NodeId(0)), Label(5));
+        assert!(h.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(traversal::diameter(&h), traversal::diameter(&g));
+    }
+
+    #[test]
+    fn random_relabel_is_permutation() {
+        let g = generators::path(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = random_relabel(&g, &mut rng);
+        let mut labels: Vec<u32> = h.nodes().map(|u| h.label(u).value()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn relabel_rejects_wrong_length() {
+        let g = generators::path(3);
+        relabel(&g, &[Label(0)]);
+    }
+
+    #[test]
+    fn neighbor_order_follows_new_labels() {
+        // After reversing labels, neighbour lists re-sort by new labels.
+        let g = generators::star(4);
+        let h = reverse_labels(&g);
+        let nbr_labels: Vec<Label> = h
+            .neighbors(NodeId(0))
+            .iter()
+            .map(|&v| h.label(v))
+            .collect();
+        let mut sorted = nbr_labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(nbr_labels, sorted);
+    }
+}

@@ -1,0 +1,251 @@
+//! Lightweight subgraph views over a parent [`Graph`](crate::Graph).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::labels::NodeId;
+use crate::traversal::Topology;
+
+/// A vertex- and edge-subset of a parent graph, keyed by the parent's
+/// [`NodeId`]s.
+///
+/// `Subgraph` is the representation of `G_k(u)` and of the routing
+/// subgraph `G'_k(u)`: small, explicit, and deterministic (adjacency is a
+/// `BTreeMap`, neighbour lists are kept sorted by `NodeId`). It does not
+/// borrow the parent graph, so views can be cached and shipped to
+/// simulated nodes independently.
+///
+/// ```
+/// use locality_graph::{NodeId, Subgraph};
+///
+/// let mut s = Subgraph::new();
+/// s.insert_node(NodeId(3));
+/// s.insert_node(NodeId(7));
+/// s.insert_edge(NodeId(3), NodeId(7));
+/// assert!(s.has_edge(NodeId(7), NodeId(3)));
+/// assert_eq!(s.node_count(), 2);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Subgraph {
+    adj: BTreeMap<NodeId, Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Subgraph {
+    /// Creates an empty subgraph.
+    pub fn new() -> Subgraph {
+        Subgraph::default()
+    }
+
+    /// Inserts a node (no-op if present).
+    pub fn insert_node(&mut self, u: NodeId) {
+        self.adj.entry(u).or_default();
+    }
+
+    /// Inserts the undirected edge `{u, v}`, inserting endpoints as
+    /// needed. No-op if the edge is already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop: subgraphs of simple graphs are simple.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+        assert_ne!(u, v, "self-loop in subgraph");
+        if self.has_edge(u, v) {
+            return;
+        }
+        self.adj.entry(u).or_default().push(v);
+        self.adj.entry(v).or_default().push(u);
+        self.adj.get_mut(&u).expect("just inserted").sort_unstable();
+        self.adj.get_mut(&v).expect("just inserted").sort_unstable();
+        self.edge_count += 1;
+    }
+
+    /// Removes the edge `{u, v}` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let mut removed = false;
+        if let Some(list) = self.adj.get_mut(&u) {
+            if let Ok(i) = list.binary_search(&v) {
+                list.remove(i);
+                removed = true;
+            }
+        }
+        if removed {
+            let list = self.adj.get_mut(&v).expect("edge was symmetric");
+            let i = list.binary_search(&u).expect("edge was symmetric");
+            list.remove(i);
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Whether node `u` is present.
+    #[inline]
+    pub fn contains_node(&self, u: NodeId) -> bool {
+        self.adj.contains_key(&u)
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj
+            .get(&u)
+            .is_some_and(|list| list.binary_search(&v).is_ok())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbours of `u` within the subgraph (sorted by `NodeId`), or an
+    /// empty slice if `u` is absent.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.adj.get(&u).map_or(&[], Vec::as_slice)
+    }
+
+    /// Degree of `u` within the subgraph (0 if absent).
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Iterator over nodes in ascending `NodeId` order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterator over edges, each reported once as `(min, max)` by id.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().flat_map(|(&u, list)| {
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Returns a copy of the subgraph with node `u` (and its incident
+    /// edges) removed. Used for local-component analysis: the local
+    /// components of `u` are the connected components of `G_k(u) \ {u}`.
+    pub fn without_node(&self, u: NodeId) -> Subgraph {
+        let mut out = Subgraph::new();
+        for (&x, list) in &self.adj {
+            if x == u {
+                continue;
+            }
+            out.insert_node(x);
+            for &y in list {
+                if y != u && x < y {
+                    out.insert_edge(x, y);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Subgraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Subgraph(n={}, m={}, edges=[",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for (i, (u, v)) in self.edges().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{u}-{v}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl Topology for Subgraph {
+    fn node_count(&self) -> usize {
+        self.node_count()
+    }
+
+    fn contains_node(&self, u: NodeId) -> bool {
+        self.contains_node(u)
+    }
+
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        for u in self.nodes() {
+            f(u);
+        }
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Subgraph {
+        let mut s = Subgraph::new();
+        s.insert_edge(NodeId(0), NodeId(1));
+        s.insert_edge(NodeId(1), NodeId(2));
+        s.insert_edge(NodeId(2), NodeId(0));
+        s
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let s = triangle();
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.edge_count(), 3);
+        assert!(s.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(s.degree(NodeId(1)), 2);
+        assert_eq!(s.neighbors(NodeId(9)), &[]);
+    }
+
+    #[test]
+    fn duplicate_edge_insert_is_idempotent() {
+        let mut s = triangle();
+        s.insert_edge(NodeId(0), NodeId(1));
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut s = triangle();
+        assert!(s.remove_edge(NodeId(1), NodeId(0)));
+        assert!(!s.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(s.edge_count(), 2);
+        assert!(!s.remove_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn without_node_drops_incident_edges() {
+        let s = triangle().without_node(NodeId(2));
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.edge_count(), 1);
+        assert!(s.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut s = Subgraph::new();
+        s.insert_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let s = triangle();
+        assert_eq!(s.edges().count(), 3);
+    }
+}

@@ -1,0 +1,420 @@
+//! Breadth-first traversal, shortest paths, and global distance metrics.
+//!
+//! Everything here is generic over [`Topology`] so the same routines run
+//! on a full [`Graph`](crate::Graph), on a k-neighbourhood
+//! [`Subgraph`](crate::Subgraph), and on filtered views (e.g. "edges of
+//! rank greater than r" during preprocessing) via [`FilteredTopology`].
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::labels::NodeId;
+
+/// Minimal adjacency interface shared by graphs and subgraphs.
+///
+/// This trait is sealed in spirit — it exists so traversal code can be
+/// written once — but is left open so callers can wrap topologies with
+/// filters (see [`FilteredTopology`]).
+pub trait Topology {
+    /// Number of nodes in the topology.
+    fn node_count(&self) -> usize;
+    /// Whether `u` is a node of the topology.
+    fn contains_node(&self, u: NodeId) -> bool;
+    /// Calls `f` once per node.
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId));
+    /// Calls `f` once per neighbour of `u`.
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId));
+}
+
+/// A topology with some edges masked out by a predicate.
+///
+/// Used by the preprocessing step to run BFS over "edges of rank greater
+/// than `r`" and by constraint-vertex detection to run BFS with a vertex
+/// removed.
+pub struct FilteredTopology<'a, T: ?Sized, F> {
+    inner: &'a T,
+    edge_keep: F,
+}
+
+impl<'a, T: Topology + ?Sized, F: Fn(NodeId, NodeId) -> bool> FilteredTopology<'a, T, F> {
+    /// Wraps `inner`, keeping only edges `{u, v}` for which
+    /// `edge_keep(u, v)` holds. The predicate must be symmetric.
+    pub fn new(inner: &'a T, edge_keep: F) -> Self {
+        FilteredTopology { inner, edge_keep }
+    }
+}
+
+impl<T: Topology + ?Sized, F: Fn(NodeId, NodeId) -> bool> Topology for FilteredTopology<'_, T, F> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn contains_node(&self, u: NodeId) -> bool {
+        self.inner.contains_node(u)
+    }
+
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId)) {
+        self.inner.for_each_node(f);
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        self.inner.for_each_neighbor(u, &mut |v| {
+            if (self.edge_keep)(u, v) {
+                f(v);
+            }
+        });
+    }
+}
+
+/// BFS distances from `source`; nodes unreachable from `source` are
+/// absent from the map. `max_depth`, if given, truncates the search.
+pub fn bfs_distances<T: Topology + ?Sized>(
+    topo: &T,
+    source: NodeId,
+    max_depth: Option<u32>,
+) -> BTreeMap<NodeId, u32> {
+    let mut dist = BTreeMap::new();
+    if !topo.contains_node(source) {
+        return dist;
+    }
+    dist.insert(source, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if let Some(md) = max_depth {
+            if du >= md {
+                continue;
+            }
+        }
+        let mut fresh = Vec::new();
+        topo.for_each_neighbor(u, &mut |v| {
+            if !dist.contains_key(&v) {
+                fresh.push(v);
+            }
+        });
+        for v in fresh {
+            // A node can be discovered twice within one neighbour sweep if
+            // the topology reports duplicate neighbours; guard with entry.
+            if dist.insert(v, du + 1).is_none() {
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Distance between `u` and `v`, or `None` if disconnected.
+pub fn distance<T: Topology + ?Sized>(topo: &T, u: NodeId, v: NodeId) -> Option<u32> {
+    if u == v {
+        return topo.contains_node(u).then_some(0);
+    }
+    bfs_distances(topo, u, None).get(&v).copied()
+}
+
+/// One shortest path from `u` to `v` (inclusive of both), deterministic:
+/// ties are broken toward the smallest predecessor `NodeId`.
+pub fn shortest_path<T: Topology + ?Sized>(topo: &T, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    if !topo.contains_node(u) || !topo.contains_node(v) {
+        return None;
+    }
+    // BFS from v so we can walk forward from u following decreasing
+    // distance-to-v, picking the smallest-id neighbour at each step.
+    let dist_to_v = bfs_distances(topo, v, None);
+    let mut cur = u;
+    let mut d = *dist_to_v.get(&u)?;
+    let mut path = vec![u];
+    while d > 0 {
+        let mut next: Option<NodeId> = None;
+        topo.for_each_neighbor(cur, &mut |w| {
+            if dist_to_v.get(&w) == Some(&(d - 1)) && next.map_or(true, |n| w < n) {
+                next = Some(w);
+            }
+        });
+        cur = next.expect("BFS tree guarantees a predecessor");
+        path.push(cur);
+        d -= 1;
+    }
+    Some(path)
+}
+
+/// All neighbours of `u` that lie on some shortest path from `u` to `v`
+/// (i.e. neighbours `w` with `dist(w, v) == dist(u, v) - 1`), sorted by id.
+pub fn shortest_path_steps<T: Topology + ?Sized>(topo: &T, u: NodeId, v: NodeId) -> Vec<NodeId> {
+    if u == v {
+        return Vec::new();
+    }
+    let dist_to_v = bfs_distances(topo, v, None);
+    let Some(&du) = dist_to_v.get(&u) else {
+        return Vec::new();
+    };
+    let mut steps = Vec::new();
+    topo.for_each_neighbor(u, &mut |w| {
+        if dist_to_v.get(&w) == Some(&(du - 1)) {
+            steps.push(w);
+        }
+    });
+    steps.sort_unstable();
+    steps.dedup();
+    steps
+}
+
+/// Whether the topology is connected (vacuously true when empty).
+pub fn is_connected<T: Topology + ?Sized>(topo: &T) -> bool {
+    let mut first = None;
+    topo.for_each_node(&mut |u| {
+        if first.is_none() {
+            first = Some(u);
+        }
+    });
+    match first {
+        None => true,
+        Some(u) => bfs_distances(topo, u, None).len() == topo.node_count(),
+    }
+}
+
+/// Eccentricity of `u`: the maximum distance from `u` to any node, or
+/// `None` if the topology is disconnected from `u`'s point of view.
+pub fn eccentricity<T: Topology + ?Sized>(topo: &T, u: NodeId) -> Option<u32> {
+    let dist = bfs_distances(topo, u, None);
+    if dist.len() != topo.node_count() {
+        return None;
+    }
+    dist.values().copied().max()
+}
+
+/// Diameter of a connected topology, or `None` if disconnected/empty.
+pub fn diameter<T: Topology + ?Sized>(topo: &T) -> Option<u32> {
+    let mut nodes = Vec::new();
+    topo.for_each_node(&mut |u| nodes.push(u));
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for u in nodes {
+        best = best.max(eccentricity(topo, u)?);
+    }
+    Some(best)
+}
+
+/// Articulation points (cut vertices): nodes whose removal increases
+/// the number of connected components. Iterative Hopcroft–Tarjan.
+///
+/// Constraint vertices (§2.1) are closely related: a constraint vertex
+/// of an independent active component separates the centre from every
+/// depth-k vertex, so it is either an articulation point of the view or
+/// a depth-k vertex itself — a cross-check the test suites exploit.
+pub fn articulation_points<T: Topology + ?Sized>(topo: &T) -> Vec<NodeId> {
+    let mut nodes = Vec::new();
+    topo.for_each_node(&mut |u| nodes.push(u));
+    let mut disc: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut low: BTreeMap<NodeId, u32> = BTreeMap::new();
+    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let mut cut: std::collections::BTreeSet<NodeId> = Default::default();
+    let mut timer = 0u32;
+    for &root in &nodes {
+        if disc.contains_key(&root) {
+            continue;
+        }
+        // Iterative DFS carrying (node, neighbour cursor).
+        let mut root_children = 0;
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        disc.insert(root, timer);
+        low.insert(root, timer);
+        timer += 1;
+        while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+            let mut nbrs = Vec::new();
+            topo.for_each_neighbor(u, &mut |v| nbrs.push(v));
+            if *cursor < nbrs.len() {
+                let v = nbrs[*cursor];
+                *cursor += 1;
+                if !disc.contains_key(&v) {
+                    parent.insert(v, u);
+                    disc.insert(v, timer);
+                    low.insert(v, timer);
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if parent.get(&u) != Some(&v) {
+                    let lv = low[&u].min(disc[&v]);
+                    low.insert(u, lv);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    let lu = low[&u];
+                    let lp = low[&p].min(lu);
+                    low.insert(p, lp);
+                    if p != root && lu >= disc[&p] {
+                        cut.insert(p);
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            cut.insert(root);
+        }
+    }
+    cut.into_iter().collect()
+}
+
+/// Connected components as sorted node lists, sorted by smallest member.
+pub fn connected_components<T: Topology + ?Sized>(topo: &T) -> Vec<Vec<NodeId>> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut nodes = Vec::new();
+    topo.for_each_node(&mut |u| nodes.push(u));
+    nodes.sort_unstable();
+    let mut comps = Vec::new();
+    for u in nodes {
+        if seen.contains(&u) {
+            continue;
+        }
+        let comp: Vec<NodeId> = bfs_distances(topo, u, None).keys().copied().collect();
+        for &x in &comp {
+            seen.insert(x);
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, NodeId(0), None);
+        for i in 0..5u32 {
+            assert_eq!(d[&NodeId(i)], i);
+        }
+    }
+
+    #[test]
+    fn bfs_respects_max_depth() {
+        let g = generators::path(10);
+        let d = bfs_distances(&g, NodeId(0), Some(3));
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.get(&NodeId(4)), None);
+    }
+
+    #[test]
+    fn distance_symmetric_on_cycle() {
+        let g = generators::cycle(8);
+        assert_eq!(distance(&g, NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(distance(&g, NodeId(4), NodeId(0)), Some(4));
+        assert_eq!(distance(&g, NodeId(0), NodeId(5)), Some(3));
+    }
+
+    #[test]
+    fn distance_disconnected_is_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(distance(&g, NodeId(0), NodeId(3)), None);
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = generators::cycle(9);
+        let p = shortest_path(&g, NodeId(1), NodeId(5)).unwrap();
+        assert_eq!(p.first(), Some(&NodeId(1)));
+        assert_eq!(p.last(), Some(&NodeId(5)));
+        assert_eq!(p.len() as u32 - 1, distance(&g, NodeId(1), NodeId(5)).unwrap());
+        // consecutive entries are edges
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_to_self_is_single_node() {
+        let g = generators::path(3);
+        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn shortest_path_steps_on_even_cycle() {
+        // On an even cycle the antipode is reached via both neighbours.
+        let g = generators::cycle(6);
+        let steps = shortest_path_steps(&g, NodeId(0), NodeId(3));
+        assert_eq!(steps, vec![NodeId(1), NodeId(5)]);
+    }
+
+    #[test]
+    fn diameter_and_eccentricity() {
+        let g = generators::path(7);
+        assert_eq!(diameter(&g), Some(6));
+        assert_eq!(eccentricity(&g, NodeId(3)), Some(3));
+        let g = generators::cycle(10);
+        assert_eq!(diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn filtered_topology_masks_edges() {
+        let g = generators::cycle(6);
+        // Remove the edge {0, 5}: the cycle becomes a path.
+        let f = FilteredTopology::new(&g, |a: NodeId, b: NodeId| {
+            !(a.index() + b.index() == 5 && a.index().min(b.index()) == 0)
+        });
+        assert_eq!(distance(&f, NodeId(0), NodeId(5)), Some(5));
+    }
+
+    #[test]
+    fn articulation_points_on_known_shapes() {
+        // Path: every interior node is a cut vertex.
+        let g = generators::path(5);
+        assert_eq!(
+            articulation_points(&g),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        // Cycle: none.
+        assert!(articulation_points(&generators::cycle(6)).is_empty());
+        // Lollipop: the attachment node and the tail interior.
+        let g = generators::lollipop(4, 2);
+        assert_eq!(articulation_points(&g), vec![NodeId(3), NodeId(4)]);
+        // Star: only the hub.
+        assert_eq!(articulation_points(&generators::star(5)), vec![NodeId(0)]);
+        // Complete graph: none.
+        assert!(articulation_points(&generators::complete(5)).is_empty());
+    }
+
+    #[test]
+    fn articulation_points_match_removal_definition() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..14);
+            let g = generators::random_mixed(n, &mut rng);
+            let base = connected_components(&g).len();
+            let cuts = articulation_points(&g);
+            for u in g.nodes() {
+                let masked = FilteredTopology::new(&g, |a: NodeId, b: NodeId| a != u && b != u);
+                // Count components ignoring the isolated u itself.
+                let comps = connected_components(&masked)
+                    .into_iter()
+                    .filter(|c| c != &vec![u])
+                    .count();
+                let is_cut = comps > base;
+                assert_eq!(
+                    cuts.binary_search(&u).is_ok(),
+                    is_cut,
+                    "node {u} on {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_topology_edge_cases() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), None);
+        assert!(bfs_distances(&g, NodeId(0), None).is_empty());
+    }
+}

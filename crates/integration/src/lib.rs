@@ -1,0 +1,59 @@
+//! Shared helpers for the repository-level integration test suite in
+//! `/tests`.
+
+use local_routing::{engine, LocalRouter};
+use locality_graph::{generators, permute, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Asserts that `router`, run with locality `k`, delivers every ordered
+/// pair on `g`; panics with a diagnostic otherwise.
+pub fn assert_all_delivered<R: LocalRouter + ?Sized>(router: &R, g: &Graph, k: u32) {
+    let m = engine::delivery_matrix(g, k, router);
+    assert!(
+        m.all_delivered(),
+        "{} (k={k}) failed on {:?}: first failure {:?} of {}",
+        router.name(),
+        g,
+        m.failures.first(),
+        m.failures.len(),
+    );
+}
+
+/// Asserts delivery at the router's own threshold `T(n)`.
+pub fn assert_all_delivered_at_threshold<R: LocalRouter + ?Sized>(router: &R, g: &Graph) {
+    let k = router.min_locality(g.node_count());
+    assert_all_delivered(router, g, k);
+}
+
+/// The worst dilation over the full delivery matrix (requires all
+/// delivered).
+pub fn worst_dilation<R: LocalRouter + ?Sized>(router: &R, g: &Graph, k: u32) -> f64 {
+    let m = engine::delivery_matrix(g, k, router);
+    assert!(m.all_delivered(), "{} failed on {g:?}", router.name());
+    m.worst_dilation.map(|(d, _, _)| d).unwrap_or(1.0)
+}
+
+/// A deterministic batch of random connected graphs (mixed shapes, with
+/// scrambled labels) for randomized suites.
+pub fn random_suite(seed: u64, count: usize, n_range: std::ops::Range<usize>) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let n = rng.gen_range(n_range.clone());
+            let g = generators::random_mixed(n, &mut rng);
+            permute::random_relabel(&g, &mut rng)
+        })
+        .collect()
+}
+
+/// Every connected graph on `n` nodes, each also in a reversed-label
+/// variant — the exhaustive gauntlet for small `n`.
+pub fn exhaustive_suite(n: usize) -> Vec<Graph> {
+    let mut out = Vec::new();
+    for g in generators::all_connected(n) {
+        out.push(permute::reverse_labels(&g));
+        out.push(g);
+    }
+    out
+}

@@ -1,0 +1,143 @@
+//! Flooding — the strawman the paper's introduction rules out (§1.1):
+//! it delivers, but at the cost of "high traffic loads", and it needs an
+//! upper bound on the network diameter (a TTL) to terminate at all in a
+//! memoryless network.
+//!
+//! This module simulates TTL-bounded flooding so experiments can put a
+//! number on that traffic cost next to the single-path algorithms.
+
+use std::collections::VecDeque;
+
+use locality_graph::{Graph, NodeId};
+
+/// Outcome of one flood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FloodOutcome {
+    /// Whether any copy reached the destination.
+    pub delivered: bool,
+    /// Rounds (ticks) until the first copy arrived, if delivered.
+    pub first_arrival: Option<u32>,
+    /// Total link transmissions — the traffic bill.
+    pub transmissions: usize,
+}
+
+/// Floods a message from `s` toward `t` with the given TTL: every node
+/// receiving a copy re-emits it on all ports except the incoming one
+/// while TTL remains. The network is memoryless — nodes do **not**
+/// suppress duplicates — exactly the regime in which the paper notes
+/// flooding shows "cyclic behaviour". Copies are capped at `cap`
+/// transmissions so the exponential blow-up on cyclic graphs is
+/// reported rather than simulated to death.
+pub fn flood(g: &Graph, s: NodeId, t: NodeId, ttl: u32, cap: usize) -> FloodOutcome {
+    let mut queue: VecDeque<(NodeId, Option<NodeId>, u32)> = VecDeque::new();
+    queue.push_back((s, None, 0));
+    let mut transmissions = 0usize;
+    let mut first_arrival: Option<u32> = None;
+    while let Some((at, from, depth)) = queue.pop_front() {
+        if at == t {
+            first_arrival = Some(first_arrival.map_or(depth, |d| d.min(depth)));
+            continue; // the destination absorbs its copy
+        }
+        if depth >= ttl || transmissions >= cap {
+            continue;
+        }
+        for &next in g.neighbors(at) {
+            if Some(next) == from {
+                continue;
+            }
+            transmissions += 1;
+            if transmissions > cap {
+                break;
+            }
+            queue.push_back((next, Some(at), depth + 1));
+        }
+    }
+    FloodOutcome {
+        delivered: first_arrival.is_some(),
+        first_arrival,
+        transmissions,
+    }
+}
+
+/// Flooding with per-node duplicate suppression — the non-memoryless
+/// variant (each node remembers it has seen the message). Equivalent to
+/// a BFS broadcast: at most one transmission per directed edge.
+pub fn flood_with_memory(g: &Graph, s: NodeId, t: NodeId, ttl: u32) -> FloodOutcome {
+    let mut seen = vec![false; g.node_count()];
+    seen[s.index()] = true;
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    queue.push_back((s, 0));
+    let mut transmissions = 0usize;
+    let mut first_arrival = None;
+    while let Some((at, depth)) = queue.pop_front() {
+        if at == t && first_arrival.is_none() {
+            first_arrival = Some(depth);
+        }
+        if depth >= ttl {
+            continue;
+        }
+        for &next in g.neighbors(at) {
+            transmissions += 1;
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    FloodOutcome {
+        delivered: first_arrival.is_some(),
+        first_arrival,
+        transmissions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_graph::generators;
+
+    #[test]
+    fn flood_delivers_within_ttl_on_trees() {
+        let g = generators::binary_tree(4);
+        let out = flood(&g, NodeId(0), NodeId(14), 10, 1 << 20);
+        assert!(out.delivered);
+        assert_eq!(out.first_arrival, Some(3));
+        // On a tree without duplicates-by-cycles, the copies still fan
+        // out everywhere: far more transmissions than the 3-hop path.
+        assert!(out.transmissions > 10);
+    }
+
+    #[test]
+    fn flood_fails_when_ttl_too_small() {
+        let g = generators::path(10);
+        let out = flood(&g, NodeId(0), NodeId(9), 5, 1 << 20);
+        assert!(!out.delivered);
+    }
+
+    #[test]
+    fn memoryless_flood_blows_up_on_cycles() {
+        // On a cycle, copies orbit and multiply: the cap is hit long
+        // before the TTL drains.
+        let g = generators::complete(8);
+        let out = flood(&g, NodeId(0), NodeId(7), 30, 50_000);
+        assert!(out.delivered);
+        assert!(out.transmissions >= 50_000, "expected the cap to bind");
+    }
+
+    #[test]
+    fn memory_makes_flooding_linear() {
+        let g = generators::grid(5, 5);
+        let out = flood_with_memory(&g, NodeId(0), NodeId(24), 20);
+        assert!(out.delivered);
+        assert_eq!(out.first_arrival, Some(8));
+        // At most one transmission per directed edge.
+        assert!(out.transmissions <= 2 * g.edge_count());
+    }
+
+    #[test]
+    fn flood_with_memory_respects_ttl() {
+        let g = generators::path(10);
+        let out = flood_with_memory(&g, NodeId(0), NodeId(9), 4);
+        assert!(!out.delivered);
+    }
+}

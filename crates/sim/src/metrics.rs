@@ -1,0 +1,123 @@
+//! Per-message records and aggregate network metrics.
+
+use locality_graph::NodeId;
+
+/// Why a message's journey ended (or has not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Still travelling.
+    InFlight,
+    /// Arrived at its destination.
+    Delivered,
+    /// The simulator proved the deterministic router will cycle forever
+    /// (a `(node, predecessor)` state recurred) and dropped the message.
+    Looped,
+    /// The router reported an error at some node.
+    Errored(String),
+    /// The per-message hop budget was exhausted.
+    HopBudgetExhausted,
+}
+
+/// The observable history of one message. The tracking lives in the
+/// simulator, not in the message: the routed algorithms stay stateless —
+/// this is telemetry, not protocol state.
+#[derive(Clone, Debug)]
+pub struct MessageRecord {
+    /// Origin node.
+    pub s: NodeId,
+    /// Destination node.
+    pub t: NodeId,
+    /// Nodes visited so far, starting with `s`.
+    pub path: Vec<NodeId>,
+    /// Final fate.
+    pub fate: MessageFate,
+    /// Tick at which the message was injected.
+    pub sent_at: u64,
+    /// Tick of delivery (if delivered).
+    pub delivered_at: Option<u64>,
+}
+
+impl MessageRecord {
+    /// Whether the message arrived.
+    pub fn delivered(&self) -> bool {
+        self.fate == MessageFate::Delivered
+    }
+
+    /// Edges traversed so far.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// End-to-end latency in ticks (delivery only).
+    pub fn latency(&self) -> Option<u64> {
+        self.delivered_at.map(|d| d - self.sent_at)
+    }
+}
+
+/// Aggregate statistics over a finished simulation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetworkMetrics {
+    /// Messages injected.
+    pub sent: usize,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Messages dropped as provably looping.
+    pub looped: usize,
+    /// Messages dropped on router errors.
+    pub errored: usize,
+    /// Total hops of delivered messages.
+    pub delivered_hops: usize,
+    /// The highest per-node forwarding load.
+    pub max_node_load: u64,
+    /// Ticks the simulation ran.
+    pub ticks: u64,
+}
+
+impl NetworkMetrics {
+    /// Mean route length of delivered messages.
+    pub fn mean_hops(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.delivered_hops as f64 / self.delivered as f64)
+    }
+
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accounting() {
+        let r = MessageRecord {
+            s: NodeId(0),
+            t: NodeId(3),
+            path: vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            fate: MessageFate::Delivered,
+            sent_at: 2,
+            delivered_at: Some(5),
+        };
+        assert!(r.delivered());
+        assert_eq!(r.hops(), 3);
+        assert_eq!(r.latency(), Some(3));
+    }
+
+    #[test]
+    fn metrics_ratios() {
+        let m = NetworkMetrics {
+            sent: 4,
+            delivered: 3,
+            delivered_hops: 12,
+            ..Default::default()
+        };
+        assert_eq!(m.mean_hops(), Some(4.0));
+        assert_eq!(m.delivery_ratio(), 0.75);
+        assert_eq!(NetworkMetrics::default().delivery_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,436 @@
+//! The tick-based network simulation.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use local_routing::LocalRouter;
+use locality_graph::{traversal, Graph, GraphBuilder, NodeId};
+
+use crate::metrics::{MessageFate, MessageRecord, NetworkMetrics};
+use crate::node::SimNode;
+
+/// Handle to a message injected into a [`Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MessageId(pub u64);
+
+/// Builder for a [`Network`].
+///
+/// ```
+/// use local_routing::Alg3;
+/// use locality_graph::generators;
+/// use locality_sim::NetworkBuilder;
+///
+/// let g = generators::cycle(10);
+/// let net = NetworkBuilder::new(&g, 5).hop_budget(64).build(Alg3);
+/// assert_eq!(net.node_count(), 10);
+/// ```
+pub struct NetworkBuilder {
+    graph: Graph,
+    k: u32,
+    hop_budget: usize,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for the given topology and locality parameter.
+    pub fn new(graph: &Graph, k: u32) -> NetworkBuilder {
+        NetworkBuilder {
+            graph: graph.clone(),
+            k,
+            hop_budget: 0,
+        }
+    }
+
+    /// Overrides the per-message hop budget (default `8 n² + 16`).
+    pub fn hop_budget(mut self, budget: usize) -> NetworkBuilder {
+        self.hop_budget = budget;
+        self
+    }
+
+    /// Provisions every node and returns the network.
+    pub fn build<R: LocalRouter + 'static>(self, router: R) -> Network {
+        let n = self.graph.node_count();
+        let nodes = self
+            .graph
+            .nodes()
+            .map(|u| SimNode::provision(&self.graph, u, self.k))
+            .collect();
+        Network {
+            k: self.k,
+            hop_budget: if self.hop_budget == 0 {
+                8 * n * n + 16
+            } else {
+                self.hop_budget
+            },
+            graph: self.graph,
+            nodes,
+            router: Box::new(router),
+            events: BTreeMap::new(),
+            messages: Vec::new(),
+            seen_states: Vec::new(),
+            tick: 0,
+            next_id: 0,
+        }
+    }
+}
+
+struct Arrival {
+    msg: usize,
+    at: NodeId,
+    from: Option<NodeId>,
+}
+
+/// A running simulated network: provisioned nodes, in-flight messages,
+/// unit-latency FIFO links.
+pub struct Network {
+    graph: Graph,
+    k: u32,
+    hop_budget: usize,
+    nodes: Vec<SimNode>,
+    router: Box<dyn LocalRouter>,
+    events: BTreeMap<u64, VecDeque<Arrival>>,
+    messages: Vec<MessageRecord>,
+    seen_states: Vec<HashSet<(NodeId, Option<NodeId>)>>,
+    tick: u64,
+    next_id: u64,
+}
+
+impl Network {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The locality parameter.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Current simulation tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Access a node (for load inspection).
+    pub fn node(&self, u: NodeId) -> &SimNode {
+        &self.nodes[u.index()]
+    }
+
+    /// Injects a message from `s` to `t` at the current tick.
+    pub fn send(&mut self, s: NodeId, t: NodeId) -> MessageId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.messages.push(MessageRecord {
+            s,
+            t,
+            path: vec![s],
+            fate: MessageFate::InFlight,
+            sent_at: self.tick,
+            delivered_at: None,
+        });
+        self.seen_states.push(HashSet::new());
+        self.events
+            .entry(self.tick)
+            .or_default()
+            .push_back(Arrival {
+                msg: id as usize,
+                at: s,
+                from: None,
+            });
+        MessageId(id)
+    }
+
+    /// Runs one tick: processes every arrival scheduled for `now` and
+    /// advances the clock. Returns the number of arrivals processed.
+    pub fn step(&mut self) -> usize {
+        let Some((&when, _)) = self.events.iter().next() else {
+            return 0;
+        };
+        self.tick = self.tick.max(when);
+        let batch = self.events.remove(&when).expect("key just observed");
+        let count = batch.len();
+        for arrival in batch {
+            self.process(arrival);
+        }
+        self.tick += 1;
+        count
+    }
+
+    /// Runs until no message is in flight.
+    pub fn run_until_quiet(&mut self) {
+        while self.step() > 0 {}
+    }
+
+    fn process(&mut self, arrival: Arrival) {
+        let Arrival { msg, at, from } = arrival;
+        if self.messages[msg].fate != MessageFate::InFlight {
+            return;
+        }
+        let t = self.messages[msg].t;
+        if at == t {
+            self.messages[msg].fate = MessageFate::Delivered;
+            self.messages[msg].delivered_at = Some(self.tick);
+            self.nodes[at.index()].delivered += 1;
+            return;
+        }
+        // Exact loop detection (telemetry, not protocol state): a pure
+        // stateless router revisiting (node, predecessor-it-can-see)
+        // will repeat forever.
+        let state = (
+            at,
+            if self.router.awareness().predecessor {
+                from
+            } else {
+                None
+            },
+        );
+        if !self.seen_states[msg].insert(state) {
+            self.messages[msg].fate = MessageFate::Looped;
+            return;
+        }
+        if self.messages[msg].hops() >= self.hop_budget {
+            self.messages[msg].fate = MessageFate::HopBudgetExhausted;
+            return;
+        }
+        let origin_label = self.graph.label(self.messages[msg].s);
+        let target_label = self.graph.label(t);
+        let from_label = from.map(|f| self.graph.label(f));
+        let decision =
+            self.nodes[at.index()].forward(&*self.router, origin_label, target_label, from_label);
+        match decision {
+            Err(e) => self.messages[msg].fate = MessageFate::Errored(e.to_string()),
+            Ok(next_label) => {
+                let next = self
+                    .graph
+                    .node_by_label(next_label)
+                    .filter(|&x| self.graph.has_edge(at, x));
+                match next {
+                    None => {
+                        self.messages[msg].fate = MessageFate::Errored(format!(
+                            "router named non-neighbour {next_label}"
+                        ));
+                    }
+                    Some(next) => {
+                        self.messages[msg].path.push(next);
+                        self.events
+                            .entry(self.tick + 1)
+                            .or_default()
+                            .push_back(Arrival {
+                                msg,
+                                at: next,
+                                from: Some(at),
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The record of a message.
+    pub fn record(&self, id: MessageId) -> Option<&MessageRecord> {
+        self.messages.get(id.0 as usize)
+    }
+
+    /// Aggregate metrics over all messages so far.
+    pub fn metrics(&self) -> NetworkMetrics {
+        let mut m = NetworkMetrics {
+            sent: self.messages.len(),
+            ticks: self.tick,
+            ..Default::default()
+        };
+        for r in &self.messages {
+            match r.fate {
+                MessageFate::Delivered => {
+                    m.delivered += 1;
+                    m.delivered_hops += r.hops();
+                }
+                MessageFate::Looped => m.looped += 1,
+                MessageFate::Errored(_) => m.errored += 1,
+                _ => {}
+            }
+        }
+        m.max_node_load = self.nodes.iter().map(|n| n.forwarded).max().unwrap_or(0);
+        m
+    }
+
+    /// Applies a topology change and re-provisions every node whose
+    /// k-neighbourhood could have changed (nodes within `k` hops of
+    /// either endpoint, in the old or new topology). In-flight messages
+    /// keep routing — on the *new* views, as in a real network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if removing `(a, b)` would disconnect the network or the
+    /// edge change is invalid.
+    pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) {
+        let mut builder = GraphBuilder::new();
+        for u in self.graph.nodes() {
+            builder.add_node(self.graph.label(u)).expect("labels unique");
+        }
+        for (x, y) in self.graph.edges() {
+            if present || !(locality_graph::NodeId::min(x, y) == a.min(b) && x.max(y) == a.max(b))
+            {
+                builder.add_edge(x, y).expect("copying existing edges");
+            }
+        }
+        if present {
+            builder.add_edge(a, b).expect("edge must be addable");
+        }
+        let new_graph = builder.build();
+        assert!(
+            traversal::is_connected(&new_graph),
+            "topology change would disconnect the network"
+        );
+        // Refresh everything within k hops of the change in either
+        // topology.
+        let mut dirty = HashSet::new();
+        for g in [&self.graph, &new_graph] {
+            for &end in &[a, b] {
+                for x in traversal::bfs_distances(g, end, Some(self.k)).keys() {
+                    dirty.insert(*x);
+                }
+            }
+        }
+        self.graph = new_graph;
+        for u in dirty {
+            self.nodes[u.index()] = SimNode::provision(&self.graph, u, self.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_routing::{Alg1, Alg2, Alg3, LocalRouter};
+    use locality_graph::generators;
+
+    #[test]
+    fn single_message_delivery() {
+        let g = generators::cycle(12);
+        let mut net = NetworkBuilder::new(&g, 6).build(Alg3);
+        let id = net.send(NodeId(0), NodeId(6));
+        net.run_until_quiet();
+        let r = net.record(id).unwrap();
+        assert!(r.delivered());
+        assert_eq!(r.hops(), 6);
+        assert_eq!(r.latency(), Some(6));
+    }
+
+    #[test]
+    fn many_messages_in_flight() {
+        let g = generators::grid(4, 4);
+        let k = Alg1.min_locality(16);
+        let mut net = NetworkBuilder::new(&g, k).build(Alg1);
+        let ids: Vec<MessageId> = (0..16u32)
+            .flat_map(|s| (0..16u32).filter(move |&t| t != s).map(move |t| (s, t)))
+            .map(|(s, t)| net.send(NodeId(s), NodeId(t)))
+            .collect();
+        net.run_until_quiet();
+        for id in ids {
+            assert!(net.record(id).unwrap().delivered());
+        }
+        let m = net.metrics();
+        assert_eq!(m.delivery_ratio(), 1.0);
+        assert!(m.max_node_load > 0);
+    }
+
+    #[test]
+    fn loops_are_detected_and_dropped() {
+        use local_routing::baselines::LowestRankForward;
+        let g = generators::path(8);
+        let mut net = NetworkBuilder::new(&g, 2).build(LowestRankForward);
+        let id = net.send(NodeId(3), NodeId(7));
+        net.run_until_quiet();
+        assert_eq!(net.record(id).unwrap().fate, MessageFate::Looped);
+        assert_eq!(net.metrics().looped, 1);
+    }
+
+    #[test]
+    fn topology_change_reroutes() {
+        // Remove a cycle edge: the network becomes a path and routing
+        // must still deliver on fresh views.
+        let g = generators::cycle(10);
+        let mut net = NetworkBuilder::new(&g, 5).build(Alg3);
+        net.set_edge(NodeId(0), NodeId(9), false);
+        let id = net.send(NodeId(1), NodeId(8));
+        net.run_until_quiet();
+        let r = net.record(id).unwrap();
+        assert!(r.delivered());
+        assert_eq!(r.hops(), 7, "must take the long way on the path");
+    }
+
+    #[test]
+    fn topology_change_adding_a_shortcut() {
+        let g = generators::path(11);
+        let mut net = NetworkBuilder::new(&g, 5).build(Alg3);
+        net.set_edge(NodeId(0), NodeId(10), true);
+        let id = net.send(NodeId(1), NodeId(9));
+        net.run_until_quiet();
+        let r = net.record(id).unwrap();
+        assert!(r.delivered());
+        assert_eq!(r.hops(), 3, "must use the new shortcut: 1-0-10-9");
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnect")]
+    fn refuses_disconnection() {
+        let g = generators::path(5);
+        let mut net = NetworkBuilder::new(&g, 2).build(Alg3);
+        net.set_edge(NodeId(2), NodeId(3), false);
+    }
+
+    #[test]
+    fn self_send_delivers_immediately() {
+        let g = generators::path(4);
+        let mut net = NetworkBuilder::new(&g, 2).build(Alg3);
+        let id = net.send(NodeId(1), NodeId(1));
+        net.run_until_quiet();
+        let r = net.record(id).unwrap();
+        assert!(r.delivered());
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.latency(), Some(0));
+    }
+
+    #[test]
+    fn hop_budget_caps_runaways() {
+        use local_routing::baselines::RightHandRule;
+        // A router that legitimately wanders: with a tiny budget the
+        // simulator reports exhaustion instead of looping to detection.
+        let g = generators::lollipop(20, 3);
+        let mut net = NetworkBuilder::new(&g, 2).hop_budget(4).build(RightHandRule);
+        let id = net.send(NodeId(10), NodeId(22));
+        net.run_until_quiet();
+        assert_eq!(
+            net.record(id).unwrap().fate,
+            crate::MessageFate::HopBudgetExhausted
+        );
+    }
+
+    #[test]
+    fn metrics_tick_clock_advances() {
+        let g = generators::path(6);
+        let mut net = NetworkBuilder::new(&g, 3).build(Alg3);
+        net.send(NodeId(0), NodeId(5));
+        net.run_until_quiet();
+        assert!(net.now() >= 5);
+        assert_eq!(net.metrics().delivered, 1);
+    }
+
+    #[test]
+    fn parity_with_central_engine() {
+        // The distributed simulation must take hop-for-hop the same
+        // route as the central engine for a deterministic router.
+        let g = generators::lollipop(9, 4);
+        let k = Alg2.min_locality(13);
+        for s in g.nodes() {
+            for t in g.nodes().filter(|&t| t != s) {
+                let central =
+                    local_routing::engine::route(&g, k, &Alg2, s, t, &Default::default());
+                let mut net = NetworkBuilder::new(&g, k).build(Alg2);
+                let id = net.send(s, t);
+                net.run_until_quiet();
+                let r = net.record(id).unwrap();
+                assert!(r.delivered());
+                assert_eq!(r.path, central.route, "({s},{t})");
+            }
+        }
+    }
+}

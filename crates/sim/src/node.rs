@@ -1,0 +1,95 @@
+//! The per-node state machine.
+
+use local_routing::{LocalRouter, LocalView, Packet, RoutingError};
+use locality_graph::{Graph, Label, NodeId};
+
+/// One simulated network node: a label, a stored k-neighbourhood view,
+/// and counters. A `SimNode` deliberately holds **no reference to the
+/// global graph** — after provisioning, everything it does is computed
+/// from its own view, which is exactly the locality guarantee of the
+/// paper's model.
+pub struct SimNode {
+    id: NodeId,
+    label: Label,
+    view: LocalView,
+    /// Messages this node has forwarded (its traffic load).
+    pub forwarded: u64,
+    /// Messages delivered at this node.
+    pub delivered: u64,
+}
+
+impl SimNode {
+    /// Provisions the node from the (global) graph: the one moment the
+    /// deployment is allowed to look outward, modelling neighbourhood
+    /// discovery.
+    pub fn provision(graph: &Graph, id: NodeId, k: u32) -> SimNode {
+        SimNode {
+            id,
+            label: graph.label(id),
+            view: LocalView::extract(graph, id, k),
+            forwarded: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The node's id in the simulation.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's label.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// The stored view (for diagnostics).
+    pub fn view(&self) -> &LocalView {
+        &self.view
+    }
+
+    /// Makes a forwarding decision for a message not destined here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the router's error.
+    pub fn forward<R: LocalRouter + ?Sized>(
+        &mut self,
+        router: &R,
+        origin: Label,
+        target: Label,
+        from: Option<Label>,
+    ) -> Result<Label, RoutingError> {
+        let packet = Packet::new(origin, target, from).masked(router.awareness());
+        let next = router.decide(&packet, &self.view)?;
+        self.forwarded += 1;
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_routing::Alg3;
+    use locality_graph::generators;
+
+    #[test]
+    fn provision_and_forward() {
+        let g = generators::path(9);
+        let mut node = SimNode::provision(&g, NodeId(4), 4);
+        assert_eq!(node.label(), Label(4));
+        let next = node
+            .forward(&Alg3, Label(0), Label(8), Some(Label(3)))
+            .unwrap();
+        assert_eq!(next, Label(5));
+        assert_eq!(node.forwarded, 1);
+    }
+
+    #[test]
+    fn node_cannot_see_beyond_k() {
+        let g = generators::path(20);
+        let node = SimNode::provision(&g, NodeId(10), 3);
+        assert!(node.view().contains_label(Label(7)));
+        assert!(!node.view().contains_label(Label(6)));
+        assert!(!node.view().contains_label(Label(19)));
+    }
+}

@@ -1,0 +1,73 @@
+//! Watch the impossibility proofs play out: enumerate every routing
+//! strategy the model allows and see each one defeated (Theorems 1–3).
+//!
+//! ```sh
+//! cargo run --example adversary_demo
+//! ```
+
+use local_routing::{Alg1, Alg2, Alg3, LocalRouter};
+use locality_adversary::{defeat, thm1, thm2};
+
+fn main() {
+    let n = 23;
+
+    println!("== Theorem 1: origin-aware, predecessor-aware, k < (n+1)/4 ==");
+    println!("(hub strategies on the three-graph family, n = {n}, k = 5)\n");
+    for row in thm1::table3(n, 5) {
+        let fails: Vec<String> = row
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|&(_, ok)| !ok)
+            .map(|(i, _)| format!("G{}", i + 1))
+            .collect();
+        println!(
+            "  strategy (P{} P{} P{} P{}) is defeated by {}",
+            row.cycle_order[0] + 1,
+            row.cycle_order[1] + 1,
+            row.cycle_order[2] + 1,
+            row.cycle_order[3] + 1,
+            fails.join(", ")
+        );
+    }
+
+    println!("\n== Theorem 2: origin-oblivious, k < (n+1)/3 (n = 20, k = 6) ==\n");
+    for row in thm2::table4(20, 6) {
+        let fails: Vec<String> = row
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|&(_, ok)| !ok)
+            .map(|(i, _)| format!("G{}", i + 1))
+            .collect();
+        println!(
+            "  (P{} P{} P{}) starting toward {} is defeated by {}",
+            row.cycle_order[0] + 1,
+            row.cycle_order[1] + 1,
+            row.cycle_order[2] + 1,
+            ["a", "b", "c"][row.initial],
+            fails.join(", ")
+        );
+    }
+
+    println!("\n== The black-box adversary vs our own algorithms below threshold ==\n");
+    for router in [&Alg1 as &dyn LocalRouter, &Alg2, &Alg3] {
+        let t = router.min_locality(n);
+        match defeat::find_defeat(&router, n, t - 1) {
+            Some(d) => println!(
+                "  {} at k = {} < T(n) = {t}: defeated by the {} family ({:?}, message lost en route {} -> {})",
+                router.name(),
+                t - 1,
+                d.family,
+                d.status,
+                d.s,
+                d.t
+            ),
+            None => println!("  {} at k = {}: survived (unexpected!)", router.name(), t - 1),
+        }
+        match defeat::find_defeat(&router, n, t) {
+            None => println!("  {} at k = T(n) = {t}: undefeated, as Theorem guarantees\n", router.name()),
+            Some(d) => println!("  {} at k = {t}: DEFEATED by {} (bug!)\n", router.name(), d.family),
+        }
+    }
+}

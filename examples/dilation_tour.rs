@@ -1,0 +1,62 @@
+//! Walk through the paper's dilation story: the lower bound S(k) =
+//! 2n/k - 3, the tight instances for Algorithms 1 and 1B, and the
+//! shortest-path behaviour of Algorithms 2 and 3.
+//!
+//! ```sh
+//! cargo run --example dilation_tour
+//! ```
+
+use local_routing::{engine, Alg1, Alg1B, Alg2, Alg3, LocalRouter};
+use locality_adversary::{thm4, tight};
+use locality_graph::generators;
+
+fn main() {
+    let n = 64;
+    println!("== the lower bound (Theorem 4), n = {n} ==");
+    for k in [n as u32 / 4, n as u32 / 3 - 1, n as u32 / 2 - 1] {
+        println!(
+            "  k = {k:>2}: no algorithm beats dilation {:.3} (S(k) = {:.3})",
+            thm4::dilation_lower_bound(n, k),
+            thm4::s_of_k(n, k)
+        );
+    }
+
+    println!("\n== Algorithm 1 on its nemesis (Fig. 13) ==");
+    for n in [16usize, 32, 64, 128] {
+        let inst = tight::fig13(n);
+        let (hops, d) = inst.measure(&Alg1);
+        println!(
+            "  n = {n:>3}, k = {:>2}: route {hops:>4} vs shortest {:>2} -> dilation {d:.3} (paper: {:.3})",
+            inst.k,
+            inst.shortest,
+            7.0 - 96.0 / (n as f64 + 12.0)
+        );
+    }
+
+    println!("\n== Algorithm 1B on its nemesis (Fig. 17) ==");
+    for n in [28usize, 40, 64, 128] {
+        let inst = tight::fig17(n);
+        let (hops, d) = inst.measure(&Alg1B);
+        println!(
+            "  n = {n:>3}, k = {:>2}: route {hops:>4} vs shortest {:>2} -> dilation {d:.3} (paper: {:.3})",
+            inst.k,
+            inst.shortest,
+            6.0 - 48.0 / (n as f64 + 4.0)
+        );
+    }
+
+    println!("\n== Algorithms 2 and 3 stay comfortable ==");
+    let g = generators::cycle(60);
+    let k2 = Alg2.min_locality(60);
+    let m2 = engine::delivery_matrix(&g, k2, &Alg2);
+    println!(
+        "  algorithm-2 on cycle(60), k = {k2}: worst dilation {:.3} (< 3, Theorem 7)",
+        m2.worst_dilation.map(|(d, _, _)| d).unwrap_or(1.0)
+    );
+    let k3 = Alg3.min_locality(60);
+    let m3 = engine::delivery_matrix(&g, k3, &Alg3);
+    println!(
+        "  algorithm-3 on cycle(60), k = {k3}: worst dilation {:.3} (= 1, Theorem 8)",
+        m3.worst_dilation.map(|(d, _, _)| d).unwrap_or(1.0)
+    );
+}

@@ -1,0 +1,51 @@
+//! Sweep the locality parameter `k` and watch each algorithm cross its
+//! feasibility threshold `T(n)` — the paper's Table 1, live.
+//!
+//! ```sh
+//! cargo run --example threshold_explorer [n]
+//! ```
+
+use local_routing::{engine, Alg1, Alg2, Alg3, LocalRouter};
+use locality_graph::{generators, permute};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A gauntlet of graphs on n nodes.
+    let mut suite = Vec::new();
+    for _ in 0..30 {
+        suite.push(permute::random_relabel(
+            &generators::random_mixed(n, &mut rng),
+            &mut rng,
+        ));
+    }
+    suite.push(generators::cycle(n));
+    suite.push(generators::path(n));
+
+    println!("fraction of (graph, s, t) pairs delivered, {} graphs on n = {n}:\n", suite.len());
+    println!("{:>4}  {:>12} {:>12} {:>12}", "k", "algorithm-1", "algorithm-2", "algorithm-3");
+    for k in 1..=(n as u32 / 2 + 1) {
+        print!("{k:>4}");
+        for router in [&Alg1 as &dyn LocalRouter, &Alg2, &Alg3] {
+            let mut total = 0usize;
+            let mut ok = 0usize;
+            for g in &suite {
+                let m = engine::delivery_matrix(g, k, &router);
+                total += m.runs;
+                ok += m.runs - m.failures.len();
+            }
+            let frac = ok as f64 / total as f64;
+            let marker = if k == router.min_locality(n) { "*" } else { " " };
+            print!("  {:>10.1}%{marker}", 100.0 * frac);
+        }
+        println!();
+    }
+    println!("\n(* = the algorithm's threshold T(n); expect 100% at and beyond it,");
+    println!(" matching Table 1: T(n) = n/4, n/3, n/2)");
+}

@@ -1,0 +1,92 @@
+//! Replay the paper's worst-case route narrations rule by rule: the
+//! executable version of "Rule S2 is applied at s, Rule U3 at c, …".
+//!
+//! ```sh
+//! cargo run --example trace_route
+//! ```
+
+use local_routing::{engine, Alg1, Alg1B};
+use locality_adversary::tight;
+
+fn show(trace: &engine::TracedRun, g: &locality_graph::Graph) {
+    let mut last_rule = "";
+    let mut run_start = 0usize;
+    let flush = |rule: &str, from: usize, to: usize, route: &[locality_graph::NodeId]| {
+        if rule.is_empty() {
+            return;
+        }
+        if to - from == 1 {
+            println!(
+                "  {:>7}  {} -> {}",
+                rule,
+                g.label(route[from]),
+                g.label(route[from + 1])
+            );
+        } else {
+            println!(
+                "  {:>7}  {} -> … -> {}   ({} hops)",
+                rule,
+                g.label(route[from]),
+                g.label(route[to]),
+                to - from
+            );
+        }
+    };
+    for (i, rule) in trace.rules.iter().enumerate() {
+        if *rule != last_rule {
+            flush(last_rule, run_start, i, &trace.report.route);
+            last_rule = rule;
+            run_start = i;
+        }
+    }
+    flush(last_rule, run_start, trace.rules.len(), &trace.report.route);
+    println!(
+        "  => {} hops, shortest {}, dilation {:.3}\n",
+        trace.report.hops(),
+        trace.report.shortest,
+        trace.report.dilation().unwrap_or(f64::NAN)
+    );
+}
+
+fn main() {
+    let inst = tight::fig13(32);
+    println!(
+        "Fig. 13 (n = 32, k = {}): Algorithm 1 versus its nemesis —",
+        inst.k
+    );
+    let trace = engine::route_traced(
+        &inst.graph,
+        inst.k,
+        &Alg1,
+        inst.s,
+        inst.t,
+        &Default::default(),
+    );
+    show(&trace, &inst.graph);
+
+    println!("…and Algorithm 1B on the same graph (pre-emptive reversal):");
+    let trace = engine::route_traced(
+        &inst.graph,
+        inst.k,
+        &Alg1B,
+        inst.s,
+        inst.t,
+        &Default::default(),
+    );
+    show(&trace, &inst.graph);
+
+    let inst = tight::fig17(40);
+    println!(
+        "Fig. 17 (n = 40, k = {}): Algorithm 1B versus its own nemesis —",
+        inst.k
+    );
+    let trace = engine::route_traced(
+        &inst.graph,
+        inst.k,
+        &Alg1B,
+        inst.s,
+        inst.t,
+        &Default::default(),
+    );
+    show(&trace, &inst.graph);
+}

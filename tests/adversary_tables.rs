@@ -1,0 +1,92 @@
+//! Tables 3 and 4 regenerate the paper's exact success/failure
+//! patterns across a range of sizes, and the strategy spaces are
+//! complete.
+
+use locality_adversary::{strategy::StrategyRouter, thm1, thm2};
+
+#[test]
+fn table3_matches_paper_across_sizes() {
+    for n in [19usize, 23, 24, 25, 26, 43] {
+        let r = (n - 3) / 4;
+        for k in [1usize, r / 2, r] {
+            let k = k.max(1) as u32;
+            let rows = thm1::table3(n, k);
+            assert_eq!(rows.len(), 6);
+            for (row, paper) in rows.iter().zip(thm1::PAPER_TABLE3) {
+                assert_eq!(
+                    row.outcomes, paper,
+                    "n={n} k={k} strategy {:?}",
+                    row.cycle_order
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table4_matches_paper_across_sizes() {
+    for n in [14usize, 20, 21, 22, 35] {
+        let r = (n - 2) / 3;
+        for k in [1usize, r / 2, r] {
+            let k = k.max(1) as u32;
+            let rows = thm2::table4(n, k);
+            assert_eq!(rows.len(), 6);
+            for (row, paper) in rows.iter().zip(thm2::PAPER_TABLE4) {
+                assert_eq!(
+                    row.outcomes, paper,
+                    "n={n} k={k} strategy {:?}/{}",
+                    row.cycle_order, row.initial
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn each_graph_defeats_exactly_two_strategies() {
+    // Table 3's structure: each variant kills exactly 2 of 6.
+    let rows = thm1::table3(23, 5);
+    for col in 0..3 {
+        let kills = rows.iter().filter(|r| !r.outcomes[col]).count();
+        assert_eq!(kills, 2, "G{}", col + 1);
+    }
+    let rows = thm2::table4(20, 6);
+    for col in 0..3 {
+        let kills = rows.iter().filter(|r| !r.outcomes[col]).count();
+        assert_eq!(kills, 2, "G{}", col + 1);
+    }
+}
+
+#[test]
+fn strategy_space_is_complete() {
+    // (d-1)! circular permutations: 6 at the degree-4 hub, 2 at the
+    // degree-3 origin (times 3 initial directions).
+    assert_eq!(StrategyRouter::all_cycle_orders(4).len(), 6);
+    assert_eq!(StrategyRouter::all_cycle_orders(3).len(), 2);
+    assert_eq!(StrategyRouter::all_cycle_orders(5).len(), 24);
+}
+
+#[test]
+fn hub_views_indistinguishable_across_variants() {
+    // The whole point of the adversary: G_k(hub) has one fingerprint
+    // across all three variants, so no k-local rule can tell them apart.
+    let n = 27;
+    let k = ((n - 3) / 4) as u32;
+    let fps: Vec<String> = thm1::family(n)
+        .iter()
+        .map(|inst| {
+            local_routing::LocalView::extract(&inst.graph, inst.hub, k).fingerprint()
+        })
+        .collect();
+    assert_eq!(fps[0], fps[1]);
+    assert_eq!(fps[1], fps[2]);
+
+    let n = 20;
+    let k = ((n - 2) / 3) as u32;
+    let fps: Vec<String> = thm2::family(n)
+        .iter()
+        .map(|inst| local_routing::LocalView::extract(&inst.graph, inst.s, k).fingerprint())
+        .collect();
+    assert_eq!(fps[0], fps[1]);
+    assert_eq!(fps[1], fps[2]);
+}

@@ -1,0 +1,57 @@
+//! Exhaustive delivery tests: every algorithm, at its threshold `T(n)`,
+//! must deliver every ordered origin–destination pair on **every**
+//! connected graph for small `n` (and both label orientations).
+//!
+//! This is the strongest correctness evidence for the reconstructed rule
+//! tables of Algorithms 1/1B (see DESIGN.md): the rules were derived from
+//! the proofs, and these suites check them against the full graph space
+//! the theorems quantify over (up to the sizes that are feasible).
+
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
+use locality_integration::{
+    assert_all_delivered, assert_all_delivered_at_threshold, exhaustive_suite,
+};
+
+fn routers() -> Vec<Box<dyn LocalRouter>> {
+    vec![
+        Box::new(Alg1),
+        Box::new(Alg1B),
+        Box::new(Alg2),
+        Box::new(Alg3),
+    ]
+}
+
+#[test]
+fn exhaustive_n2_to_n5_at_threshold() {
+    for n in 2..=5 {
+        for g in exhaustive_suite(n) {
+            for r in routers() {
+                assert_all_delivered_at_threshold(r.as_ref(), &g);
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow (all 26704 connected graphs on 6 nodes, two labelings); run with --ignored"]
+fn exhaustive_n6_at_threshold() {
+    for g in exhaustive_suite(6) {
+        for r in routers() {
+            assert_all_delivered_at_threshold(r.as_ref(), &g);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_n4_n5_above_threshold() {
+    // Delivery must also hold for every k above the threshold, up to n.
+    for n in 4..=5usize {
+        for g in exhaustive_suite(n) {
+            for r in routers() {
+                for k in r.min_locality(n)..=(n as u32) {
+                    assert_all_delivered(r.as_ref(), &g, k);
+                }
+            }
+        }
+    }
+}

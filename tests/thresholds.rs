@@ -1,0 +1,75 @@
+//! Table 1 end-to-end: each algorithm succeeds at its threshold `T(n)`
+//! and is defeated just below it.
+
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
+use locality_adversary::defeat;
+use locality_integration::{assert_all_delivered, random_suite};
+
+#[test]
+fn threshold_formulae_match_table1() {
+    for n in [8usize, 12, 13, 20, 23, 100] {
+        assert_eq!(Alg1.min_locality(n), ((n + 3) / 4) as u32);
+        assert_eq!(Alg1B.min_locality(n), ((n + 3) / 4) as u32);
+        assert_eq!(Alg2.min_locality(n), ((n + 2) / 3) as u32);
+        assert_eq!(Alg3.min_locality(n), (n / 2) as u32);
+    }
+}
+
+#[test]
+fn all_algorithms_deliver_at_threshold_on_random_suite() {
+    for g in random_suite(0xfeed, 60, 4..26) {
+        let n = g.node_count();
+        for r in [&Alg1 as &dyn LocalRouter, &Alg1B, &Alg2, &Alg3] {
+            assert_all_delivered(&r, &g, r.min_locality(n));
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_defeated_below_threshold() {
+    // The guaranteed-failure regimes are the exact lower-bound
+    // thresholds of Theorems 1-3: k < ⌊(n+1)/4⌋, ⌊(n+1)/3⌋, ⌊n/2⌋.
+    // (Between the failure regime and the ceil-rounded guarantee regime
+    // a one-value gap can exist — the paper's "rounding operators are
+    // omitted".)
+    for n in [16usize, 23, 30] {
+        let cases: [(&dyn LocalRouter, u32); 4] = [
+            (&Alg1, ((n + 1) / 4) as u32 - 1),
+            (&Alg1B, ((n + 1) / 4) as u32 - 1),
+            (&Alg2, ((n + 1) / 3) as u32 - 1),
+            (&Alg3, (n / 2) as u32 - 1),
+        ];
+        for (r, k) in cases {
+            assert!(
+                defeat::find_defeat(&r, n, k).is_some(),
+                "{} survived guaranteed-failure k = {k} at n = {n}",
+                r.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_defeat_at_or_above_threshold() {
+    for n in [16usize, 23] {
+        for r in [&Alg1 as &dyn LocalRouter, &Alg1B, &Alg2, &Alg3] {
+            for extra in 0..2u32 {
+                let k = r.min_locality(n) + extra;
+                assert!(
+                    defeat::find_defeat(&r, n, k).is_none(),
+                    "{} defeated at k = {k} >= T({n})",
+                    r.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thresholds_are_ordered_as_in_table1() {
+    // n/4 <= n/3 <= n/2: less awareness demands more locality.
+    for n in 8..60usize {
+        assert!(Alg1.min_locality(n) <= Alg2.min_locality(n));
+        assert!(Alg2.min_locality(n) <= Alg3.min_locality(n));
+    }
+}
