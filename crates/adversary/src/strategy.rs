@@ -189,7 +189,11 @@ impl LocalRouter for ArrowRouter {
             .arrows
             .get(&view.center_label())
             .unwrap_or(&self.default_high);
-        let pick = if high { *nbrs.last().expect("nonempty") } else { nbrs[0] };
+        let pick = if high {
+            *nbrs.last().expect("nonempty")
+        } else {
+            nbrs[0]
+        };
         Ok(view.label(pick))
     }
 }

@@ -81,7 +81,9 @@ pub fn instance(n: usize, variant: Variant) -> Instance {
     let mut b = GraphBuilder::new();
     let mut next_label = 0u32;
     let mut fresh = |b: &mut GraphBuilder| {
-        let id = b.add_node(Label(next_label)).expect("labels are sequential");
+        let id = b
+            .add_node(Label(next_label))
+            .expect("labels are sequential");
         next_label += 1;
         id
     };
@@ -157,8 +159,7 @@ pub fn table3(n: usize, k: u32) -> Vec<TableRow> {
         .map(|order| {
             let mut outcomes = [false; 3];
             for (i, inst) in insts.iter().enumerate() {
-                let router =
-                    StrategyRouter::new(inst.graph.label(inst.hub), &order, 0);
+                let router = StrategyRouter::new(inst.graph.label(inst.hub), &order, 0);
                 let run = engine::route(
                     &inst.graph,
                     k,
@@ -198,7 +199,14 @@ pub fn defeat_router<R: LocalRouter + ?Sized>(
     k: u32,
 ) -> Option<(Variant, local_routing::engine::RunStatus)> {
     for (inst, variant) in family(n).into_iter().zip(Variant::ALL) {
-        let run = engine::route(&inst.graph, k, router, inst.s, inst.t, &RunOptions::default());
+        let run = engine::route(
+            &inst.graph,
+            k,
+            router,
+            inst.s,
+            inst.t,
+            &RunOptions::default(),
+        );
         if !run.status.is_delivered() {
             return Some((variant, run.status));
         }

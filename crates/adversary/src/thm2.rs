@@ -73,7 +73,9 @@ pub fn instance(n: usize, variant: Variant) -> Instance {
     let mut b = GraphBuilder::new();
     let mut next_label = 0u32;
     let mut fresh = |b: &mut GraphBuilder| {
-        let id = b.add_node(Label(next_label)).expect("labels are sequential");
+        let id = b
+            .add_node(Label(next_label))
+            .expect("labels are sequential");
         next_label += 1;
         id
     };
@@ -187,7 +189,14 @@ pub fn defeat_router<R: LocalRouter + ?Sized>(
     k: u32,
 ) -> Option<(Variant, local_routing::engine::RunStatus)> {
     for (inst, variant) in family(n).into_iter().zip(Variant::ALL) {
-        let run = engine::route(&inst.graph, k, router, inst.s, inst.t, &RunOptions::default());
+        let run = engine::route(
+            &inst.graph,
+            k,
+            router,
+            inst.s,
+            inst.t,
+            &RunOptions::default(),
+        );
         if !run.status.is_delivered() {
             return Some((variant, run.status));
         }

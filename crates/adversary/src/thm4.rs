@@ -40,7 +40,11 @@ pub fn path_instances(n: usize, k: u32) -> Vec<(Graph, NodeId, NodeId)> {
             base.clone()
         };
         // Destination at the right end, origin k + 1 to its left.
-        out.push((g.clone(), NodeId((n - 2 - k as usize) as u32), NodeId(n as u32 - 1)));
+        out.push((
+            g.clone(),
+            NodeId((n - 2 - k as usize) as u32),
+            NodeId(n as u32 - 1),
+        ));
         // Destination at the left end, origin k + 1 to its right.
         out.push((g, NodeId(k + 1), NodeId(0)));
     }
@@ -58,7 +62,7 @@ pub fn measured_worst_dilation<R: LocalRouter + ?Sized>(
     for (g, s, t) in path_instances(n, k) {
         let run = engine::route(&g, k, router, s, t, &RunOptions::default());
         if let Some(d) = run.dilation() {
-            if worst.map_or(true, |w| d > w) {
+            if worst.is_none_or(|w| d > w) {
                 worst = Some(d);
             }
         }

@@ -84,7 +84,7 @@ impl TightInstance {
 ///
 /// Panics if `n % 4 != 0` or `n < 16`.
 pub fn fig13(n: usize) -> TightInstance {
-    assert!(n % 4 == 0 && n >= 16, "fig13 needs n = 4k >= 16");
+    assert!(n.is_multiple_of(4) && n >= 16, "fig13 needs n = 4k >= 16");
     let k = (n / 4) as u32;
     let cycle_len = n - k as usize - 1;
     let mut b = GraphBuilder::new();
@@ -134,7 +134,7 @@ pub fn fig13(n: usize) -> TightInstance {
 ///
 /// Panics if `n % 4 != 0` or `n < 28`.
 pub fn fig17(n: usize) -> TightInstance {
-    assert!(n % 4 == 0 && n >= 28, "fig17 needs n = 4k >= 28");
+    assert!(n.is_multiple_of(4) && n >= 28, "fig17 needs n = 4k >= 28");
     let k = n / 4;
     let mut b = GraphBuilder::new();
     let mut next = 0u32;
@@ -225,7 +225,10 @@ mod tests {
             let (hops, dilation) = inst.measure(&Alg1);
             assert_eq!(hops, inst.predicted_route, "n={n}");
             let paper = 7.0 - 96.0 / (n as f64 + 12.0);
-            assert!((dilation - paper).abs() < 1e-9, "n={n}: {dilation} vs {paper}");
+            assert!(
+                (dilation - paper).abs() < 1e-9,
+                "n={n}: {dilation} vs {paper}"
+            );
         }
     }
 
@@ -265,7 +268,10 @@ mod tests {
             let (hops, dilation) = inst.measure(&Alg1B);
             assert_eq!(hops, inst.predicted_route, "n={n}");
             let paper = 6.0 - 48.0 / (n as f64 + 4.0);
-            assert!((dilation - paper).abs() < 1e-9, "n={n}: {dilation} vs {paper}");
+            assert!(
+                (dilation - paper).abs() < 1e-9,
+                "n={n}: {dilation} vs {paper}"
+            );
         }
     }
 
@@ -291,7 +297,7 @@ mod tests {
         use local_routing::LocalRouter;
         assert_eq!(plain, inst.graph.label(locality_graph::NodeId(2))); // through to e
         assert_eq!(refined, inst.graph.label(w)); // pre-emptive reversal
-        // Heading away from s, both agree (plain pass-through).
+                                                  // Heading away from s, both agree (plain pass-through).
         let packet = Packet::new(
             inst.graph.label(inst.s),
             inst.graph.label(inst.t),
@@ -320,7 +326,7 @@ mod tests {
         assert!(traced.report.status.is_delivered());
         assert_eq!(traced.rules.iter().filter(|r| **r == "S2").count(), 2);
         assert_eq!(traced.rules.iter().filter(|r| **r == "U3").count(), 2);
-        assert!(traced.rules.iter().any(|r| *r == "case-1"));
+        assert!(traced.rules.contains(&"case-1"));
         assert!(!traced.rules.iter().any(|r| r.starts_with("US")));
 
         // Lemma 16's narration for fig17: S1 at s, US1 along the branch,
@@ -368,7 +374,11 @@ mod tests {
             );
             assert!(run.status.is_delivered(), "{}", router.name());
             let d = run.dilation().unwrap();
-            let bound = if router.name().ends_with("1b") { 6.0 } else { 7.0 };
+            let bound = if router.name().ends_with("1b") {
+                6.0
+            } else {
+                7.0
+            };
             assert!(d <= bound + 1e-9, "{}: {d}", router.name());
         }
     }

@@ -3,33 +3,29 @@
 //! the distributed simulator, including the paper's worst-case
 //! instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use local_routing::engine::{self, RunOptions, ViewCache};
 use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
 use locality_adversary::tight;
+use locality_bench::timing::{measure_ns, report};
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, NodeId};
 use locality_sim::NetworkBuilder;
 
-fn bench_engine_routes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("route");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+fn main() {
     // Worst-case fig13 journeys for Algorithm 1 (route length 2n-k-3).
     for n in [32usize, 64] {
         let inst = tight::fig13(n);
-        let mut cache = ViewCache::new(&inst.graph, inst.k);
+        let cache = ViewCache::new(&inst.graph, inst.k);
         // Warm every view on the route once.
-        engine::route_with_cache(&mut cache, &Alg1, inst.s, inst.t, &RunOptions::default());
-        group.bench_with_input(BenchmarkId::new("alg1_fig13", n), &n, |b, _| {
-            b.iter(|| {
-                engine::route_with_cache(&mut cache, &Alg1, inst.s, inst.t, &RunOptions::default())
-            })
+        engine::route_with_cache(&cache, &Alg1, inst.s, inst.t, &RunOptions::default());
+        let ns = measure_ns(|| {
+            engine::route_with_cache(&cache, &Alg1, inst.s, inst.t, &RunOptions::default())
         });
+        report("route", &format!("alg1_fig13/{n}"), ns);
     }
     // Typical journeys on a random graph for each algorithm.
     let n = 48;
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let mut rng = DetRng::seed_from_u64(5);
     let g = generators::random_connected(n, n / 3, &mut rng);
     for (router, name) in [
         (&Alg1 as &dyn LocalRouter, "alg1"),
@@ -38,33 +34,38 @@ fn bench_engine_routes(c: &mut Criterion) {
         (&Alg3, "alg3"),
     ] {
         let k = router.min_locality(n);
-        let mut cache = ViewCache::new(&g, k);
-        engine::route_with_cache(&mut cache, &router, NodeId(0), NodeId(40), &RunOptions::default());
-        group.bench_with_input(BenchmarkId::new("random48", name), &(), |b, _| {
-            b.iter(|| {
-                engine::route_with_cache(
-                    &mut cache,
-                    &router,
-                    NodeId(0),
-                    NodeId(40),
-                    &RunOptions::default(),
-                )
-            })
+        let cache = ViewCache::new(&g, k);
+        engine::route_with_cache(
+            &cache,
+            &router,
+            NodeId(0),
+            NodeId(40),
+            &RunOptions::default(),
+        );
+        let ns = measure_ns(|| {
+            engine::route_with_cache(
+                &cache,
+                &router,
+                NodeId(0),
+                NodeId(40),
+                &RunOptions::default(),
+            )
         });
+        report("route", &format!("random48/{name}"), ns);
     }
-    group.finish();
-}
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+    // Simulator: all-pairs traffic on a grid, provisioning included.
     let g = generators::grid(6, 6);
-    let k = Alg1.min_locality(36);
-    group.bench_function("grid6x6_all_pairs_alg1", |b| {
-        b.iter(|| {
-            let mut net = NetworkBuilder::new(&g, k).build(Alg1);
+    for (name, k, alg1) in [
+        ("grid6x6_all_pairs_alg1", Alg1.min_locality(36), true),
+        ("grid6x6_all_pairs_alg3", Alg3.min_locality(36), false),
+    ] {
+        let ns = measure_ns(|| {
+            let mut net = if alg1 {
+                NetworkBuilder::new(&g, k).build(Alg1)
+            } else {
+                NetworkBuilder::new(&g, k).build(Alg3)
+            };
             for s in 0..36u32 {
                 for t in 0..36u32 {
                     if s != t {
@@ -74,25 +75,7 @@ fn bench_simulator(c: &mut Criterion) {
             }
             net.run_until_quiet();
             net.metrics().delivered
-        })
-    });
-    let k3 = Alg3.min_locality(36);
-    group.bench_function("grid6x6_all_pairs_alg3", |b| {
-        b.iter(|| {
-            let mut net = NetworkBuilder::new(&g, k3).build(Alg3);
-            for s in 0..36u32 {
-                for t in 0..36u32 {
-                    if s != t {
-                        net.send(NodeId(s), NodeId(t));
-                    }
-                }
-            }
-            net.run_until_quiet();
-            net.metrics().delivered
-        })
-    });
-    group.finish();
+        });
+        report("simulator", name, ns);
+    }
 }
-
-criterion_group!(benches, bench_engine_routes, bench_simulator);
-criterion_main!(benches);

@@ -1,37 +1,25 @@
 //! Micro-benchmarks for k-neighbourhood extraction: the cost of a
 //! node's "discovery" phase as a function of graph size and locality.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use locality_bench::timing::{measure_ns, report};
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, neighborhood, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_extract(c: &mut Criterion) {
-    let mut group = c.benchmark_group("k_neighborhood");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+fn main() {
     for n in [64usize, 256, 1024] {
         let k = (n / 4) as u32;
         let cycle = generators::cycle(n);
-        group.bench_with_input(BenchmarkId::new("cycle", n), &n, |b, _| {
-            b.iter(|| neighborhood::k_neighborhood(&cycle, NodeId(0), k))
-        });
-        let mut rng = StdRng::seed_from_u64(7);
+        let ns = measure_ns(|| neighborhood::k_neighborhood(&cycle, NodeId(0), k));
+        report("k_neighborhood", &format!("cycle/{n}"), ns);
+        let mut rng = DetRng::seed_from_u64(7);
         let random = generators::random_connected(n, n / 2, &mut rng);
-        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, _| {
-            b.iter(|| neighborhood::k_neighborhood(&random, NodeId(0), k))
-        });
+        let ns = measure_ns(|| neighborhood::k_neighborhood(&random, NodeId(0), k));
+        report("k_neighborhood", &format!("random/{n}"), ns);
     }
     // Grid: the view grows quadratically with k.
     let grid = generators::grid(32, 32);
     for k in [4u32, 8, 16] {
-        group.bench_with_input(BenchmarkId::new("grid32x32_k", k), &k, |b, &k| {
-            b.iter(|| neighborhood::k_neighborhood(&grid, NodeId(0), k))
-        });
+        let ns = measure_ns(|| neighborhood::k_neighborhood(&grid, NodeId(0), k));
+        report("k_neighborhood", &format!("grid32x32_k/{k}"), ns);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_extract);
-criterion_main!(benches);

@@ -2,49 +2,37 @@
 //! dormant edges and building `G'_k(u)` — the one-time per-node cost
 //! paid when the topology (re)stabilises.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use local_routing::LocalView;
+use locality_bench::timing::{measure_ns, report};
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, NodeId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_preprocess(c: &mut Criterion) {
-    let mut group = c.benchmark_group("preprocess");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+fn main() {
     for n in [32usize, 64, 128] {
         let k = (n / 4) as u32;
         // Cycle with chords: plenty of local cycles to break.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let chordal = generators::random_connected(n, n / 2, &mut rng);
-        group.bench_with_input(BenchmarkId::new("chordal", n), &n, |b, _| {
-            b.iter(|| {
-                let view = LocalView::extract(&chordal, NodeId(0), k);
-                view.routing_view().sub.edge_count()
-            })
+        let ns = measure_ns(|| {
+            let view = LocalView::extract(&chordal, NodeId(0), k);
+            view.routing_view().sub.edge_count()
         });
+        report("preprocess", &format!("chordal/{n}"), ns);
         let tree = generators::random_tree(n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, _| {
-            b.iter(|| {
-                let view = LocalView::extract(&tree, NodeId(0), k);
-                view.routing_view().sub.edge_count()
-            })
+        let ns = measure_ns(|| {
+            let view = LocalView::extract(&tree, NodeId(0), k);
+            view.routing_view().sub.edge_count()
         });
+        report("preprocess", &format!("tree/{n}"), ns);
     }
     // Dense worst case: the complete graph maximises local cycles.
     for n in [12usize, 16, 24] {
         let g = generators::complete(n);
         let k = (n / 4) as u32;
-        group.bench_with_input(BenchmarkId::new("complete", n), &n, |b, _| {
-            b.iter(|| {
-                let view = LocalView::extract(&g, NodeId(0), k);
-                view.routing_view().sub.edge_count()
-            })
+        let ns = measure_ns(|| {
+            let view = LocalView::extract(&g, NodeId(0), k);
+            view.routing_view().sub.edge_count()
         });
+        report("preprocess", &format!("complete/{n}"), ns);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_preprocess);
-criterion_main!(benches);

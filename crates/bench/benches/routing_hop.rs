@@ -2,15 +2,11 @@
 //! each algorithm, with the view and its preprocessing already cached —
 //! the steady-state per-packet cost at a node.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter, LocalView, Packet};
+use locality_bench::timing::{measure_ns, report};
 use locality_graph::{generators, Label, NodeId};
 
-fn bench_decide(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decide");
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(1));
-    group.sample_size(20);
+fn main() {
     let n = 64;
     let g = generators::cycle(n);
     let far_target = Label((n / 2) as u32);
@@ -22,24 +18,13 @@ fn bench_decide(c: &mut Criterion) {
     ] {
         let view = LocalView::extract(&g, NodeId(0), k);
         // Warm the lazy preprocessing so the bench isolates decide().
-        let packet = Packet::new(Label(1), far_target, Some(Label(1)))
-            .masked(router.awareness());
+        let packet = Packet::new(Label(1), far_target, Some(Label(1))).masked(router.awareness());
         router.decide(&packet, &view).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("far_target", router.name()),
-            &(),
-            |b, _| b.iter(|| router.decide(&packet, &view).unwrap()),
-        );
+        let ns = measure_ns(|| router.decide(&packet, &view).unwrap());
+        report("decide", &format!("far_target/{}", router.name()), ns);
         // Destination in view: the Case-1 shortest-path step.
         let near = Packet::new(Label(1), Label(3), Some(Label(1))).masked(router.awareness());
-        group.bench_with_input(
-            BenchmarkId::new("near_target", router.name()),
-            &(),
-            |b, _| b.iter(|| router.decide(&near, &view).unwrap()),
-        );
+        let ns = measure_ns(|| router.decide(&near, &view).unwrap());
+        report("decide", &format!("near_target/{}", router.name()), ns);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_decide);
-criterion_main!(benches);

@@ -163,7 +163,7 @@ fn run() -> Result<(), String> {
             let n = g.node_count();
             let k: u32 = match args.get(2) {
                 Some(k) => k.parse().map_err(|_| "k must be an integer")?,
-                None => ((n + 3) / 4) as u32,
+                None => n.div_ceil(4) as u32,
             };
             use local_routing::verify;
             println!("verifying the paper's structural lemmas on {n} nodes at k = {k}:");

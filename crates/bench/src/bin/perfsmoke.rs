@@ -1,0 +1,457 @@
+//! Perf smoke test for the dense data-model hot path.
+//!
+//! Times view extraction, preprocessing, and a full delivery matrix on
+//! random connected graphs (n ∈ {32, 64, 128}, k = n/4) and emits one
+//! line of JSON (redirect to `BENCH_perfsmoke.json`) so subsequent PRs
+//! can track the perf trajectory.
+//!
+//! To quantify what the dense refactor bought, the same harness is also
+//! run against an in-file emulation of the **pre-refactor data model**:
+//! `BTreeMap`-backed distance maps, tree-map adjacency subgraphs, and
+//! the old double-BFS k-neighbourhood extraction. The emulation is
+//! checked node-by-node against the real pipeline before anything is
+//! timed (same views, same distances, same dormant sets), so the two
+//! sides do identical work on identical structures — only the data
+//! model differs. For the delivery-matrix figure the legacy side
+//! replays the engine's exact routes, charging the old structures for
+//! each hop's shortest-path step; cheap passive-case lookups are
+//! omitted, so the reported speedups are lower bounds.
+
+use std::collections::BTreeMap;
+
+use local_routing::engine::{self, RunOptions, ViewCache};
+use local_routing::{preprocess, Alg1, LocalView};
+use locality_bench::timing::{black_box, measure_ns};
+use locality_graph::rng::DetRng;
+use locality_graph::{generators, Graph, Label, NodeId};
+
+/// Emulation of the pre-refactor (tree-map) data model, kept verbatim
+/// in spirit: every structure the old hot path allocated per node is
+/// reproduced here, including the redundant second BFS the old
+/// `k_neighborhood_with_distances` performed inside the extracted view.
+mod legacy {
+    use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+    use locality_graph::{EdgeRank, Graph, Label, NodeId};
+
+    /// The old `Subgraph`: `BTreeMap` adjacency with sorted neighbour
+    /// lists, exactly as the seed data model stored `G_k(u)`.
+    #[derive(Default)]
+    pub struct Subgraph {
+        pub adj: BTreeMap<NodeId, Vec<NodeId>>,
+        pub edge_count: usize,
+    }
+
+    impl Subgraph {
+        pub fn insert_node(&mut self, u: NodeId) {
+            self.adj.entry(u).or_default();
+        }
+
+        pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+            self.adj
+                .get(&u)
+                .is_some_and(|l| l.binary_search(&v).is_ok())
+        }
+
+        pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+            if self.has_edge(u, v) {
+                return;
+            }
+            self.adj.entry(u).or_default().push(v);
+            self.adj.entry(v).or_default().push(u);
+            self.adj.get_mut(&u).expect("present").sort_unstable();
+            self.adj.get_mut(&v).expect("present").sort_unstable();
+            self.edge_count += 1;
+        }
+
+        pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+            self.adj.get(&u).map(Vec::as_slice).unwrap_or(&[])
+        }
+
+        pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+            let mut out = Vec::with_capacity(self.edge_count);
+            for (&u, list) in &self.adj {
+                for &v in list {
+                    if u < v {
+                        out.push((u, v));
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// The old `traversal::bfs_distances` over the parent graph:
+    /// distances land in a `BTreeMap`.
+    pub fn bfs_graph(g: &Graph, s: NodeId, cap: Option<u32>) -> BTreeMap<NodeId, u32> {
+        let mut dist = BTreeMap::new();
+        dist.insert(s, 0u32);
+        let mut queue = VecDeque::from([s]);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[&x];
+            if cap.is_some_and(|c| dx >= c) {
+                continue;
+            }
+            for &y in g.neighbors(x) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
+                    e.insert(dx + 1);
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS inside a legacy subgraph, optionally restricted to edges
+    /// accepted by `pred` (the old `FilteredTopology`).
+    pub fn bfs_sub(
+        sub: &Subgraph,
+        s: NodeId,
+        cap: Option<u32>,
+        pred: impl Fn(NodeId, NodeId) -> bool,
+    ) -> BTreeMap<NodeId, u32> {
+        let mut dist = BTreeMap::new();
+        if !sub.adj.contains_key(&s) {
+            return dist;
+        }
+        dist.insert(s, 0u32);
+        let mut queue = VecDeque::from([s]);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[&x];
+            if cap.is_some_and(|c| dx >= c) {
+                continue;
+            }
+            for &y in sub.neighbors(x) {
+                if pred(x, y) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
+                        e.insert(dx + 1);
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Early-exit BFS distance `dist(s, t)` over the parent graph — the
+    /// per-pair `shortest` computation of the old delivery matrix.
+    pub fn distance(g: &Graph, s: NodeId, t: NodeId) -> Option<u32> {
+        let mut dist = BTreeMap::new();
+        dist.insert(s, 0u32);
+        let mut queue = VecDeque::from([s]);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[&x];
+            if x == t {
+                return Some(dx);
+            }
+            for &y in g.neighbors(x) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(y) {
+                    e.insert(dx + 1);
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist.get(&t).copied()
+    }
+
+    /// The old `LocalView`: map-backed view, distances, and labels.
+    pub struct View {
+        pub sub: Subgraph,
+        pub dist: BTreeMap<NodeId, u32>,
+        pub labels: BTreeMap<NodeId, Label>,
+    }
+
+    /// The old extraction path, double BFS included: one BFS over the
+    /// parent for membership, a second BFS *inside* the view for the
+    /// distance map.
+    pub fn extract(g: &Graph, u: NodeId, k: u32) -> View {
+        let seed_dist = bfs_graph(g, u, Some(k));
+        let mut sub = Subgraph::default();
+        sub.insert_node(u);
+        for (&x, &dx) in &seed_dist {
+            sub.insert_node(x);
+            if dx < k {
+                for &y in g.neighbors(x) {
+                    if seed_dist.get(&y).is_some_and(|&dy| dy >= dx) {
+                        sub.insert_edge(x, y);
+                    }
+                }
+            }
+        }
+        let dist = bfs_sub(&sub, u, Some(k), |_, _| true);
+        let labels = sub.adj.keys().map(|&x| (x, g.label(x))).collect();
+        View { sub, dist, labels }
+    }
+
+    pub struct Preprocessed {
+        pub dormant: BTreeSet<(NodeId, NodeId)>,
+        pub routing: Subgraph,
+        pub dist: BTreeMap<NodeId, u32>,
+    }
+
+    fn edge_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The old preprocessing step: per-edge filtered BFS through the
+    /// tree-map view for the closed-walk dormancy criterion, then the
+    /// routing subgraph and its distance map.
+    pub fn preprocess(view: &View, center: NodeId, k: u32) -> Preprocessed {
+        let rank = |a: NodeId, b: NodeId| EdgeRank::new(view.labels[&a], view.labels[&b]);
+        let mut dormant = BTreeSet::new();
+        for (x, y) in view.sub.edges() {
+            let r = rank(x, y);
+            let dist = bfs_sub(&view.sub, center, Some(2 * k), |a, b| rank(a, b) > r);
+            if let (Some(&dx), Some(&dy)) = (dist.get(&x), dist.get(&y)) {
+                if dx + dy < 2 * k {
+                    dormant.insert(edge_key(x, y));
+                }
+            }
+        }
+        let live = |a: NodeId, b: NodeId| !dormant.contains(&edge_key(a, b));
+        let reach = bfs_sub(&view.sub, center, Some(k), live);
+        let mut routing = Subgraph::default();
+        routing.insert_node(center);
+        for (&x, &dx) in &reach {
+            routing.insert_node(x);
+            if dx < k {
+                for &y in view.sub.neighbors(x) {
+                    if live(x, y) && reach.get(&y).is_some_and(|&dy| dy >= dx) {
+                        routing.insert_edge(x, y);
+                    }
+                }
+            }
+        }
+        let dist = bfs_sub(&routing, center, Some(k), |_, _| true);
+        Preprocessed {
+            dormant,
+            routing,
+            dist,
+        }
+    }
+}
+
+/// Asserts, for every node of `g`, that the legacy emulation and the
+/// real pipeline agree on the view, its distances, the dormant set, and
+/// the routing subgraph — so the timed comparison is apples to apples.
+fn check_equivalence(g: &Graph, k: u32) {
+    for u in g.nodes() {
+        let new = LocalView::extract(g, u, k);
+        let old = legacy::extract(g, u, k);
+        assert_eq!(
+            new.raw().node_count(),
+            old.sub.adj.len(),
+            "view nodes at {u}"
+        );
+        assert_eq!(
+            new.raw().edge_count(),
+            old.sub.edge_count,
+            "view edges at {u}"
+        );
+        for (&x, &dx) in &old.dist {
+            assert_eq!(new.dist_from_center(x), Some(dx), "dist({u}, {x})");
+        }
+        let rv = new.routing_view();
+        let dormant_new = preprocess::dormant_edges(new.raw(), new.labels(), u, k);
+        let old_pre = legacy::preprocess(&old, u, k);
+        assert_eq!(dormant_new, old_pre.dormant, "dormant set at {u}");
+        assert_eq!(
+            rv.sub.node_count(),
+            old_pre.routing.adj.len(),
+            "routing nodes at {u}"
+        );
+        assert_eq!(
+            rv.sub.edge_count(),
+            old_pre.routing.edge_count,
+            "routing edges at {u}"
+        );
+        for (&x, &dx) in &old_pre.dist {
+            assert_eq!(rv.dist.get(x), Some(dx), "routing dist({u}, {x})");
+        }
+    }
+}
+
+struct SizeReport {
+    n: usize,
+    k: u32,
+    extract_ns: f64,
+    preprocess_ns: f64,
+    delivery_matrix_ns: f64,
+    legacy_extract_ns: f64,
+    legacy_preprocess_ns: f64,
+    legacy_delivery_matrix_ns: f64,
+}
+
+impl SizeReport {
+    fn speedup(&self) -> f64 {
+        self.legacy_delivery_matrix_ns / self.delivery_matrix_ns
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"n\":{},\"k\":{},\"extract_ns\":{:.0},\"preprocess_ns\":{:.0},",
+                "\"delivery_matrix_ns\":{:.0},\"legacy_extract_ns\":{:.0},",
+                "\"legacy_preprocess_ns\":{:.0},\"legacy_delivery_matrix_ns\":{:.0},",
+                "\"delivery_matrix_speedup\":{:.2}}}"
+            ),
+            self.n,
+            self.k,
+            self.extract_ns,
+            self.preprocess_ns,
+            self.delivery_matrix_ns,
+            self.legacy_extract_ns,
+            self.legacy_preprocess_ns,
+            self.legacy_delivery_matrix_ns,
+            self.speedup(),
+        )
+    }
+}
+
+fn bench_size(n: usize) -> SizeReport {
+    let k = (n / 4) as u32;
+    let mut rng = DetRng::seed_from_u64(42);
+    let g = generators::random_connected(n, n / 2, &mut rng);
+    check_equivalence(&g, k);
+
+    // All-node view extraction, then extraction + preprocessing; the
+    // preprocessing figure is the difference (preprocessing is cached
+    // per view, so it cannot be timed on its own without re-extracting).
+    let extract_ns = measure_ns(|| {
+        let mut acc = 0usize;
+        for u in g.nodes() {
+            acc += LocalView::extract(&g, u, k).node_count();
+        }
+        acc
+    });
+    let pipeline_ns = measure_ns(|| {
+        let mut acc = 0usize;
+        for u in g.nodes() {
+            let view = LocalView::extract(&g, u, k);
+            acc += view.routing_view().sub.edge_count();
+        }
+        acc
+    });
+    let legacy_extract_ns = measure_ns(|| {
+        let mut acc = 0usize;
+        for u in g.nodes() {
+            acc += legacy::extract(&g, u, k).sub.adj.len();
+        }
+        acc
+    });
+    let legacy_pipeline_ns = measure_ns(|| {
+        let mut acc = 0usize;
+        for u in g.nodes() {
+            let view = legacy::extract(&g, u, k);
+            acc += legacy::preprocess(&view, u, k).routing.edge_count;
+        }
+        acc
+    });
+
+    // The real delivery matrix: all (s, t) pairs through Algorithm 1
+    // with the shared view cache (per-node preprocessing included).
+    let delivery_matrix_ns = measure_ns(|| {
+        let m = engine::delivery_matrix(&g, k, &Alg1);
+        black_box(m.runs + m.total_hops)
+    });
+    // The legacy counterpart charges the old data model for the same
+    // work item by item: the per-node pipeline, the per-pair
+    // shortest-path BFS, and — replaying the engine's exact routes —
+    // each hop's Case-1 step (a BFS from the target through the view
+    // plus the min-label neighbour scan, recomputed per hop exactly as
+    // the old stateless decide() did). Passive-case table lookups are
+    // still omitted, which only understates the legacy cost.
+    let legacy_pairs_ns = measure_ns(|| {
+        let mut acc = 0u32;
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s != t {
+                    acc += legacy::distance(&g, s, t).unwrap_or(0);
+                }
+            }
+        }
+        acc
+    });
+    let cache = ViewCache::new(&g, k);
+    let mut routes: Vec<Vec<NodeId>> = Vec::new();
+    for s in g.nodes() {
+        for t in g.nodes() {
+            if s != t {
+                routes.push(
+                    engine::route_with_cache(&cache, &Alg1, s, t, &RunOptions::default()).route,
+                );
+            }
+        }
+    }
+    let legacy_views: Vec<(legacy::View, BTreeMap<Label, NodeId>)> = g
+        .nodes()
+        .map(|u| {
+            let view = legacy::extract(&g, u, k);
+            let by_label = view.labels.iter().map(|(&x, &l)| (l, x)).collect();
+            (view, by_label)
+        })
+        .collect();
+    let legacy_hops_ns = measure_ns(|| {
+        let mut acc = 0usize;
+        for route in &routes {
+            let Some((&t, deciders)) = route.split_last() else {
+                continue;
+            };
+            let t_label = g.label(t);
+            for &u in deciders {
+                let (view, by_label) = &legacy_views[u.index()];
+                if let Some(&t_node) = by_label.get(&t_label) {
+                    let dist_to_t = legacy::bfs_sub(&view.sub, t_node, None, |_, _| true);
+                    if let Some(&du) = dist_to_t.get(&u) {
+                        let step = view
+                            .sub
+                            .neighbors(u)
+                            .iter()
+                            .filter(|&&w| dist_to_t.get(&w) == Some(&(du - 1)))
+                            .min_by_key(|&&w| view.labels[&w]);
+                        acc += step.map(|&w| w.index()).unwrap_or(0);
+                    }
+                } else {
+                    acc += view.labels.len();
+                }
+            }
+        }
+        acc
+    });
+
+    SizeReport {
+        n,
+        k,
+        extract_ns,
+        preprocess_ns: (pipeline_ns - extract_ns).max(0.0),
+        delivery_matrix_ns,
+        legacy_extract_ns,
+        legacy_preprocess_ns: (legacy_pipeline_ns - legacy_extract_ns).max(0.0),
+        legacy_delivery_matrix_ns: legacy_pipeline_ns + legacy_pairs_ns + legacy_hops_ns,
+    }
+}
+
+fn main() {
+    let sizes: Vec<SizeReport> = [32, 64, 128].into_iter().map(bench_size).collect();
+    let body: Vec<String> = sizes.iter().map(SizeReport::json).collect();
+    println!(
+        concat!(
+            "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
+            "\"sizes\":[{}],",
+            "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
+            "legacy delivery matrix replays the engine's exact routes on the old ",
+            "structures and omits passive-case lookups, so speedups are lower bounds\"}}"
+        ),
+        body.join(",")
+    );
+    let last = sizes.last().expect("three sizes");
+    assert!(
+        last.speedup() >= 2.0,
+        "delivery matrix speedup at n=128 is {:.2}x, expected >= 2x",
+        last.speedup()
+    );
+}

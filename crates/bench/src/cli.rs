@@ -4,9 +4,8 @@
 use local_routing::baselines::RightHandRule;
 use local_routing::{Alg1, Alg1B, Alg2, Alg3, Alg3OriginAware, LocalRouter};
 use locality_adversary::tight;
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, io, Graph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Parses a graph spec: either a known family
 /// (`path:N`, `cycle:N`, `grid:RxC`, `lollipop:C,T`, `spider:L,LEN`,
@@ -20,7 +19,7 @@ use rand::SeedableRng;
 pub fn parse_graph(spec: &str) -> Result<Graph, String> {
     if let Some((family, rest)) = spec.split_once(':') {
         let nums: Vec<usize> = rest
-            .split(|c| c == ',' || c == 'x')
+            .split([',', 'x'])
             .map(|p| p.parse().map_err(|_| format!("bad number in '{spec}'")))
             .collect::<Result<_, _>>()?;
         let need = |n: usize| -> Result<(), String> {
@@ -57,7 +56,7 @@ pub fn parse_graph(spec: &str) -> Result<Graph, String> {
             }
             "random" => {
                 need(2)?;
-                let mut rng = StdRng::seed_from_u64(nums[1] as u64);
+                let mut rng = DetRng::seed_from_u64(nums[1] as u64);
                 Ok(generators::random_mixed(nums[0], &mut rng))
             }
             "fig13" => {

@@ -8,9 +8,8 @@ use local_routing::engine::{self, RunOptions};
 use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter, LocalView, Packet};
 use locality_adversary::{defeat, lemma1, thm1, thm2, thm3, thm4, tight};
 use locality_graph::components::ComponentAnalysis;
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, neighborhood, permute, Graph, Label, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::format::{f3, tick, Table};
 
@@ -21,7 +20,7 @@ fn delivery_ok<R: LocalRouter + ?Sized>(router: &R, g: &Graph, k: u32) -> bool {
 /// A deterministic random validation suite shared by the feasibility
 /// experiments.
 fn random_suite(seed: u64, count: usize, max_n: usize) -> Vec<Graph> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let n = rng.gen_range(4..=max_n);
@@ -71,11 +70,7 @@ pub fn table1(n: usize) -> String {
         table.row(&[
             name.to_string(),
             paper.to_string(),
-            format!(
-                "{} ({} graphs, all pairs)",
-                tick(ok),
-                suite.len()
-            ),
+            format!("{} ({} graphs, all pairs)", tick(ok), suite.len()),
             defeated,
         ]);
         let _ = ok;
@@ -90,7 +85,10 @@ pub fn table1(n: usize) -> String {
 
 /// **Table 2** — dilation bounds at `k ∈ {n/4, n/3, n/2}`.
 pub fn table2(n: usize) -> String {
-    assert!(n % 12 == 0, "use n divisible by 12 so all three k are exact");
+    assert!(
+        n.is_multiple_of(12),
+        "use n divisible by 12 so all three k are exact"
+    );
     let mut out = String::from("## Table 2 — dilation bounds\n\n");
     let mut table = Table::new(&[
         "k",
@@ -164,7 +162,9 @@ pub fn table2(n: usize) -> String {
         "1 (Thm 8)".to_string(),
     ]);
     out.push_str(&table.render());
-    out.push_str(&format!("\n(n = {n}; 'forced' = worst dilation on the Theorem 4 path family)\n"));
+    out.push_str(&format!(
+        "\n(n = {n}; 'forced' = worst dilation on the Theorem 4 path family)\n"
+    ));
     out
 }
 
@@ -280,7 +280,14 @@ pub fn fig01() -> String {
     let view = neighborhood::k_neighborhood(&g, NodeId(0), k);
     let analysis = ComponentAnalysis::analyze(&view, NodeId(0), k);
     let mut out = String::from("## Fig. 1 — local component taxonomy (k = 8)\n\n");
-    let mut table = Table::new(&["component", "nodes", "roots", "active", "independent", "constrained"]);
+    let mut table = Table::new(&[
+        "component",
+        "nodes",
+        "roots",
+        "active",
+        "independent",
+        "constrained",
+    ]);
     for (i, c) in analysis.components.iter().enumerate() {
         table.row(&[
             format!("B{}", i + 1),
@@ -292,7 +299,10 @@ pub fn fig01() -> String {
         ]);
     }
     out.push_str(&table.render());
-    out.push_str(&format!("\nactive degree of u: {}\n", analysis.active_degree()));
+    out.push_str(&format!(
+        "\nactive degree of u: {}\n",
+        analysis.active_degree()
+    ));
     out
 }
 
@@ -331,7 +341,10 @@ pub fn fig02() -> String {
 /// moves; each direction strategy loses one of the two paths.
 pub fn fig05(n: usize) -> String {
     let p = thm3::instance_pair(n);
-    let mut out = format!("## Fig. 5 / Theorem 3 — two-path family (n = {n}, r = {})\n\n", p.r);
+    let mut out = format!(
+        "## Fig. 5 / Theorem 3 — two-path family (n = {n}, r = {})\n\n",
+        p.r
+    );
     let k = p.r as u32;
     let same = LocalView::extract(&p.g1, p.s, k).fingerprint()
         == LocalView::extract(&p.g2, p.s, k).fingerprint();
@@ -344,7 +357,12 @@ pub fn fig05(n: usize) -> String {
         let r1 = engine::route(&p.g1, k, &router, p.s, p.t1, &RunOptions::default());
         let r2 = engine::route(&p.g2, k, &router, p.s, p.t2, &RunOptions::default());
         table.row(&[
-            if s_high { "go high (right)" } else { "go low (left)" }.to_string(),
+            if s_high {
+                "go high (right)"
+            } else {
+                "go low (left)"
+            }
+            .to_string(),
             outcome(r1.status.is_delivered()),
             outcome(r2.status.is_delivered()),
         ]);
@@ -367,7 +385,7 @@ pub fn fig06(n: usize) -> String {
     // Route shape: out (n-2k-1 hops), turn, back, to t.
     for (g, s, t) in thm4::path_instances(n, k) {
         let run = engine::route(&g, k, &Alg1, s, t, &RunOptions::default());
-        if run.dilation().map_or(false, |d| (d - measured).abs() < 1e-9) {
+        if run.dilation().is_some_and(|d| (d - measured).abs() < 1e-9) {
             let turn = run
                 .route
                 .windows(3)
@@ -441,8 +459,10 @@ pub fn fig08_09() -> String {
                 name.to_string(),
                 k.to_string(),
                 bad.len().to_string(),
-                girth.map(|x| x.to_string()).unwrap_or_else(|| "acyclic".into()),
-                tick(girth.map_or(true, |x| x >= 2 * k + 1)).to_string(),
+                girth
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "acyclic".into()),
+                tick(girth.is_none_or(|x| x > 2 * k)).to_string(),
                 tick(locality_graph::traversal::is_connected(&sub)).to_string(),
             ]);
         }
@@ -672,7 +692,9 @@ pub fn state_vs_locality(n: usize) -> String {
         "flooding (memoryless)".to_string(),
         "0".to_string(),
         "0".to_string(),
-        fl.first_arrival.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+        fl.first_arrival
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "-".into()),
         format!("{} transmissions", fl.transmissions),
     ]);
     let fm = locality_sim::flood::flood_with_memory(&g, s, t, ttl);
@@ -680,7 +702,9 @@ pub fn state_vs_locality(n: usize) -> String {
         "flooding (per-node memory)".to_string(),
         "0".to_string(),
         "1/node".to_string(),
-        fm.first_arrival.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+        fm.first_arrival
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "-".into()),
         format!("{} transmissions", fm.transmissions),
     ]);
     out.push_str(&table.render());
@@ -700,7 +724,7 @@ pub fn position_based(n: usize, radius: f64) -> String {
     let mut out = format!(
         "## §3 context — position-based routing on unit disc graphs (n = {n}, r = {radius})\n\n"
     );
-    let mut rng = StdRng::seed_from_u64(0x9e0);
+    let mut rng = DetRng::seed_from_u64(0x9e0);
     let mut table = Table::new(&["approach", "information", "delivered", "of pairs"]);
     let mut greedy_ok = 0usize;
     let mut compass_ok = 0usize;
@@ -726,8 +750,18 @@ pub fn position_based(n: usize, radius: f64) -> String {
         }
     }
     let pct = |x: usize| format!("{:.1}%", 100.0 * x as f64 / total as f64);
-    table.row(&["greedy (1-local)", "coordinates", &pct(greedy_ok), &total.to_string()]);
-    table.row(&["compass (1-local)", "coordinates", &pct(compass_ok), &total.to_string()]);
+    table.row(&[
+        "greedy (1-local)",
+        "coordinates",
+        &pct(greedy_ok),
+        &total.to_string(),
+    ]);
+    table.row(&[
+        "compass (1-local)",
+        "coordinates",
+        &pct(compass_ok),
+        &total.to_string(),
+    ]);
     table.row(&[
         "Algorithm 1 (k = n/4)",
         "topology only",

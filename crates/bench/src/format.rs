@@ -50,9 +50,9 @@ impl Table {
         }
         let fmt_row = |row: &[String]| -> String {
             let mut out = String::new();
-            for i in 0..cols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                out.push_str(&format!("{cell:<width$}", width = widths[i]));
+                out.push_str(&format!("{cell:<width$}"));
                 if i + 1 < cols {
                     out.push_str("  ");
                 }

@@ -2,8 +2,8 @@
 //!
 //! The experiment harness: one function per table/figure of the paper,
 //! each returning the regenerated rows as text so the `bin/` wrappers
-//! and the consolidated `bin/report` can print them. Criterion
-//! micro-benchmarks live under `benches/`.
+//! and the consolidated `bin/report` can print them. Plain timing
+//! micro-benchmarks live under `benches/` (see [`timing`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,5 +11,6 @@
 pub mod cli;
 pub mod experiments;
 pub mod format;
+pub mod timing;
 
 pub use experiments::*;

@@ -86,9 +86,9 @@ impl LocalRouter for Alg2 {
                 _ => {
                     if v == active[0] {
                         active[1]
-                    } else if v == active[1] {
-                        active[0]
                     } else {
+                        // From the second port or a passive neighbour:
+                        // out the first.
                         active[0]
                     }
                 }
@@ -122,9 +122,8 @@ impl LocalRouter for Alg2 {
 mod tests {
     use super::*;
     use crate::engine;
+    use locality_graph::rng::DetRng;
     use locality_graph::{generators, permute};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn assert_all_delivered(g: &locality_graph::Graph, k: u32) {
         let m = engine::delivery_matrix(g, k, &Alg2);
@@ -155,7 +154,7 @@ mod tests {
 
     #[test]
     fn survives_label_permutations() {
-        let mut rng = StdRng::seed_from_u64(31337);
+        let mut rng = DetRng::seed_from_u64(31337);
         for _ in 0..12 {
             let n = rng.gen_range(3..16);
             let g = permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng);

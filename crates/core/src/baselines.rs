@@ -9,8 +9,8 @@
 //!   delivery is guaranteed only in expectation, with route lengths far
 //!   beyond the deterministic algorithms' dilation bounds.
 
+use locality_graph::rng::DetRng;
 use locality_graph::{Graph, Label, NodeId};
-use rand::Rng;
 
 use crate::error::RoutingError;
 use crate::model::{Awareness, Packet};
@@ -108,12 +108,12 @@ impl LocalRouter for LowestRankForward {
 /// A uniform random walk from `s` to `t`: the memoryless randomized
 /// baseline. Returns the number of hops taken, or `None` if `max_steps`
 /// was exhausted first.
-pub fn random_walk<R: Rng + ?Sized>(
+pub fn random_walk(
     g: &Graph,
     s: NodeId,
     t: NodeId,
     max_steps: usize,
-    rng: &mut R,
+    rng: &mut DetRng,
 ) -> Option<usize> {
     let mut current = s;
     for step in 0..=max_steps {
@@ -151,8 +151,6 @@ mod tests {
     use super::*;
     use crate::engine::{self, RunStatus};
     use locality_graph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn right_hand_rule_delivers_on_trees() {
@@ -204,7 +202,7 @@ mod tests {
     #[test]
     fn random_walk_eventually_arrives() {
         let g = generators::cycle(8);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let hops = random_walk(&g, NodeId(0), NodeId(4), 100_000, &mut rng);
         assert!(hops.is_some());
         assert!(hops.unwrap() >= 4);
@@ -213,7 +211,7 @@ mod tests {
     #[test]
     fn random_walk_times_out_gracefully() {
         let g = generators::path(50);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         assert_eq!(random_walk(&g, NodeId(0), NodeId(49), 3, &mut rng), None);
     }
 }

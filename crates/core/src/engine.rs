@@ -2,7 +2,7 @@
 //! detection, and evaluates delivery and dilation (§2.2).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use locality_graph::{traversal, Graph, NodeId};
 
@@ -12,17 +12,11 @@ use crate::traits::LocalRouter;
 use crate::view::LocalView;
 
 /// Options controlling a run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunOptions {
     /// Hard cap on hops, over and above exact loop detection. Mostly a
     /// belt-and-braces guard; `None` means `8 * n^2`.
     pub max_steps: Option<usize>,
-}
-
-impl Default for RunOptions {
-    fn default() -> RunOptions {
-        RunOptions { max_steps: None }
-    }
 }
 
 /// Why a run ended.
@@ -95,15 +89,40 @@ impl RunReport {
     }
 }
 
-/// Shared cache of [`LocalView`]s for one `(graph, k)` pair. Views (and
-/// their lazily computed preprocessing) are built once per node and
-/// reused across runs — exactly like real nodes that preprocess once and
-/// then route many messages (§5.1: "the preprocessing step need not be
-/// repeated unless the network topology changes").
+/// Number of independently locked shards in a [`ViewCache`]. A small
+/// power of two: enough to keep a handful of worker threads from
+/// serialising on one lock, cheap enough to allocate per cache.
+const VIEW_CACHE_SHARDS: usize = 16;
+
+/// Shared, thread-safe cache of [`LocalView`]s for one `(graph, k)`
+/// pair. Views (and their lazily computed preprocessing) are built
+/// **exactly once** per node and reused across runs and across threads
+/// — exactly like real nodes that preprocess once and then route many
+/// messages (§5.1: "the preprocessing step need not be repeated unless
+/// the network topology changes").
+///
+/// Internally the cache is sharded: each shard is an `RwLock` over a
+/// hash map of `Arc<LocalView>`. Lookups of an already-built view take
+/// a read lock only; the first request for a node holds its shard's
+/// write lock while extracting, so concurrent requests for the same
+/// node converge on one `Arc` and the extraction work is never
+/// duplicated. All methods take `&self`, so one cache can be shared by
+/// reference across [`std::thread::scope`] workers.
+///
+/// ```
+/// use local_routing::engine::ViewCache;
+/// use locality_graph::{generators, NodeId};
+///
+/// let g = generators::cycle(8);
+/// let cache = ViewCache::new(&g, 2);
+/// let a = cache.view(NodeId(0));
+/// let b = cache.view(NodeId(0));
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // built once, shared
+/// ```
 pub struct ViewCache<'g> {
     graph: &'g Graph,
     k: u32,
-    cache: HashMap<NodeId, Arc<LocalView>>,
+    shards: Vec<RwLock<HashMap<NodeId, Arc<LocalView>>>>,
 }
 
 impl<'g> ViewCache<'g> {
@@ -112,7 +131,9 @@ impl<'g> ViewCache<'g> {
         ViewCache {
             graph,
             k,
-            cache: HashMap::new(),
+            shards: (0..VIEW_CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -121,11 +142,42 @@ impl<'g> ViewCache<'g> {
         self.k
     }
 
-    /// The view at `u`, extracting it on first request.
-    pub fn view(&mut self, u: NodeId) -> Arc<LocalView> {
+    /// The graph the cached views were extracted from.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of views currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("view cache poisoned").len())
+            .sum()
+    }
+
+    /// Whether no view has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn shard_of(&self, u: NodeId) -> &RwLock<HashMap<NodeId, Arc<LocalView>>> {
+        &self.shards[u.index() % VIEW_CACHE_SHARDS]
+    }
+
+    /// The view at `u`, extracting it on first request. Safe to call
+    /// from many threads; all callers receive the same `Arc`.
+    pub fn view(&self, u: NodeId) -> Arc<LocalView> {
+        let shard = self.shard_of(u);
+        if let Some(v) = shard.read().expect("view cache poisoned").get(&u) {
+            return Arc::clone(v);
+        }
+        // Double-checked: take the write lock and extract under it, so
+        // a racing thread blocks here and reuses our result instead of
+        // extracting a second time.
+        let mut map = shard.write().expect("view cache poisoned");
         Arc::clone(
-            self.cache
-                .entry(u)
+            map.entry(u)
                 .or_insert_with(|| Arc::new(LocalView::extract(self.graph, u, self.k))),
         )
     }
@@ -140,14 +192,14 @@ pub fn route<R: LocalRouter + ?Sized>(
     t: NodeId,
     options: &RunOptions,
 ) -> RunReport {
-    let mut cache = ViewCache::new(graph, k);
-    route_with_cache(&mut cache, router, s, t, options)
+    let cache = ViewCache::new(graph, k);
+    route_with_cache(&cache, router, s, t, options)
 }
 
 /// Routes one message reusing an existing view cache (preferred when
 /// routing many pairs on the same graph).
 pub fn route_with_cache<R: LocalRouter + ?Sized>(
-    cache: &mut ViewCache<'_>,
+    cache: &ViewCache<'_>,
     router: &R,
     s: NodeId,
     t: NodeId,
@@ -239,7 +291,7 @@ pub fn route_traced<R: LocalRouter + ?Sized>(
     t: NodeId,
     options: &RunOptions,
 ) -> TracedRun {
-    let mut cache = ViewCache::new(graph, k);
+    let cache = ViewCache::new(graph, k);
     let n = graph.node_count();
     let shortest = traversal::distance(graph, s, t).unwrap_or(0);
     let max_steps = options.max_steps.unwrap_or(8 * n * n + 16);
@@ -342,7 +394,17 @@ where
     R: LocalRouter + ?Sized,
     I: IntoIterator<Item = (NodeId, NodeId)>,
 {
-    let mut cache = ViewCache::new(graph, k);
+    let cache = ViewCache::new(graph, k);
+    delivery_matrix_with_cache(&cache, router, pairs)
+}
+
+/// Runs `router` on the given pairs through a caller-supplied (and
+/// possibly shared) view cache.
+pub fn delivery_matrix_with_cache<R, I>(cache: &ViewCache<'_>, router: &R, pairs: I) -> MatrixReport
+where
+    R: LocalRouter + ?Sized,
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
     let options = RunOptions::default();
     let mut report = MatrixReport {
         runs: 0,
@@ -351,12 +413,12 @@ where
         total_hops: 0,
     };
     for (s, t) in pairs {
-        let run = route_with_cache(&mut cache, router, s, t, &options);
+        let run = route_with_cache(cache, router, s, t, &options);
         report.runs += 1;
         if run.status.is_delivered() {
             report.total_hops += run.hops();
             if let Some(d) = run.dilation() {
-                if report.worst_dilation.map_or(true, |(w, _, _)| d > w) {
+                if report.worst_dilation.is_none_or(|(w, _, _)| d > w) {
                     report.worst_dilation = Some((d, s, t));
                 }
             }
@@ -368,10 +430,17 @@ where
 }
 
 /// Runs `router` on every ordered pair, fanned out over `threads` OS
-/// threads (each with its own view cache). Semantically identical to
-/// [`delivery_matrix`], modulo the order of `failures`; used by the
-/// large-n validation suites and the experiment harness.
-pub fn delivery_matrix_parallel<R>(graph: &Graph, k: u32, router: &R, threads: usize) -> MatrixReport
+/// threads sharing **one** [`ViewCache`]: each `G_k(u)` (and its lazy
+/// preprocessing) is extracted exactly once no matter how many workers
+/// route through `u`. Semantically identical to [`delivery_matrix`],
+/// modulo the order of `failures`; used by the large-n validation
+/// suites and the experiment harness.
+pub fn delivery_matrix_parallel<R>(
+    graph: &Graph,
+    k: u32,
+    router: &R,
+    threads: usize,
+) -> MatrixReport
 where
     R: LocalRouter + Sync + ?Sized,
 {
@@ -381,16 +450,20 @@ where
         .collect();
     let threads = threads.max(1).min(pairs.len().max(1));
     let chunk = pairs.len().div_ceil(threads);
+    let cache = ViewCache::new(graph, k);
     let partials: Vec<MatrixReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = pairs
             .chunks(chunk.max(1))
             .map(|slice| {
-                scope.spawn(move || {
-                    delivery_matrix_for_pairs(graph, k, router, slice.iter().copied())
-                })
+                let cache = &cache;
+                scope
+                    .spawn(move || delivery_matrix_with_cache(cache, router, slice.iter().copied()))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut out = MatrixReport {
         runs: 0,
@@ -403,7 +476,7 @@ where
         out.failures.extend(p.failures);
         out.total_hops += p.total_hops;
         if let Some((d, s, t)) = p.worst_dilation {
-            if out.worst_dilation.map_or(true, |(w, _, _)| d > w) {
+            if out.worst_dilation.is_none_or(|(w, _, _)| d > w) {
                 out.worst_dilation = Some((d, s, t));
             }
         }
@@ -525,10 +598,35 @@ mod tests {
     #[test]
     fn view_cache_shares_views() {
         let g = generators::cycle(8);
-        let mut cache = ViewCache::new(&g, 2);
+        let cache = ViewCache::new(&g, 2);
+        assert!(cache.is_empty());
         let a = cache.view(NodeId(0));
         let b = cache.view(NodeId(0));
         assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn view_cache_shared_across_threads_returns_same_arc() {
+        // Many threads hammering the same nodes must converge on one
+        // Arc per node — the extraction happens exactly once.
+        let g = generators::grid(5, 5);
+        let cache = ViewCache::new(&g, 3);
+        let views: Vec<Vec<Arc<LocalView>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (cache, g) = (&cache, &g);
+                    scope.spawn(move || g.nodes().map(|u| cache.view(u)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for per_thread in &views[1..] {
+            for (a, b) in views[0].iter().zip(per_thread) {
+                assert!(Arc::ptr_eq(a, b), "threads must share cached views");
+            }
+        }
+        assert_eq!(cache.len(), g.node_count());
     }
 
     #[test]
@@ -543,8 +641,7 @@ mod tests {
         // Rules come from Algorithm 1's named table.
         for rule in &traced.rules {
             assert!(
-                ["case-1", "S1", "S2", "S3", "U1", "U2", "U3", "US1", "US2", "US3"]
-                    .contains(rule),
+                ["case-1", "S1", "S2", "S3", "U1", "U2", "U3", "US1", "US2", "US3"].contains(rule),
                 "unknown rule {rule}"
             );
         }

@@ -52,13 +52,19 @@ impl fmt::Display for RoutingError {
                  (k is below the feasibility threshold)"
             ),
             RoutingError::NoActiveComponent => {
-                write!(f, "destination outside view and no active component to enter")
+                write!(
+                    f,
+                    "destination outside view and no active component to enter"
+                )
             }
             RoutingError::NoConstrainedComponent => {
                 write!(f, "no constrained active component (k below n/2 threshold)")
             }
             RoutingError::MissingOrigin => {
-                write!(f, "origin-aware router received a packet with masked origin")
+                write!(
+                    f,
+                    "origin-aware router received a packet with masked origin"
+                )
             }
             RoutingError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
             RoutingError::Unroutable(l) => write!(f, "no rule can route toward {l}"),
@@ -76,7 +82,11 @@ mod tests {
     fn display_messages_mention_cause() {
         let e = RoutingError::TooManyActiveComponents { found: 4, max: 3 };
         assert!(e.to_string().contains("4 active"));
-        assert!(RoutingError::NoActiveComponent.to_string().contains("active"));
-        assert!(RoutingError::Unroutable(Label(9)).to_string().contains("v9"));
+        assert!(RoutingError::NoActiveComponent
+            .to_string()
+            .contains("active"));
+        assert!(RoutingError::Unroutable(Label(9))
+            .to_string()
+            .contains("v9"));
     }
 }

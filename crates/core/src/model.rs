@@ -47,7 +47,11 @@ impl fmt::Display for Awareness {
             f,
             "{}-origin/{}-predecessor",
             if self.origin { "aware" } else { "oblivious" },
-            if self.predecessor { "aware" } else { "oblivious" },
+            if self.predecessor {
+                "aware"
+            } else {
+                "oblivious"
+            },
         )
     }
 }

@@ -20,12 +20,7 @@ pub trait PositionRouter {
     fn name(&self) -> &'static str;
 
     /// The forwarding decision.
-    fn decide(
-        &self,
-        here: Point,
-        neighbors: &[(NodeId, Point)],
-        target: Point,
-    ) -> Option<NodeId>;
+    fn decide(&self, here: Point, neighbors: &[(NodeId, Point)], target: Point) -> Option<NodeId>;
 }
 
 /// Greedy routing (Finn): forward to the neighbour strictly closest to
@@ -39,12 +34,7 @@ impl PositionRouter for GreedyRouter {
         "greedy"
     }
 
-    fn decide(
-        &self,
-        here: Point,
-        neighbors: &[(NodeId, Point)],
-        target: Point,
-    ) -> Option<NodeId> {
+    fn decide(&self, here: Point, neighbors: &[(NodeId, Point)], target: Point) -> Option<NodeId> {
         let d_here = here.dist(target);
         neighbors
             .iter()
@@ -69,12 +59,7 @@ impl PositionRouter for CompassRouter {
         "compass"
     }
 
-    fn decide(
-        &self,
-        here: Point,
-        neighbors: &[(NodeId, Point)],
-        target: Point,
-    ) -> Option<NodeId> {
+    fn decide(&self, here: Point, neighbors: &[(NodeId, Point)], target: Point) -> Option<NodeId> {
         neighbors
             .iter()
             .min_by(|(_, a), (_, b)| {
@@ -190,15 +175,18 @@ mod tests {
     /// ```
     fn greedy_trap() -> locality_graph::geo::EmbeddedGraph {
         let pts = [
-            p(0.0, 0.0),    // 0 = s
-            p(0.0, 0.9),    // 1 = m (local minimum)
-            p(-1.0, 0.9),   // 2 = l
-            p(-1.0, 1.9),   // 3 = l2
-            p(-0.05, 1.9),  // 4 = t
+            p(0.0, 0.0),   // 0 = s
+            p(0.0, 0.9),   // 1 = m (local minimum)
+            p(-1.0, 0.9),  // 2 = l
+            p(-1.0, 1.9),  // 3 = l2
+            p(-0.05, 1.9), // 4 = t
         ];
         let g = unit_disc(&pts, 1.0);
         assert!(locality_graph::traversal::is_connected(&g.graph));
-        assert!(!g.graph.has_edge(NodeId(1), NodeId(4)), "m must not reach t");
+        assert!(
+            !g.graph.has_edge(NodeId(1), NodeId(4)),
+            "m must not reach t"
+        );
         g
     }
 
@@ -226,16 +214,22 @@ mod tests {
         use crate::{engine, Alg1, LocalRouter};
         let g = greedy_trap();
         let k = Alg1.min_locality(g.graph.node_count());
-        let run = engine::route(&g.graph, k, &Alg1, NodeId(0), NodeId(4), &Default::default());
+        let run = engine::route(
+            &g.graph,
+            k,
+            &Alg1,
+            NodeId(0),
+            NodeId(4),
+            &Default::default(),
+        );
         assert!(run.status.is_delivered());
         assert_eq!(run.shortest, 4);
     }
 
     #[test]
     fn both_succeed_on_dense_random_udgs_mostly() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(33);
+        use locality_graph::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(33);
         let g = locality_graph::geo::random_connected_udg(25, 0.6, &mut rng);
         let mut greedy_ok = 0;
         let mut total = 0;
@@ -250,5 +244,4 @@ mod tests {
         // Dense UDGs rarely have voids; greedy should do very well.
         assert!(greedy_ok * 10 >= total * 9, "{greedy_ok}/{total}");
     }
-
 }

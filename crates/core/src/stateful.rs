@@ -178,13 +178,12 @@ pub fn route_stateful<R: StatefulLocalRouter>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use locality_graph::rng::DetRng;
     use locality_graph::{generators, permute};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     #[test]
     fn dfs_delivers_with_k_equal_one() {
-        let mut rng = StdRng::seed_from_u64(63);
+        let mut rng = DetRng::seed_from_u64(63);
         for _ in 0..20 {
             let n = rng.gen_range(2..20);
             let g = permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng);

@@ -13,7 +13,11 @@ use crate::view::LocalView;
 /// (already masked) packet and the view. The engine exploits purity for
 /// exact loop detection — if the same `(u, v)` state recurs, the run
 /// provably never terminates.
-pub trait LocalRouter {
+///
+/// `Sync` is a supertrait: routers are immutable decision tables, and
+/// requiring it here lets the engine and the adversary fan any router —
+/// including `dyn LocalRouter` trait objects — out across threads.
+pub trait LocalRouter: Sync {
     /// Human-readable algorithm name, used in reports and benches.
     fn name(&self) -> &'static str;
 
@@ -104,7 +108,7 @@ impl<R: LocalRouter + ?Sized> LocalRouter for Box<R> {
 
 /// `ceil(n / d)` as `u32` — the usual form of the paper's thresholds.
 pub(crate) fn ceil_div(n: usize, d: usize) -> u32 {
-    ((n + d - 1) / d) as u32
+    n.div_ceil(d) as u32
 }
 
 #[cfg(test)]

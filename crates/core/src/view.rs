@@ -1,12 +1,11 @@
 //! The locality-enforcing view handed to routers.
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 
 use locality_graph::components::ComponentAnalysis;
-use locality_graph::{neighborhood, traversal, Graph, Label, NodeId, Subgraph};
+use locality_graph::{neighborhood, traversal, DistMap, Graph, Label, NodeId, Subgraph};
 
 use crate::preprocess::{self, EdgeKey, Preprocessed};
 
@@ -17,13 +16,20 @@ use crate::preprocess::{self, EdgeKey, Preprocessed};
 /// A `LocalView` owns its data and has no back-reference to the parent
 /// graph, so a router holding one *cannot* observe anything beyond `k`
 /// hops — locality is a type-level guarantee, not a convention.
+///
+/// Internally the view is flat: labels live in a `Vec` aligned with the
+/// raw subgraph's slot order, distances in a [`DistMap`], and the
+/// label→node lookup in a sorted vector searched by binary search. No
+/// per-query allocation or tree traversal happens on the hot path.
 pub struct LocalView {
     center: NodeId,
     k: u32,
     raw: Subgraph,
-    raw_dist: BTreeMap<NodeId, u32>,
-    labels: BTreeMap<NodeId, Label>,
-    by_label: BTreeMap<Label, NodeId>,
+    raw_dist: DistMap,
+    /// `labels[raw.slot_of(x)]` is the label of visible node `x`.
+    labels: Vec<Label>,
+    /// Sorted by label; binary-searched by [`node_by_label`](Self::node_by_label).
+    by_label: Vec<(Label, NodeId)>,
     routing: OnceLock<RoutingView>,
     raw_analysis: OnceLock<ComponentAnalysis>,
 }
@@ -37,7 +43,7 @@ pub struct RoutingView {
     /// The routing subgraph `G'_k(u)`.
     pub sub: Subgraph,
     /// Distances from the centre within `G'_k(u)` (the paper's `dist'`).
-    pub dist: BTreeMap<NodeId, u32>,
+    pub dist: DistMap,
     /// Local-component decomposition of `G'_k(u)`.
     pub analysis: ComponentAnalysis,
 }
@@ -50,8 +56,14 @@ impl LocalView {
     /// Panics if `u` is not a node of `graph`.
     pub fn extract(graph: &Graph, u: NodeId, k: u32) -> LocalView {
         let (raw, raw_dist) = neighborhood::k_neighborhood_with_distances(graph, u, k);
-        let labels: BTreeMap<NodeId, Label> = raw.nodes().map(|x| (x, graph.label(x))).collect();
-        let by_label: BTreeMap<Label, NodeId> = labels.iter().map(|(&n, &l)| (l, n)).collect();
+        let labels: Vec<Label> = raw.node_slice().iter().map(|&x| graph.label(x)).collect();
+        let mut by_label: Vec<(Label, NodeId)> = raw
+            .node_slice()
+            .iter()
+            .zip(&labels)
+            .map(|(&x, &l)| (l, x))
+            .collect();
+        by_label.sort_unstable();
         LocalView {
             center: u,
             k,
@@ -79,7 +91,7 @@ impl LocalView {
     /// The centre's label.
     #[inline]
     pub fn center_label(&self) -> Label {
-        self.labels[&self.center]
+        self.label(self.center)
     }
 
     /// The raw neighbourhood `G_k(u)`.
@@ -93,28 +105,42 @@ impl LocalView {
         self.raw.node_count()
     }
 
+    /// The slot-aligned label table: `labels()[raw().slot_of(x)]` is the
+    /// label of `x`. Shared with [`preprocess`](crate::preprocess).
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
     /// Label of a visible node.
     ///
     /// # Panics
     ///
     /// Panics if `x` is not in the view.
     pub fn label(&self, x: NodeId) -> Label {
-        self.labels[&x]
+        let slot = self
+            .raw
+            .slot_of(x)
+            .unwrap_or_else(|| panic!("node {x} not in view"));
+        self.labels[slot]
     }
 
     /// Finds a visible node by label.
     pub fn node_by_label(&self, l: Label) -> Option<NodeId> {
-        self.by_label.get(&l).copied()
+        self.by_label
+            .binary_search_by_key(&l, |&(lbl, _)| lbl)
+            .ok()
+            .map(|i| self.by_label[i].1)
     }
 
     /// Whether any visible node carries label `l`.
     pub fn contains_label(&self, l: Label) -> bool {
-        self.by_label.contains_key(&l)
+        self.node_by_label(l).is_some()
     }
 
     /// Distance from the centre within the view, if `x` is visible.
     pub fn dist_from_center(&self, x: NodeId) -> Option<u32> {
-        self.raw_dist.get(&x).copied()
+        self.raw_dist.get(x)
     }
 
     /// Neighbours of the centre in `G_k(u)`, sorted by node id.
@@ -127,7 +153,7 @@ impl LocalView {
     /// `None` if `target` is the centre or unreachable in the view.
     pub fn shortest_step_toward(&self, target: NodeId) -> Option<NodeId> {
         let steps = traversal::shortest_path_steps(&self.raw, self.center, target);
-        steps.into_iter().min_by_key(|&x| self.labels[&x])
+        steps.into_iter().min_by_key(|&x| self.label(x))
     }
 
     /// The preprocessed routing structure `G'_k(u)`, computed on first
@@ -159,7 +185,7 @@ impl LocalView {
     /// Sorts `nodes` ascending by label — the paper's rank order on
     /// nodes.
     pub fn sort_by_label(&self, nodes: &mut [NodeId]) {
-        nodes.sort_by_key(|x| self.labels[x]);
+        nodes.sort_by_key(|&x| self.label(x));
     }
 
     /// A canonical textual fingerprint of the *labelled* view: two nodes
@@ -171,7 +197,7 @@ impl LocalView {
             .raw
             .edges()
             .map(|(a, b)| {
-                let (la, lb) = (self.labels[&a], self.labels[&b]);
+                let (la, lb) = (self.label(a), self.label(b));
                 (la.min(lb), la.max(lb))
             })
             .collect();
@@ -180,7 +206,7 @@ impl LocalView {
             .raw
             .nodes()
             .filter(|&x| self.raw.degree(x) == 0)
-            .map(|x| self.labels[&x])
+            .map(|x| self.label(x))
             .collect();
         isolated.sort_unstable();
         let mut out = format!("k={};u={};", self.k, self.center_label());
@@ -274,5 +300,15 @@ mod tests {
         let mut nodes = vec![NodeId(0), NodeId(4), NodeId(2)];
         v.sort_by_label(&mut nodes);
         assert_eq!(nodes, vec![NodeId(4), NodeId(2), NodeId(0)]);
+    }
+
+    #[test]
+    fn labels_are_slot_aligned_after_relabel() {
+        let g = locality_graph::permute::reverse_labels(&generators::cycle(7));
+        let v = LocalView::extract(&g, NodeId(3), 2);
+        for &x in v.raw().node_slice() {
+            assert_eq!(v.label(x), g.label(x));
+            assert_eq!(v.node_by_label(g.label(x)), Some(x));
+        }
     }
 }

@@ -17,8 +17,7 @@
 //! Every independent active component is constrained (its root is a
 //! constraint vertex). These notions drive all four routing algorithms.
 
-use std::collections::BTreeMap;
-
+use crate::dist::DistMap;
 use crate::labels::NodeId;
 use crate::subgraph::Subgraph;
 use crate::traversal::{self, FilteredTopology};
@@ -74,7 +73,7 @@ pub struct ComponentAnalysis {
     /// All local components, sorted by their smallest node id.
     pub components: Vec<LocalComponent>,
     /// Distances from the centre within the view.
-    pub dist: BTreeMap<NodeId, u32>,
+    pub dist: DistMap,
 }
 
 impl ComponentAnalysis {
@@ -95,7 +94,7 @@ impl ComponentAnalysis {
         for nodes in traversal::connected_components(&punctured) {
             // Skip stray nodes disconnected from the centre (cannot occur
             // in a genuine k-neighbourhood, but be defensive).
-            if !dist.contains_key(&nodes[0]) {
+            if !dist.contains(nodes[0]) {
                 continue;
             }
             let mut nodes = nodes;
@@ -109,7 +108,7 @@ impl ComponentAnalysis {
             let depth_k_nodes: Vec<NodeId> = nodes
                 .iter()
                 .copied()
-                .filter(|x| dist.get(x) == Some(&k))
+                .filter(|&x| dist.get(x) == Some(k))
                 .collect();
             let constraint_vertices = if depth_k_nodes.is_empty() {
                 Vec::new()
@@ -196,7 +195,7 @@ fn constraint_vertices(
         let dist = traversal::bfs_distances(&masked, center, Some(k));
         if depth_k
             .iter()
-            .all(|z| *z == w || dist.get(z).map_or(true, |&d| d > k))
+            .all(|&z| z == w || dist.get(z).is_none_or(|d| d > k))
         {
             out.push(w);
         }
@@ -409,7 +408,7 @@ mod tests {
         // Collect all shortest paths center -> z for deep z.
         fn all_paths(
             view: &crate::Subgraph,
-            dist: &BTreeMap<NodeId, u32>,
+            dist: &DistMap,
             from: NodeId,
             to: NodeId,
             acc: &mut Vec<NodeId>,
@@ -420,8 +419,8 @@ mod tests {
                 out.push(acc.clone());
             } else {
                 for &x in view.neighbors(from) {
-                    if dist.get(&x) == Some(&(dist[&from] + 1))
-                        && dist.get(&to).is_some_and(|&dt| dist[&x] <= dt)
+                    if dist.get(x) == Some(dist[from] + 1)
+                        && dist.get(to).is_some_and(|dt| dist[x] <= dt)
                     {
                         all_paths(view, dist, x, to, acc, out);
                     }
@@ -442,9 +441,8 @@ mod tests {
 
     #[test]
     fn constraint_vertices_match_exhaustive_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(2023);
+        use crate::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(2023);
         for _ in 0..15 {
             let n = rng.gen_range(4..12);
             let g = crate::generators::random_mixed(n, &mut rng);

@@ -6,10 +6,11 @@
 //! which is why Lemma 5 can conclude that the surviving ("consistent")
 //! edges form a graph of girth at least `2k + 1`.
 
-use std::collections::BTreeMap;
-
+use crate::dist::DistMap;
 use crate::labels::NodeId;
 use crate::traversal::Topology;
+
+const NO_PARENT: u32 = u32::MAX;
 
 /// Length of the shortest cycle, or `None` for an acyclic topology.
 ///
@@ -17,18 +18,19 @@ use crate::traversal::Topology;
 /// candidate length is `dist(x) + dist(y) + 1`. This is the textbook
 /// exact girth algorithm for unweighted graphs.
 pub fn girth<T: Topology + ?Sized>(topo: &T) -> Option<u32> {
+    let bound = topo.id_bound();
     let mut nodes = Vec::new();
     topo.for_each_node(&mut |u| nodes.push(u));
     let mut best: Option<u32> = None;
     for &s in &nodes {
         // BFS with parents; detect cross/back edges.
-        let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
-        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut dist = DistMap::new(bound);
+        let mut parent = vec![NO_PARENT; bound];
         dist.insert(s, 0);
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(s);
         while let Some(x) = queue.pop_front() {
-            let dx = dist[&x];
+            let dx = dist[x];
             if let Some(b) = best {
                 // No shorter cycle through s can be found deeper than b/2.
                 if dx * 2 >= b {
@@ -38,18 +40,18 @@ pub fn girth<T: Topology + ?Sized>(topo: &T) -> Option<u32> {
             let mut nbrs = Vec::new();
             topo.for_each_neighbor(x, &mut |y| nbrs.push(y));
             for y in nbrs {
-                if parent.get(&x) == Some(&y) {
+                if parent[x.index()] == y.0 {
                     continue;
                 }
-                match dist.get(&y) {
+                match dist.get(y) {
                     None => {
                         dist.insert(y, dx + 1);
-                        parent.insert(y, x);
+                        parent[y.index()] = x.0;
                         queue.push_back(y);
                     }
-                    Some(&dy) => {
+                    Some(dy) => {
                         let len = dx + dy + 1;
-                        if best.map_or(true, |b| len < b) {
+                        if best.is_none_or(|b| len < b) {
                             best = Some(len);
                         }
                     }
@@ -97,50 +99,51 @@ pub fn shortest_cycle_through<T: Topology + ?Sized>(topo: &T, u: NodeId) -> Opti
     if !topo.contains_node(u) {
         return None;
     }
-    let mut dist: BTreeMap<NodeId, u32> = BTreeMap::new();
-    let mut branch: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    let bound = topo.id_bound();
+    let mut dist = DistMap::new(bound);
+    let mut branch = vec![NO_PARENT; bound];
+    let mut parent = vec![NO_PARENT; bound];
     dist.insert(u, 0);
     let mut queue = std::collections::VecDeque::new();
     let mut roots = Vec::new();
     topo.for_each_neighbor(u, &mut |v| roots.push(v));
     let mut best: Option<u32> = None;
     for v in roots {
-        if dist.contains_key(&v) {
+        if dist.contains(v) {
             // Parallel edges cannot occur in a simple graph; `v` seen
             // twice would mean a multi-edge. Ignore defensively.
             continue;
         }
         dist.insert(v, 1);
-        branch.insert(v, v);
-        parent.insert(v, u);
+        branch[v.index()] = v.0;
+        parent[v.index()] = u.0;
         queue.push_back(v);
     }
     while let Some(x) = queue.pop_front() {
-        let dx = dist[&x];
+        let dx = dist[x];
         if let Some(b) = best {
             if dx * 2 >= b {
                 continue;
             }
         }
-        let bx = branch[&x];
+        let bx = branch[x.index()];
         let mut nbrs = Vec::new();
         topo.for_each_neighbor(x, &mut |y| nbrs.push(y));
         for y in nbrs {
-            if y == u || parent.get(&x) == Some(&y) {
+            if y == u || parent[x.index()] == y.0 {
                 continue;
             }
-            match dist.get(&y) {
+            match dist.get(y) {
                 None => {
                     dist.insert(y, dx + 1);
-                    branch.insert(y, bx);
-                    parent.insert(y, x);
+                    branch[y.index()] = bx;
+                    parent[y.index()] = x.0;
                     queue.push_back(y);
                 }
-                Some(&dy) => {
-                    if branch.get(&y) != Some(&bx) {
+                Some(dy) => {
+                    if branch[y.index()] != bx {
                         let len = dx + dy + 1;
-                        if best.map_or(true, |b| len < b) {
+                        if best.is_none_or(|b| len < b) {
                             best = Some(len);
                         }
                     }

@@ -5,8 +5,7 @@
 //! vertices. Use [`crate::permute`] to scramble labels afterwards — a
 //! correct local routing algorithm must survive any relabelling.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::DetRng;
 
 use crate::graph::{Graph, GraphBuilder};
 use crate::labels::NodeId;
@@ -42,7 +41,10 @@ pub fn cycle(n: usize) -> Graph {
 ///
 /// Panics if `legs == 0` or `leg_len == 0`.
 pub fn spider(legs: usize, leg_len: usize) -> Graph {
-    assert!(legs > 0 && leg_len > 0, "spider needs legs of positive length");
+    assert!(
+        legs > 0 && leg_len > 0,
+        "spider needs legs of positive length"
+    );
     let n = 1 + legs * leg_len;
     let mut edges = Vec::new();
     for j in 0..legs {
@@ -101,7 +103,10 @@ pub fn theta(arm_lengths: &[usize]) -> Graph {
         arm_lengths.iter().filter(|&&l| l == 1).count() <= 1,
         "at most one unit arm keeps the graph simple"
     );
-    assert!(arm_lengths.iter().all(|&l| l >= 1), "arm lengths must be >= 1");
+    assert!(
+        arm_lengths.iter().all(|&l| l >= 1),
+        "arm lengths must be >= 1"
+    );
     let mut edges = Vec::new();
     let mut next = 2u32;
     for &len in arm_lengths {
@@ -173,7 +178,7 @@ pub fn binary_tree(levels: u32) -> Graph {
 
 /// Uniformly random labelled tree on `n` nodes via a random Prüfer
 /// sequence.
-pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+pub fn random_tree(n: usize, rng: &mut DetRng) -> Graph {
     assert!(n > 0, "tree needs at least one node");
     if n == 1 {
         return Graph::from_edges(1, &[]).expect("single node");
@@ -189,9 +194,8 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
     let mut edges = Vec::with_capacity(n - 1);
     // Min-leaf decoding with a BTreeSet keeps the construction
     // deterministic for a given sequence.
-    let mut leaves: std::collections::BTreeSet<u32> = (0..n as u32)
-        .filter(|&i| degree[i as usize] == 1)
-        .collect();
+    let mut leaves: std::collections::BTreeSet<u32> =
+        (0..n as u32).filter(|&i| degree[i as usize] == 1).collect();
     for &p in &prufer {
         let leaf = *leaves.iter().next().expect("tree decoding invariant");
         leaves.remove(&leaf);
@@ -211,7 +215,7 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
 /// Random connected graph: a uniformly random spanning tree plus
 /// `extra_edges` additional distinct random non-tree edges (as many as
 /// fit in a simple graph).
-pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+pub fn random_connected(n: usize, extra_edges: usize, rng: &mut DetRng) -> Graph {
     let tree = random_tree(n, rng);
     let mut b = GraphBuilder::with_identity_labels(n);
     for (u, v) in tree.edges() {
@@ -243,7 +247,10 @@ pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut
 /// Every connected graph on `n` labelled vertices, enumerated by edge
 /// bitmask. Exponential — intended for `n <= 6` exhaustive tests.
 pub fn all_connected(n: usize) -> Vec<Graph> {
-    assert!(n <= 7, "exhaustive enumeration is exponential; keep n small");
+    assert!(
+        n <= 7,
+        "exhaustive enumeration is exponential; keep n small"
+    );
     let pairs: Vec<(u32, u32)> = (0..n as u32)
         .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
         .collect();
@@ -268,7 +275,7 @@ pub fn all_connected(n: usize) -> Vec<Graph> {
 
 /// A random connected graph sampled from a mix of shapes (trees, sparse,
 /// cyclic, dense-ish) — the workhorse for randomized delivery suites.
-pub fn random_mixed<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+pub fn random_mixed(n: usize, rng: &mut DetRng) -> Graph {
     let style = rng.gen_range(0..4u8);
     match style {
         0 => random_tree(n, rng),
@@ -297,7 +304,8 @@ pub fn random_mixed<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
                     }
                     let key = (a.min(c), a.max(c));
                     if present.insert(key) {
-                        b.add_edge(NodeId(key.0), NodeId(key.1)).expect("fresh chord");
+                        b.add_edge(NodeId(key.0), NodeId(key.1))
+                            .expect("fresh chord");
                         added += 1;
                     }
                 }
@@ -313,11 +321,7 @@ pub fn random_mixed<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
 
 /// Chooses `count` distinct node pairs uniformly at random (or all pairs
 /// if fewer exist); used to sample origin–destination pairs.
-pub fn sample_pairs<R: Rng + ?Sized>(
-    n: usize,
-    count: usize,
-    rng: &mut R,
-) -> Vec<(NodeId, NodeId)> {
+pub fn sample_pairs(n: usize, count: usize, rng: &mut DetRng) -> Vec<(NodeId, NodeId)> {
     let mut all: Vec<(NodeId, NodeId)> = (0..n as u32)
         .flat_map(|i| {
             (0..n as u32)
@@ -328,7 +332,7 @@ pub fn sample_pairs<R: Rng + ?Sized>(
     if all.len() <= count {
         return all;
     }
-    all.shuffle(rng);
+    rng.shuffle(&mut all);
     all.truncate(count);
     all
 }
@@ -336,9 +340,8 @@ pub fn sample_pairs<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::DetRng;
     use crate::traversal;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn basic_family_sizes() {
@@ -372,7 +375,7 @@ mod tests {
 
     #[test]
     fn random_tree_is_tree() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         for n in [1usize, 2, 3, 10, 40] {
             let g = random_tree(n, &mut rng);
             assert_eq!(g.node_count(), n);
@@ -383,7 +386,7 @@ mod tests {
 
     #[test]
     fn random_connected_is_connected_with_extras() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let g = random_connected(20, 10, &mut rng);
         assert!(traversal::is_connected(&g));
         assert_eq!(g.edge_count(), 29);
@@ -391,7 +394,7 @@ mod tests {
 
     #[test]
     fn random_connected_caps_extras() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let g = random_connected(4, 100, &mut rng);
         assert_eq!(g.edge_count(), 6); // K4
     }
@@ -409,7 +412,7 @@ mod tests {
 
     #[test]
     fn random_mixed_always_connected() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = DetRng::seed_from_u64(42);
         for _ in 0..40 {
             let n = rng.gen_range(2..30);
             let g = random_mixed(n, &mut rng);
@@ -420,7 +423,7 @@ mod tests {
 
     #[test]
     fn sample_pairs_distinct_and_bounded() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let pairs = sample_pairs(6, 10, &mut rng);
         assert_eq!(pairs.len(), 10);
         for (s, t) in pairs {

@@ -6,7 +6,7 @@
 //! comparators (greedy and compass routing) can be run next to the
 //! position-oblivious algorithms.
 
-use rand::Rng;
+use crate::rng::DetRng;
 
 use crate::graph::{Graph, GraphBuilder};
 use crate::labels::{Label, NodeId};
@@ -99,9 +99,10 @@ pub fn gabriel(points: &[Point]) -> EmbeddedGraph {
                 y: (points[i].y + points[j].y) / 2.0,
             };
             let r = points[i].dist(points[j]) / 2.0;
-            let blocked = points.iter().enumerate().any(|(k, p)| {
-                k != i && k != j && mid.dist(*p) < r - 1e-12
-            });
+            let blocked = points
+                .iter()
+                .enumerate()
+                .any(|(k, p)| k != i && k != j && mid.dist(*p) < r - 1e-12);
             if !blocked {
                 b.add_edge(NodeId(i as u32), NodeId(j as u32))
                     .expect("simple");
@@ -127,10 +128,7 @@ pub fn relative_neighborhood(points: &[Point]) -> EmbeddedGraph {
         for j in (i + 1)..points.len() {
             let d = points[i].dist(points[j]);
             let blocked = points.iter().enumerate().any(|(k, p)| {
-                k != i
-                    && k != j
-                    && points[i].dist(*p) < d - 1e-12
-                    && points[j].dist(*p) < d - 1e-12
+                k != i && k != j && points[i].dist(*p) < d - 1e-12 && points[j].dist(*p) < d - 1e-12
             });
             if !blocked {
                 b.add_edge(NodeId(i as u32), NodeId(j as u32))
@@ -145,11 +143,11 @@ pub fn relative_neighborhood(points: &[Point]) -> EmbeddedGraph {
 }
 
 /// `n` uniform random points in the unit square.
-pub fn random_points<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Point> {
+pub fn random_points(n: usize, rng: &mut DetRng) -> Vec<Point> {
     (0..n)
         .map(|_| Point {
-            x: rng.gen::<f64>(),
-            y: rng.gen::<f64>(),
+            x: rng.gen_f64(),
+            y: rng.gen_f64(),
         })
         .collect()
 }
@@ -161,7 +159,7 @@ pub fn random_points<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<Point> {
 ///
 /// Panics if no connected instance is found within 200 attempts — raise
 /// the radius.
-pub fn random_connected_udg<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> EmbeddedGraph {
+pub fn random_connected_udg(n: usize, radius: f64, rng: &mut DetRng) -> EmbeddedGraph {
     for _ in 0..200 {
         let g = unit_disc(&random_points(n, rng), radius);
         if crate::traversal::is_connected(&g.graph) {
@@ -174,8 +172,7 @@ pub fn random_connected_udg<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::DetRng;
 
     #[test]
     fn point_geometry() {
@@ -202,7 +199,7 @@ mod tests {
 
     #[test]
     fn rng_subset_of_gabriel_subset_of_complete_distance_graph() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         for _ in 0..10 {
             let pts = random_points(20, &mut rng);
             let gg = gabriel(&pts);
@@ -234,7 +231,7 @@ mod tests {
 
     #[test]
     fn gabriel_of_udg_points_is_sparser() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = DetRng::seed_from_u64(12);
         let pts = random_points(30, &mut rng);
         let udg = unit_disc(&pts, 0.7);
         let gg = gabriel(&pts);
@@ -243,7 +240,7 @@ mod tests {
 
     #[test]
     fn random_udg_is_connected() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         let g = random_connected_udg(30, 0.35, &mut rng);
         assert!(crate::traversal::is_connected(&g.graph));
         assert_eq!(g.positions.len(), 30);

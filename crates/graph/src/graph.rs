@@ -167,6 +167,10 @@ impl Topology for Graph {
         self.node_count()
     }
 
+    fn id_bound(&self) -> usize {
+        self.labels.len()
+    }
+
     fn contains_node(&self, u: NodeId) -> bool {
         u.index() < self.labels.len()
     }

@@ -1,0 +1,146 @@
+//! Compact index layer: parent [`NodeId`] ⇄ dense `u32` slot.
+//!
+//! A [`Subgraph`](crate::Subgraph) holds a sparse subset of a parent
+//! graph's nodes. [`IndexMap`] gives that subset dense, contiguous slot
+//! numbers so per-node side data (labels, distances, CSR offsets) can
+//! live in flat `Vec`s instead of tree maps. Lookups in both directions
+//! are O(1): parent → slot is an array index, slot → parent reads the
+//! sorted member list.
+
+use crate::labels::NodeId;
+
+const ABSENT: u32 = u32::MAX;
+
+/// Bidirectional map between sparse parent [`NodeId`]s and dense slots.
+///
+/// Members are stored in ascending `NodeId` order, so slot order equals
+/// id order — iterating slots `0..len` recovers the deterministic
+/// ascending iteration the tree-map representation used to provide.
+///
+/// ```
+/// use locality_graph::{IndexMap, NodeId};
+///
+/// let idx = IndexMap::from_sorted_ids(vec![NodeId(2), NodeId(5), NodeId(9)], 12);
+/// assert_eq!(idx.len(), 3);
+/// assert_eq!(idx.slot_of(NodeId(5)), Some(1));
+/// assert_eq!(idx.id_of(1), NodeId(5));
+/// assert_eq!(idx.slot_of(NodeId(3)), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexMap {
+    /// parent id → slot, `ABSENT` when the id is not a member.
+    slots: Vec<u32>,
+    /// slot → parent id, ascending.
+    members: Vec<NodeId>,
+}
+
+impl IndexMap {
+    /// Builds the map from a strictly ascending list of member ids.
+    /// `id_bound` is an exclusive upper bound on parent id values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is not strictly ascending or contains an id
+    /// at or above `id_bound`.
+    pub fn from_sorted_ids(members: Vec<NodeId>, id_bound: usize) -> Self {
+        let mut slots = vec![ABSENT; id_bound];
+        for (i, w) in members.windows(2).enumerate() {
+            assert!(w[0] < w[1], "IndexMap members must be strictly ascending");
+            let _ = i;
+        }
+        for (slot, &u) in members.iter().enumerate() {
+            assert!(
+                u.index() < id_bound,
+                "member {u} outside id_bound {id_bound}"
+            );
+            slots[u.index()] = slot as u32;
+        }
+        IndexMap { slots, members }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the map has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Exclusive upper bound on parent ids this map can answer for.
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The dense slot of parent id `u`, or `None` if `u` is not a member.
+    #[inline]
+    pub fn slot_of(&self, u: NodeId) -> Option<usize> {
+        match self.slots.get(u.index()) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Whether `u` is a member.
+    #[inline]
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.slot_of(u).is_some()
+    }
+
+    /// The parent id stored in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    #[inline]
+    pub fn id_of(&self, slot: usize) -> NodeId {
+        self.members[slot]
+    }
+
+    /// The member ids in ascending order (slot order).
+    #[inline]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_both_directions() {
+        let ids = vec![NodeId(0), NodeId(3), NodeId(4), NodeId(7)];
+        let idx = IndexMap::from_sorted_ids(ids.clone(), 8);
+        for (slot, &u) in ids.iter().enumerate() {
+            assert_eq!(idx.slot_of(u), Some(slot));
+            assert_eq!(idx.id_of(slot), u);
+        }
+        assert_eq!(idx.len(), 4);
+        assert!(!idx.contains(NodeId(1)));
+        assert_eq!(idx.slot_of(NodeId(1)), None);
+    }
+
+    #[test]
+    fn out_of_bound_ids_are_absent() {
+        let idx = IndexMap::from_sorted_ids(vec![NodeId(1)], 2);
+        assert_eq!(idx.slot_of(NodeId(99)), None);
+    }
+
+    #[test]
+    fn empty_map() {
+        let idx = IndexMap::from_sorted_ids(Vec::new(), 0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.members(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_members_panic() {
+        IndexMap::from_sorted_ids(vec![NodeId(2), NodeId(1)], 4);
+    }
+}

@@ -14,9 +14,7 @@ use crate::labels::{Label, NodeId};
 pub fn to_string(g: &Graph) -> String {
     let mut out = String::new();
     out.push_str(&format!("n {}\n", g.node_count()));
-    let identity = g
-        .nodes()
-        .all(|u| g.label(u).value() == u.0);
+    let identity = g.nodes().all(|u| g.label(u).value() == u.0);
     if !identity {
         for u in g.nodes() {
             out.push_str(&format!("l {} {}\n", u.0, g.label(u).value()));

@@ -41,19 +41,24 @@
 
 pub mod components;
 pub mod cycles;
+pub mod dist;
 mod error;
 pub mod generators;
 pub mod geo;
 mod graph;
+mod index;
 pub mod io;
 mod labels;
 pub mod neighborhood;
 pub mod permute;
+pub mod rng;
 mod subgraph;
 pub mod traversal;
 
+pub use dist::DistMap;
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder};
+pub use index::IndexMap;
 pub use labels::{EdgeRank, Label, NodeId};
-pub use subgraph::Subgraph;
+pub use subgraph::{Subgraph, SubgraphBuilder};
 pub use traversal::Topology;

@@ -15,10 +15,9 @@
 //! the "far" edge joining the two antipodal vertices is *not* visible,
 //! splitting the view into two independent path components.
 
-use std::collections::BTreeMap;
-
+use crate::dist::DistMap;
 use crate::labels::NodeId;
-use crate::subgraph::Subgraph;
+use crate::subgraph::{Subgraph, SubgraphBuilder};
 use crate::traversal::{self, Topology};
 
 /// Extracts `G_k(u)` from `topo` as a [`Subgraph`].
@@ -43,36 +42,48 @@ use crate::traversal::{self, Topology};
 /// assert_eq!(view.edge_count(), 8);
 /// ```
 pub fn k_neighborhood<T: Topology + ?Sized>(topo: &T, u: NodeId, k: u32) -> Subgraph {
-    let dist = traversal::bfs_distances(topo, u, Some(k));
-    let mut sub = Subgraph::new();
-    if dist.is_empty() {
-        return sub;
-    }
-    sub.insert_node(u);
-    for (&x, &dx) in &dist {
-        sub.insert_node(x);
-        if dx + 1 <= k {
-            topo.for_each_neighbor(x, &mut |y| {
-                // The nearer endpoint decides membership; iterate from the
-                // nearer side only to avoid double work.
-                if dist.get(&y).is_some_and(|&dy| dy >= dx) {
-                    sub.insert_edge(x, y);
-                }
-            });
-        }
-    }
-    sub
+    k_neighborhood_with_distances(topo, u, k).0
 }
 
 /// `G_k(u)` together with the BFS distances from `u`, which every
 /// consumer of a view wants anyway.
+///
+/// The distances are the ones computed by the extraction BFS itself:
+/// distances within `G_k(u)` equal distances within `G` truncated at
+/// depth `k`, because every prefix of a shortest path of length `<= k`
+/// lies in the view by the edge-membership rule. (A debug assertion
+/// re-checks this equivalence in debug builds.)
 pub fn k_neighborhood_with_distances<T: Topology + ?Sized>(
     topo: &T,
     u: NodeId,
     k: u32,
-) -> (Subgraph, BTreeMap<NodeId, u32>) {
-    let sub = k_neighborhood(topo, u, k);
-    let dist = traversal::bfs_distances(&sub, u, Some(k));
+) -> (Subgraph, DistMap) {
+    let dist = traversal::bfs_distances(topo, u, Some(k));
+    let mut b = SubgraphBuilder::with_capacity(dist.len(), dist.len());
+    if dist.is_empty() {
+        return (b.build(), dist);
+    }
+    b.insert_node(u);
+    for (x, dx) in dist.iter() {
+        b.insert_node(x);
+        if dx < k {
+            topo.for_each_neighbor(x, &mut |y| {
+                // The nearer endpoint decides membership; iterate from the
+                // nearer side only to avoid double work.
+                if dist.get(y).is_some_and(|dy| dy >= dx) {
+                    b.insert_edge(x, y);
+                }
+            });
+        }
+    }
+    let sub = b.build();
+    debug_assert_eq!(
+        traversal::bfs_distances(&sub, u, Some(k))
+            .iter()
+            .collect::<Vec<_>>(),
+        dist.iter().collect::<Vec<_>>(),
+        "distances in G truncated at k must equal distances within G_k(u)"
+    );
     (sub, dist)
 }
 
@@ -130,10 +141,32 @@ mod tests {
     fn distances_accompany_view() {
         let g = generators::cycle(12);
         let (view, dist) = k_neighborhood_with_distances(&g, NodeId(0), 5);
-        assert_eq!(dist[&NodeId(0)], 0);
-        assert_eq!(dist[&NodeId(5)], 5);
-        assert_eq!(dist[&NodeId(7)], 5);
+        assert_eq!(dist[NodeId(0)], 0);
+        assert_eq!(dist[NodeId(5)], 5);
+        assert_eq!(dist[NodeId(7)], 5);
         assert_eq!(dist.len(), view.node_count());
+    }
+
+    #[test]
+    fn distances_match_in_view_bfs() {
+        // The returned distances are taken from the extraction BFS; they
+        // must equal a from-scratch BFS inside the extracted subgraph.
+        for (g, k) in [
+            (generators::cycle(11), 4u32),
+            (generators::lollipop(6, 4), 3),
+            (generators::grid(4, 5), 3),
+            (generators::complete(6), 2),
+        ] {
+            for u in g.nodes() {
+                let (sub, dist) = k_neighborhood_with_distances(&g, u, k);
+                let inside = traversal::bfs_distances(&sub, u, Some(k));
+                assert_eq!(
+                    dist.iter().collect::<Vec<_>>(),
+                    inside.iter().collect::<Vec<_>>(),
+                    "node {u} k={k}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -141,11 +174,9 @@ mod tests {
         // Two branches of length k from u, joined at the far end: the
         // joining edge must be invisible (it needs k + 1 hops).
         // u=0; branch A: 0-1-2-3; branch B: 0-4-5-6; edge {3,6}.
-        let g = crate::Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (3, 6)],
-        )
-        .unwrap();
+        let g =
+            crate::Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (3, 6)])
+                .unwrap();
         let view = k_neighborhood(&g, NodeId(0), 3);
         assert!(view.contains_node(NodeId(3)));
         assert!(view.contains_node(NodeId(6)));

@@ -5,8 +5,7 @@
 //! These helpers rewrite a graph's labels while preserving structure, so
 //! test suites can check label-permutation robustness.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::DetRng;
 
 use crate::graph::{Graph, GraphBuilder};
 use crate::labels::{Label, NodeId};
@@ -30,9 +29,9 @@ pub fn relabel(g: &Graph, perm: &[Label]) -> Graph {
 }
 
 /// Applies a uniformly random permutation of the labels `0..n`.
-pub fn random_relabel<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Graph {
+pub fn random_relabel(g: &Graph, rng: &mut DetRng) -> Graph {
     let mut labels: Vec<Label> = (0..g.node_count() as u32).map(Label).collect();
-    labels.shuffle(rng);
+    rng.shuffle(&mut labels);
     relabel(g, &labels)
 }
 
@@ -55,9 +54,8 @@ pub fn same_node(_g1: &Graph, u: NodeId) -> NodeId {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::rng::DetRng;
     use crate::traversal;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn relabel_preserves_structure() {
@@ -73,7 +71,7 @@ mod tests {
     #[test]
     fn random_relabel_is_permutation() {
         let g = generators::path(10);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let h = random_relabel(&g, &mut rng);
         let mut labels: Vec<u32> = h.nodes().map(|u| h.label(u).value()).collect();
         labels.sort_unstable();
@@ -92,11 +90,7 @@ mod tests {
         // After reversing labels, neighbour lists re-sort by new labels.
         let g = generators::star(4);
         let h = reverse_labels(&g);
-        let nbr_labels: Vec<Label> = h
-            .neighbors(NodeId(0))
-            .iter()
-            .map(|&v| h.label(v))
-            .collect();
+        let nbr_labels: Vec<Label> = h.neighbors(NodeId(0)).iter().map(|&v| h.label(v)).collect();
         let mut sorted = nbr_labels.clone();
         sorted.sort_unstable();
         assert_eq!(nbr_labels, sorted);

@@ -1,8 +1,9 @@
-//! Lightweight subgraph views over a parent [`Graph`](crate::Graph).
+//! Lightweight subgraph views over a parent [`Graph`](crate::Graph),
+//! stored in compressed sparse row (CSR) form.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::index::IndexMap;
 use crate::labels::NodeId;
 use crate::traversal::Topology;
 
@@ -10,91 +11,65 @@ use crate::traversal::Topology;
 /// [`NodeId`]s.
 ///
 /// `Subgraph` is the representation of `G_k(u)` and of the routing
-/// subgraph `G'_k(u)`: small, explicit, and deterministic (adjacency is a
-/// `BTreeMap`, neighbour lists are kept sorted by `NodeId`). It does not
-/// borrow the parent graph, so views can be cached and shipped to
-/// simulated nodes independently.
+/// subgraph `G'_k(u)`. It is an immutable CSR structure: an
+/// [`IndexMap`] assigns each member node a dense slot, `offsets` cuts
+/// the flat `targets` array into per-slot neighbour runs, and every run
+/// is sorted ascending by `NodeId` — the same deterministic order the
+/// earlier tree-map representation exposed, now with O(1) slot lookup
+/// and zero per-node allocation. Construction goes through
+/// [`SubgraphBuilder`]. It does not borrow the parent graph, so views
+/// can be cached and shipped to simulated nodes independently.
 ///
 /// ```
-/// use locality_graph::{NodeId, Subgraph};
+/// use locality_graph::{NodeId, SubgraphBuilder};
 ///
-/// let mut s = Subgraph::new();
-/// s.insert_node(NodeId(3));
-/// s.insert_node(NodeId(7));
-/// s.insert_edge(NodeId(3), NodeId(7));
+/// let mut b = SubgraphBuilder::new();
+/// b.insert_node(NodeId(3));
+/// b.insert_node(NodeId(7));
+/// b.insert_edge(NodeId(3), NodeId(7));
+/// let s = b.build();
 /// assert!(s.has_edge(NodeId(7), NodeId(3)));
 /// assert_eq!(s.node_count(), 2);
 /// ```
 #[derive(Clone, Default, PartialEq, Eq)]
 pub struct Subgraph {
-    adj: BTreeMap<NodeId, Vec<NodeId>>,
+    index: IndexMap,
+    /// slot → start of its neighbour run in `targets`; length `len + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour runs (parent ids), each run sorted ascending.
+    targets: Vec<NodeId>,
     edge_count: usize,
 }
 
 impl Subgraph {
-    /// Creates an empty subgraph.
-    pub fn new() -> Subgraph {
-        Subgraph::default()
-    }
-
-    /// Inserts a node (no-op if present).
-    pub fn insert_node(&mut self, u: NodeId) {
-        self.adj.entry(u).or_default();
-    }
-
-    /// Inserts the undirected edge `{u, v}`, inserting endpoints as
-    /// needed. No-op if the edge is already present.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a self-loop: subgraphs of simple graphs are simple.
-    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
-        assert_ne!(u, v, "self-loop in subgraph");
-        if self.has_edge(u, v) {
-            return;
-        }
-        self.adj.entry(u).or_default().push(v);
-        self.adj.entry(v).or_default().push(u);
-        self.adj.get_mut(&u).expect("just inserted").sort_unstable();
-        self.adj.get_mut(&v).expect("just inserted").sort_unstable();
-        self.edge_count += 1;
-    }
-
-    /// Removes the edge `{u, v}` if present; returns whether it existed.
-    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        let mut removed = false;
-        if let Some(list) = self.adj.get_mut(&u) {
-            if let Ok(i) = list.binary_search(&v) {
-                list.remove(i);
-                removed = true;
-            }
-        }
-        if removed {
-            let list = self.adj.get_mut(&v).expect("edge was symmetric");
-            let i = list.binary_search(&u).expect("edge was symmetric");
-            list.remove(i);
-            self.edge_count -= 1;
-        }
-        removed
-    }
-
     /// Whether node `u` is present.
     #[inline]
     pub fn contains_node(&self, u: NodeId) -> bool {
-        self.adj.contains_key(&u)
+        self.index.contains(u)
+    }
+
+    /// The dense slot of `u`, or `None` if absent. Slots number the
+    /// members `0..node_count()` in ascending `NodeId` order.
+    #[inline]
+    pub fn slot_of(&self, u: NodeId) -> Option<usize> {
+        self.index.slot_of(u)
+    }
+
+    /// The member occupying `slot` (inverse of [`slot_of`](Self::slot_of)).
+    #[inline]
+    pub fn id_of(&self, slot: usize) -> NodeId {
+        self.index.id_of(slot)
     }
 
     /// Whether the edge `{u, v}` is present.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj
-            .get(&u)
-            .is_some_and(|list| list.binary_search(&v).is_ok())
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.index.len()
     }
 
     /// Number of undirected edges.
@@ -106,7 +81,10 @@ impl Subgraph {
     /// Neighbours of `u` within the subgraph (sorted by `NodeId`), or an
     /// empty slice if `u` is absent.
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        self.adj.get(&u).map_or(&[], Vec::as_slice)
+        match self.index.slot_of(u) {
+            Some(s) => &self.targets[self.offsets[s] as usize..self.offsets[s + 1] as usize],
+            None => &[],
+        }
     }
 
     /// Degree of `u` within the subgraph (0 if absent).
@@ -116,13 +94,20 @@ impl Subgraph {
 
     /// Iterator over nodes in ascending `NodeId` order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.keys().copied()
+        self.index.members().iter().copied()
+    }
+
+    /// The member nodes as a sorted slice (slot order).
+    #[inline]
+    pub fn node_slice(&self) -> &[NodeId] {
+        self.index.members()
     }
 
     /// Iterator over edges, each reported once as `(min, max)` by id.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj.iter().flat_map(|(&u, list)| {
-            list.iter()
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
                 .copied()
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
@@ -133,19 +118,30 @@ impl Subgraph {
     /// edges) removed. Used for local-component analysis: the local
     /// components of `u` are the connected components of `G_k(u) \ {u}`.
     pub fn without_node(&self, u: NodeId) -> Subgraph {
-        let mut out = Subgraph::new();
-        for (&x, list) in &self.adj {
-            if x == u {
-                continue;
-            }
-            out.insert_node(x);
-            for &y in list {
-                if y != u && x < y {
-                    out.insert_edge(x, y);
+        let members: Vec<NodeId> = self.nodes().filter(|&x| x != u).collect();
+        // Canonical id bound (max id + 1) so structurally equal
+        // subgraphs compare equal however they were produced.
+        let id_bound = members.last().map_or(0, |m| m.index() + 1);
+        let index = IndexMap::from_sorted_ids(members, id_bound);
+        let mut offsets = Vec::with_capacity(index.len() + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        offsets.push(0u32);
+        let mut edge_ends = 0usize;
+        for &x in index.members() {
+            for &y in self.neighbors(x) {
+                if y != u {
+                    targets.push(y);
+                    edge_ends += 1;
                 }
             }
+            offsets.push(targets.len() as u32);
         }
-        out
+        Subgraph {
+            index,
+            offsets,
+            targets,
+            edge_count: edge_ends / 2,
+        }
     }
 }
 
@@ -172,6 +168,10 @@ impl Topology for Subgraph {
         self.node_count()
     }
 
+    fn id_bound(&self) -> usize {
+        self.index.id_bound()
+    }
+
     fn contains_node(&self, u: NodeId) -> bool {
         self.contains_node(u)
     }
@@ -189,16 +189,118 @@ impl Topology for Subgraph {
     }
 }
 
+/// Accumulates nodes and edges, then freezes them into a CSR
+/// [`Subgraph`].
+///
+/// Inserts are cheap appends; [`build`](Self::build) sorts, dedups, and
+/// lays out the CSR arrays in one pass, so duplicate edge inserts are
+/// harmless and insertion order is irrelevant to the result.
+///
+/// ```
+/// use locality_graph::{NodeId, SubgraphBuilder};
+///
+/// let mut b = SubgraphBuilder::new();
+/// b.insert_edge(NodeId(1), NodeId(0));
+/// b.insert_edge(NodeId(0), NodeId(1)); // duplicate: ignored at build
+/// let s = b.build();
+/// assert_eq!(s.edge_count(), 1);
+/// assert_eq!(s.neighbors(NodeId(0)), &[NodeId(1)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SubgraphBuilder {
+    nodes: Vec<NodeId>,
+    /// Normalised `(min, max)` pairs; may contain duplicates until build.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl SubgraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> SubgraphBuilder {
+        SubgraphBuilder::default()
+    }
+
+    /// Creates an empty builder with capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> SubgraphBuilder {
+        SubgraphBuilder {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Records node `u` (duplicates are fine).
+    #[inline]
+    pub fn insert_node(&mut self, u: NodeId) {
+        self.nodes.push(u);
+    }
+
+    /// Records the undirected edge `{u, v}`, registering both endpoints
+    /// as nodes. Duplicates are fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop: subgraphs of simple graphs are simple.
+    #[inline]
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+        assert_ne!(u, v, "self-loop in subgraph");
+        self.nodes.push(u);
+        self.nodes.push(v);
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Freezes the accumulated nodes and edges into a CSR [`Subgraph`].
+    pub fn build(mut self) -> Subgraph {
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let id_bound = self.nodes.last().map_or(0, |u| u.index() + 1);
+        let index = IndexMap::from_sorted_ids(self.nodes, id_bound);
+        let n = index.len();
+        // Counting sort of edge endpoints into CSR runs. Edges are
+        // sorted by (min, max), and each is emitted in both directions;
+        // sorting each run once at the end keeps runs ascending.
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            degree[index.slot_of(u).expect("endpoint registered")] += 1;
+            degree[index.slot_of(v).expect("endpoint registered")] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        for s in 0..n {
+            offsets.push(offsets[s] + degree[s]);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![NodeId(0); offsets[n] as usize];
+        for &(u, v) in &self.edges {
+            let su = index.slot_of(u).expect("endpoint registered");
+            let sv = index.slot_of(v).expect("endpoint registered");
+            targets[cursor[su] as usize] = v;
+            cursor[su] += 1;
+            targets[cursor[sv] as usize] = u;
+            cursor[sv] += 1;
+        }
+        for s in 0..n {
+            targets[offsets[s] as usize..offsets[s + 1] as usize].sort_unstable();
+        }
+        Subgraph {
+            index,
+            offsets,
+            targets,
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn triangle() -> Subgraph {
-        let mut s = Subgraph::new();
-        s.insert_edge(NodeId(0), NodeId(1));
-        s.insert_edge(NodeId(1), NodeId(2));
-        s.insert_edge(NodeId(2), NodeId(0));
-        s
+        let mut b = SubgraphBuilder::new();
+        b.insert_edge(NodeId(0), NodeId(1));
+        b.insert_edge(NodeId(1), NodeId(2));
+        b.insert_edge(NodeId(2), NodeId(0));
+        b.build()
     }
 
     #[test]
@@ -213,19 +315,48 @@ mod tests {
 
     #[test]
     fn duplicate_edge_insert_is_idempotent() {
-        let mut s = triangle();
-        s.insert_edge(NodeId(0), NodeId(1));
+        let mut b = SubgraphBuilder::new();
+        b.insert_edge(NodeId(0), NodeId(1));
+        b.insert_edge(NodeId(1), NodeId(0));
+        b.insert_edge(NodeId(1), NodeId(2));
+        b.insert_edge(NodeId(2), NodeId(0));
+        let s = b.build();
         assert_eq!(s.edge_count(), 3);
         assert_eq!(s.degree(NodeId(0)), 2);
     }
 
     #[test]
-    fn remove_edge_updates_both_sides() {
-        let mut s = triangle();
-        assert!(s.remove_edge(NodeId(1), NodeId(0)));
-        assert!(!s.has_edge(NodeId(0), NodeId(1)));
-        assert_eq!(s.edge_count(), 2);
-        assert!(!s.remove_edge(NodeId(1), NodeId(0)));
+    fn neighbor_runs_are_sorted() {
+        let mut b = SubgraphBuilder::new();
+        b.insert_edge(NodeId(5), NodeId(2));
+        b.insert_edge(NodeId(5), NodeId(9));
+        b.insert_edge(NodeId(5), NodeId(0));
+        let s = b.build();
+        assert_eq!(s.neighbors(NodeId(5)), &[NodeId(0), NodeId(2), NodeId(9)]);
+        assert_eq!(
+            s.nodes().collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(2), NodeId(5), NodeId(9)]
+        );
+    }
+
+    #[test]
+    fn slots_number_members_in_id_order() {
+        let s = triangle();
+        assert_eq!(s.slot_of(NodeId(0)), Some(0));
+        assert_eq!(s.slot_of(NodeId(2)), Some(2));
+        assert_eq!(s.id_of(1), NodeId(1));
+        assert_eq!(s.slot_of(NodeId(3)), None);
+    }
+
+    #[test]
+    fn isolated_nodes_survive_build() {
+        let mut b = SubgraphBuilder::new();
+        b.insert_node(NodeId(4));
+        b.insert_edge(NodeId(0), NodeId(1));
+        let s = b.build();
+        assert_eq!(s.node_count(), 3);
+        assert!(s.contains_node(NodeId(4)));
+        assert_eq!(s.degree(NodeId(4)), 0);
     }
 
     #[test]
@@ -234,18 +365,30 @@ mod tests {
         assert_eq!(s.node_count(), 2);
         assert_eq!(s.edge_count(), 1);
         assert!(s.has_edge(NodeId(0), NodeId(1)));
+        assert!(!s.contains_node(NodeId(2)));
     }
 
     #[test]
     #[should_panic(expected = "self-loop")]
     fn self_loop_panics() {
-        let mut s = Subgraph::new();
-        s.insert_edge(NodeId(1), NodeId(1));
+        let mut b = SubgraphBuilder::new();
+        b.insert_edge(NodeId(1), NodeId(1));
     }
 
     #[test]
     fn edges_reported_once() {
         let s = triangle();
         assert_eq!(s.edges().count(), 3);
+    }
+
+    #[test]
+    fn equal_content_is_equal_regardless_of_insert_order() {
+        let mut a = SubgraphBuilder::new();
+        a.insert_edge(NodeId(0), NodeId(1));
+        a.insert_edge(NodeId(1), NodeId(2));
+        let mut b = SubgraphBuilder::new();
+        b.insert_edge(NodeId(2), NodeId(1));
+        b.insert_edge(NodeId(1), NodeId(0));
+        assert_eq!(a.build(), b.build());
     }
 }

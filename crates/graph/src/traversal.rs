@@ -4,9 +4,14 @@
 //! on a full [`Graph`](crate::Graph), on a k-neighbourhood
 //! [`Subgraph`](crate::Subgraph), and on filtered views (e.g. "edges of
 //! rank greater than r" during preprocessing) via [`FilteredTopology`].
+//!
+//! Distances come back as a dense [`DistMap`] rather than a tree map:
+//! node ids are small integers, so a flat `Vec<u32>` with a sentinel is
+//! both faster and allocation-free per visit.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
+use crate::dist::DistMap;
 use crate::labels::NodeId;
 
 /// Minimal adjacency interface shared by graphs and subgraphs.
@@ -17,6 +22,9 @@ use crate::labels::NodeId;
 pub trait Topology {
     /// Number of nodes in the topology.
     fn node_count(&self) -> usize;
+    /// Exclusive upper bound on the [`NodeId`] values of the topology's
+    /// nodes — the size dense per-node arrays must be allocated at.
+    fn id_bound(&self) -> usize;
     /// Whether `u` is a node of the topology.
     fn contains_node(&self, u: NodeId) -> bool;
     /// Calls `f` once per node.
@@ -48,6 +56,10 @@ impl<T: Topology + ?Sized, F: Fn(NodeId, NodeId) -> bool> Topology for FilteredT
         self.inner.node_count()
     }
 
+    fn id_bound(&self) -> usize {
+        self.inner.id_bound()
+    }
+
     fn contains_node(&self, u: NodeId) -> bool {
         self.inner.contains_node(u)
     }
@@ -71,8 +83,8 @@ pub fn bfs_distances<T: Topology + ?Sized>(
     topo: &T,
     source: NodeId,
     max_depth: Option<u32>,
-) -> BTreeMap<NodeId, u32> {
-    let mut dist = BTreeMap::new();
+) -> DistMap {
+    let mut dist = DistMap::new(topo.id_bound());
     if !topo.contains_node(source) {
         return dist;
     }
@@ -80,25 +92,18 @@ pub fn bfs_distances<T: Topology + ?Sized>(
     let mut queue = VecDeque::new();
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        let du = dist[&u];
+        let du = dist[u];
         if let Some(md) = max_depth {
             if du >= md {
                 continue;
             }
         }
-        let mut fresh = Vec::new();
         topo.for_each_neighbor(u, &mut |v| {
-            if !dist.contains_key(&v) {
-                fresh.push(v);
-            }
-        });
-        for v in fresh {
-            // A node can be discovered twice within one neighbour sweep if
-            // the topology reports duplicate neighbours; guard with entry.
-            if dist.insert(v, du + 1).is_none() {
+            if !dist.contains(v) {
+                dist.insert(v, du + 1);
                 queue.push_back(v);
             }
-        }
+        });
     }
     dist
 }
@@ -108,7 +113,7 @@ pub fn distance<T: Topology + ?Sized>(topo: &T, u: NodeId, v: NodeId) -> Option<
     if u == v {
         return topo.contains_node(u).then_some(0);
     }
-    bfs_distances(topo, u, None).get(&v).copied()
+    bfs_distances(topo, u, None).get(v)
 }
 
 /// One shortest path from `u` to `v` (inclusive of both), deterministic:
@@ -121,12 +126,12 @@ pub fn shortest_path<T: Topology + ?Sized>(topo: &T, u: NodeId, v: NodeId) -> Op
     // distance-to-v, picking the smallest-id neighbour at each step.
     let dist_to_v = bfs_distances(topo, v, None);
     let mut cur = u;
-    let mut d = *dist_to_v.get(&u)?;
+    let mut d = dist_to_v.get(u)?;
     let mut path = vec![u];
     while d > 0 {
         let mut next: Option<NodeId> = None;
         topo.for_each_neighbor(cur, &mut |w| {
-            if dist_to_v.get(&w) == Some(&(d - 1)) && next.map_or(true, |n| w < n) {
+            if dist_to_v.get(w) == Some(d - 1) && next.is_none_or(|n| w < n) {
                 next = Some(w);
             }
         });
@@ -144,12 +149,12 @@ pub fn shortest_path_steps<T: Topology + ?Sized>(topo: &T, u: NodeId, v: NodeId)
         return Vec::new();
     }
     let dist_to_v = bfs_distances(topo, v, None);
-    let Some(&du) = dist_to_v.get(&u) else {
+    let Some(du) = dist_to_v.get(u) else {
         return Vec::new();
     };
     let mut steps = Vec::new();
     topo.for_each_neighbor(u, &mut |w| {
-        if dist_to_v.get(&w) == Some(&(du - 1)) {
+        if dist_to_v.get(w) == Some(du - 1) {
             steps.push(w);
         }
     });
@@ -179,7 +184,7 @@ pub fn eccentricity<T: Topology + ?Sized>(topo: &T, u: NodeId) -> Option<u32> {
     if dist.len() != topo.node_count() {
         return None;
     }
-    dist.values().copied().max()
+    dist.max_distance()
 }
 
 /// Diameter of a connected topology, or `None` if disconnected/empty.
@@ -196,30 +201,34 @@ pub fn diameter<T: Topology + ?Sized>(topo: &T) -> Option<u32> {
     Some(best)
 }
 
+const UNSET: u32 = u32::MAX;
+
 /// Articulation points (cut vertices): nodes whose removal increases
-/// the number of connected components. Iterative Hopcroft–Tarjan.
+/// the number of connected components. Iterative Hopcroft–Tarjan over
+/// dense per-id arrays.
 ///
 /// Constraint vertices (§2.1) are closely related: a constraint vertex
 /// of an independent active component separates the centre from every
 /// depth-k vertex, so it is either an articulation point of the view or
 /// a depth-k vertex itself — a cross-check the test suites exploit.
 pub fn articulation_points<T: Topology + ?Sized>(topo: &T) -> Vec<NodeId> {
+    let bound = topo.id_bound();
     let mut nodes = Vec::new();
     topo.for_each_node(&mut |u| nodes.push(u));
-    let mut disc: BTreeMap<NodeId, u32> = BTreeMap::new();
-    let mut low: BTreeMap<NodeId, u32> = BTreeMap::new();
-    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-    let mut cut: std::collections::BTreeSet<NodeId> = Default::default();
+    let mut disc = vec![UNSET; bound];
+    let mut low = vec![UNSET; bound];
+    let mut parent = vec![UNSET; bound];
+    let mut is_cut = vec![false; bound];
     let mut timer = 0u32;
     for &root in &nodes {
-        if disc.contains_key(&root) {
+        if disc[root.index()] != UNSET {
             continue;
         }
         // Iterative DFS carrying (node, neighbour cursor).
         let mut root_children = 0;
         let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
-        disc.insert(root, timer);
-        low.insert(root, timer);
+        disc[root.index()] = timer;
+        low[root.index()] = timer;
         timer += 1;
         while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
             let mut nbrs = Vec::new();
@@ -227,52 +236,53 @@ pub fn articulation_points<T: Topology + ?Sized>(topo: &T) -> Vec<NodeId> {
             if *cursor < nbrs.len() {
                 let v = nbrs[*cursor];
                 *cursor += 1;
-                if !disc.contains_key(&v) {
-                    parent.insert(v, u);
-                    disc.insert(v, timer);
-                    low.insert(v, timer);
+                if disc[v.index()] == UNSET {
+                    parent[v.index()] = u.0;
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
                     timer += 1;
                     if u == root {
                         root_children += 1;
                     }
                     stack.push((v, 0));
-                } else if parent.get(&u) != Some(&v) {
-                    let lv = low[&u].min(disc[&v]);
-                    low.insert(u, lv);
+                } else if parent[u.index()] != v.0 {
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
                 }
             } else {
                 stack.pop();
                 if let Some(&(p, _)) = stack.last() {
-                    let lu = low[&u];
-                    let lp = low[&p].min(lu);
-                    low.insert(p, lp);
-                    if p != root && lu >= disc[&p] {
-                        cut.insert(p);
+                    let lu = low[u.index()];
+                    low[p.index()] = low[p.index()].min(lu);
+                    if p != root && lu >= disc[p.index()] {
+                        is_cut[p.index()] = true;
                     }
                 }
             }
         }
         if root_children >= 2 {
-            cut.insert(root);
+            is_cut[root.index()] = true;
         }
     }
-    cut.into_iter().collect()
+    (0..bound)
+        .filter(|&i| is_cut[i])
+        .map(|i| NodeId(i as u32))
+        .collect()
 }
 
 /// Connected components as sorted node lists, sorted by smallest member.
 pub fn connected_components<T: Topology + ?Sized>(topo: &T) -> Vec<Vec<NodeId>> {
-    let mut seen = std::collections::BTreeSet::new();
+    let mut seen = vec![false; topo.id_bound()];
     let mut nodes = Vec::new();
     topo.for_each_node(&mut |u| nodes.push(u));
     nodes.sort_unstable();
     let mut comps = Vec::new();
     for u in nodes {
-        if seen.contains(&u) {
+        if seen[u.index()] {
             continue;
         }
-        let comp: Vec<NodeId> = bfs_distances(topo, u, None).keys().copied().collect();
+        let comp: Vec<NodeId> = bfs_distances(topo, u, None).keys().collect();
         for &x in &comp {
-            seen.insert(x);
+            seen[x.index()] = true;
         }
         comps.push(comp);
     }
@@ -290,7 +300,7 @@ mod tests {
         let g = generators::path(5);
         let d = bfs_distances(&g, NodeId(0), None);
         for i in 0..5u32 {
-            assert_eq!(d[&NodeId(i)], i);
+            assert_eq!(d[NodeId(i)], i);
         }
     }
 
@@ -299,7 +309,7 @@ mod tests {
         let g = generators::path(10);
         let d = bfs_distances(&g, NodeId(0), Some(3));
         assert_eq!(d.len(), 4);
-        assert_eq!(d.get(&NodeId(4)), None);
+        assert_eq!(d.get(NodeId(4)), None);
     }
 
     #[test]
@@ -324,7 +334,10 @@ mod tests {
         let p = shortest_path(&g, NodeId(1), NodeId(5)).unwrap();
         assert_eq!(p.first(), Some(&NodeId(1)));
         assert_eq!(p.last(), Some(&NodeId(5)));
-        assert_eq!(p.len() as u32 - 1, distance(&g, NodeId(1), NodeId(5)).unwrap());
+        assert_eq!(
+            p.len() as u32 - 1,
+            distance(&g, NodeId(1), NodeId(5)).unwrap()
+        );
         // consecutive entries are edges
         for w in p.windows(2) {
             assert!(g.has_edge(w[0], w[1]));
@@ -334,7 +347,10 @@ mod tests {
     #[test]
     fn shortest_path_to_self_is_single_node() {
         let g = generators::path(3);
-        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+        assert_eq!(
+            shortest_path(&g, NodeId(2), NodeId(2)),
+            Some(vec![NodeId(2)])
+        );
     }
 
     #[test]
@@ -385,9 +401,8 @@ mod tests {
 
     #[test]
     fn articulation_points_match_removal_definition() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(17);
+        use crate::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(17);
         for _ in 0..20 {
             let n = rng.gen_range(3..14);
             let g = generators::random_mixed(n, &mut rng);
@@ -401,11 +416,7 @@ mod tests {
                     .filter(|c| c != &vec![u])
                     .count();
                 let is_cut = comps > base;
-                assert_eq!(
-                    cuts.binary_search(&u).is_ok(),
-                    is_cut,
-                    "node {u} on {g:?}"
-                );
+                assert_eq!(cuts.binary_search(&u).is_ok(), is_cut, "node {u} on {g:?}");
             }
         }
     }

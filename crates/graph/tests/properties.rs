@@ -1,126 +1,150 @@
-//! Property-based tests for the graph substrate.
+//! Property-based tests for the graph substrate, driven by the in-repo
+//! deterministic PRNG: each test replays the same randomized case list
+//! on every run.
 
+use locality_graph::rng::DetRng;
 use locality_graph::{cycles, generators, neighborhood, permute, traversal, NodeId};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Prüfer decoding always yields a tree.
-    #[test]
-    fn random_tree_is_tree(seed in 0u64..10_000, n in 1usize..40) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Prüfer decoding always yields a tree.
+#[test]
+fn random_tree_is_tree() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0001);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..40usize);
         let g = generators::random_tree(n, &mut rng);
-        prop_assert_eq!(g.node_count(), n);
-        prop_assert_eq!(g.edge_count(), n.saturating_sub(1));
-        prop_assert!(traversal::is_connected(&g));
-        prop_assert!(cycles::is_acyclic(&g));
+        assert_eq!(g.node_count(), n);
+        assert_eq!(g.edge_count(), n.saturating_sub(1));
+        assert!(traversal::is_connected(&g));
+        assert!(cycles::is_acyclic(&g));
     }
+}
 
-    /// `shortest_path` returns a genuine path of length `distance`.
-    #[test]
-    fn shortest_path_is_valid(seed in 0u64..10_000, n in 2usize..25) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// `shortest_path` returns a genuine path of length `distance`.
+#[test]
+fn shortest_path_is_valid() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0002);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..25usize);
         let g = generators::random_mixed(n, &mut rng);
-        let s = NodeId((seed % n as u64) as u32);
-        let t = NodeId(((seed / 7) % n as u64) as u32);
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let t = NodeId(rng.gen_range(0..n as u32));
         let d = traversal::distance(&g, s, t).expect("connected");
         let p = traversal::shortest_path(&g, s, t).expect("connected");
-        prop_assert_eq!(p.len() as u32, d + 1);
-        prop_assert_eq!(*p.first().unwrap(), s);
-        prop_assert_eq!(*p.last().unwrap(), t);
+        assert_eq!(p.len() as u32, d + 1);
+        assert_eq!(*p.first().unwrap(), s);
+        assert_eq!(*p.last().unwrap(), t);
         for w in p.windows(2) {
-            prop_assert!(g.has_edge(w[0], w[1]));
+            assert!(g.has_edge(w[0], w[1]));
         }
         // No repeated vertices: it is a simple path.
         let mut q = p.clone();
         q.sort_unstable();
         q.dedup();
-        prop_assert_eq!(q.len(), p.len());
+        assert_eq!(q.len(), p.len());
     }
+}
 
-    /// Views are monotone in k: `G_k(u)` is a subgraph of `G_{k+1}(u)`.
-    #[test]
-    fn neighborhood_monotone_in_k(seed in 0u64..10_000, n in 2usize..20, k in 0u32..6) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Views are monotone in k: `G_k(u)` is a subgraph of `G_{k+1}(u)`.
+#[test]
+fn neighborhood_monotone_in_k() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0003);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..20usize);
         let g = generators::random_mixed(n, &mut rng);
-        let u = NodeId((seed % n as u64) as u32);
+        let u = NodeId(rng.gen_range(0..n as u32));
+        let k = rng.gen_range(0..6u32);
         let small = neighborhood::k_neighborhood(&g, u, k);
         let big = neighborhood::k_neighborhood(&g, u, k + 1);
         for x in small.nodes() {
-            prop_assert!(big.contains_node(x));
+            assert!(big.contains_node(x));
         }
         for (x, y) in small.edges() {
-            prop_assert!(big.has_edge(x, y));
+            assert!(big.has_edge(x, y));
         }
     }
+}
 
-    /// Relabelling is an isomorphism: distances are preserved.
-    #[test]
-    fn relabel_preserves_distances(seed in 0u64..10_000, n in 2usize..18) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Relabelling is an isomorphism: distances are preserved.
+#[test]
+fn relabel_preserves_distances() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..18usize);
         let g = generators::random_mixed(n, &mut rng);
         let h = permute::random_relabel(&g, &mut rng);
         for u in g.nodes() {
             let dg = traversal::bfs_distances(&g, u, None);
             let dh = traversal::bfs_distances(&h, u, None);
-            prop_assert_eq!(dg, dh);
+            assert_eq!(dg, dh);
         }
     }
+}
 
-    /// Girth and cycle rank agree about acyclicity, and the girth never
-    /// exceeds the number of nodes.
-    #[test]
-    fn girth_consistent_with_cycle_rank(seed in 0u64..10_000, n in 3usize..16) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Girth and cycle rank agree about acyclicity, and the girth never
+/// exceeds the number of nodes.
+#[test]
+fn girth_consistent_with_cycle_rank() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..16usize);
         let g = generators::random_mixed(n, &mut rng);
         let girth = cycles::girth(&g);
-        prop_assert_eq!(girth.is_none(), cycles::cycle_rank(&g) == 0);
+        assert_eq!(girth.is_none(), cycles::cycle_rank(&g) == 0);
         if let Some(girth) = girth {
-            prop_assert!(girth >= 3);
-            prop_assert!(girth as usize <= n);
+            assert!(girth >= 3);
+            assert!(girth as usize <= n);
         }
     }
+}
 
-    /// A cycle through `u` exists iff `u` lies on some cycle, and its
-    /// length is at least the global girth.
-    #[test]
-    fn cycle_through_bounds(seed in 0u64..10_000, n in 3usize..14) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// A cycle through `u` exists iff `u` lies on some cycle, and its
+/// length is at least the global girth.
+#[test]
+fn cycle_through_bounds() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..14usize);
         let g = generators::random_mixed(n, &mut rng);
         let girth = cycles::girth(&g);
         for u in g.nodes() {
             if let Some(len) = cycles::shortest_cycle_through(&g, u) {
-                prop_assert!(Some(len) >= girth.map(|x| x.min(len)));
-                prop_assert!(len >= girth.unwrap());
+                assert!(len >= girth.unwrap());
             }
         }
         // Some node lies on a shortest cycle.
         if let Some(girth) = girth {
-            let hit = g.nodes().any(|u| cycles::shortest_cycle_through(&g, u) == Some(girth));
-            prop_assert!(hit);
+            let hit = g
+                .nodes()
+                .any(|u| cycles::shortest_cycle_through(&g, u) == Some(girth));
+            assert!(hit);
         }
     }
+}
 
-    /// Serialisation round-trips.
-    #[test]
-    fn io_round_trip(seed in 0u64..10_000, n in 1usize..18) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Serialisation round-trips.
+#[test]
+fn io_round_trip() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0007);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..18usize);
         let g = permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng);
         let text = locality_graph::io::to_string(&g);
         let h = locality_graph::io::from_str(&text).expect("round trip");
-        prop_assert_eq!(g, h);
+        assert_eq!(g, h);
     }
+}
 
-    /// Sum of degrees is twice the edge count (handshake lemma).
-    #[test]
-    fn handshake(seed in 0u64..10_000, n in 1usize..20) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Sum of degrees is twice the edge count (handshake lemma).
+#[test]
+fn handshake() {
+    let mut rng = DetRng::seed_from_u64(0x7e57_0008);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..20usize);
         let g = generators::random_mixed(n, &mut rng);
         let sum: usize = g.nodes().map(|u| g.degree(u)).sum();
-        prop_assert_eq!(sum, 2 * g.edge_count());
-        prop_assert_eq!(sum, g.degree_sum());
+        assert_eq!(sum, 2 * g.edge_count());
+        assert_eq!(sum, g.degree_sum());
     }
 }

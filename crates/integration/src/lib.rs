@@ -2,9 +2,8 @@
 //! `/tests`.
 
 use local_routing::{engine, LocalRouter};
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, permute, Graph};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Asserts that `router`, run with locality `k`, delivers every ordered
 /// pair on `g`; panics with a diagnostic otherwise.
@@ -37,7 +36,7 @@ pub fn worst_dilation<R: LocalRouter + ?Sized>(router: &R, g: &Graph, k: u32) ->
 /// A deterministic batch of random connected graphs (mixed shapes, with
 /// scrambled labels) for randomized suites.
 pub fn random_suite(seed: u64, count: usize, n_range: std::ops::Range<usize>) -> Vec<Graph> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
             let n = rng.gen_range(n_range.clone());

@@ -45,14 +45,18 @@ impl NetworkBuilder {
         self
     }
 
-    /// Provisions every node and returns the network.
+    /// Provisions every node and returns the network. All nodes share
+    /// one [`local_routing::ViewCache`] during provisioning, so any
+    /// view needed twice is extracted once.
     pub fn build<R: LocalRouter + 'static>(self, router: R) -> Network {
         let n = self.graph.node_count();
+        let cache = local_routing::ViewCache::new(&self.graph, self.k);
         let nodes = self
             .graph
             .nodes()
-            .map(|u| SimNode::provision(&self.graph, u, self.k))
+            .map(|u| SimNode::provision_from(&cache, u))
             .collect();
+        drop(cache);
         Network {
             k: self.k,
             hop_budget: if self.hop_budget == 0 {
@@ -263,11 +267,12 @@ impl Network {
     pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) {
         let mut builder = GraphBuilder::new();
         for u in self.graph.nodes() {
-            builder.add_node(self.graph.label(u)).expect("labels unique");
+            builder
+                .add_node(self.graph.label(u))
+                .expect("labels unique");
         }
         for (x, y) in self.graph.edges() {
-            if present || !(locality_graph::NodeId::min(x, y) == a.min(b) && x.max(y) == a.max(b))
-            {
+            if present || !(locality_graph::NodeId::min(x, y) == a.min(b) && x.max(y) == a.max(b)) {
                 builder.add_edge(x, y).expect("copying existing edges");
             }
         }
@@ -285,13 +290,14 @@ impl Network {
         for g in [&self.graph, &new_graph] {
             for &end in &[a, b] {
                 for x in traversal::bfs_distances(g, end, Some(self.k)).keys() {
-                    dirty.insert(*x);
+                    dirty.insert(x);
                 }
             }
         }
         self.graph = new_graph;
+        let cache = local_routing::ViewCache::new(&self.graph, self.k);
         for u in dirty {
-            self.nodes[u.index()] = SimNode::provision(&self.graph, u, self.k);
+            self.nodes[u.index()] = SimNode::provision_from(&cache, u);
         }
     }
 }
@@ -395,7 +401,9 @@ mod tests {
         // A router that legitimately wanders: with a tiny budget the
         // simulator reports exhaustion instead of looping to detection.
         let g = generators::lollipop(20, 3);
-        let mut net = NetworkBuilder::new(&g, 2).hop_budget(4).build(RightHandRule);
+        let mut net = NetworkBuilder::new(&g, 2)
+            .hop_budget(4)
+            .build(RightHandRule);
         let id = net.send(NodeId(10), NodeId(22));
         net.run_until_quiet();
         assert_eq!(
@@ -422,8 +430,7 @@ mod tests {
         let k = Alg2.min_locality(13);
         for s in g.nodes() {
             for t in g.nodes().filter(|&t| t != s) {
-                let central =
-                    local_routing::engine::route(&g, k, &Alg2, s, t, &Default::default());
+                let central = local_routing::engine::route(&g, k, &Alg2, s, t, &Default::default());
                 let mut net = NetworkBuilder::new(&g, k).build(Alg2);
                 let id = net.send(s, t);
                 net.run_until_quiet();

@@ -1,6 +1,8 @@
 //! The per-node state machine.
 
-use local_routing::{LocalRouter, LocalView, Packet, RoutingError};
+use std::sync::Arc;
+
+use local_routing::{LocalRouter, LocalView, Packet, RoutingError, ViewCache};
 use locality_graph::{Graph, Label, NodeId};
 
 /// One simulated network node: a label, a stored k-neighbourhood view,
@@ -11,7 +13,7 @@ use locality_graph::{Graph, Label, NodeId};
 pub struct SimNode {
     id: NodeId,
     label: Label,
-    view: LocalView,
+    view: Arc<LocalView>,
     /// Messages this node has forwarded (its traffic load).
     pub forwarded: u64,
     /// Messages delivered at this node.
@@ -23,10 +25,18 @@ impl SimNode {
     /// deployment is allowed to look outward, modelling neighbourhood
     /// discovery.
     pub fn provision(graph: &Graph, id: NodeId, k: u32) -> SimNode {
+        let cache = ViewCache::new(graph, k);
+        SimNode::provision_from(&cache, id)
+    }
+
+    /// Provisions the node through a shared [`ViewCache`], so a
+    /// deployment provisioning every node (possibly from several
+    /// threads) extracts each view exactly once.
+    pub fn provision_from(cache: &ViewCache<'_>, id: NodeId) -> SimNode {
         SimNode {
             id,
-            label: graph.label(id),
-            view: LocalView::extract(graph, id, k),
+            label: cache.graph().label(id),
+            view: cache.view(id),
             forwarded: 0,
             delivered: 0,
         }

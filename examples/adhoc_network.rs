@@ -7,13 +7,12 @@
 //! ```
 
 use local_routing::{Alg1, LocalRouter};
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, permute, NodeId};
 use locality_sim::NetworkBuilder;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2009);
+    let mut rng = DetRng::seed_from_u64(2009);
     // A 5x6 "field" of nodes with grid connectivity and scrambled
     // labels (node names tell routers nothing about positions).
     let g = permute::random_relabel(&generators::grid(5, 6), &mut rng);

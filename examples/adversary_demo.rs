@@ -66,8 +66,15 @@ fn main() {
             None => println!("  {} at k = {}: survived (unexpected!)", router.name(), t - 1),
         }
         match defeat::find_defeat(&router, n, t) {
-            None => println!("  {} at k = T(n) = {t}: undefeated, as Theorem guarantees\n", router.name()),
-            Some(d) => println!("  {} at k = {t}: DEFEATED by {} (bug!)\n", router.name(), d.family),
+            None => println!(
+                "  {} at k = T(n) = {t}: undefeated, as Theorem guarantees\n",
+                router.name()
+            ),
+            Some(d) => println!(
+                "  {} at k = {t}: DEFEATED by {} (bug!)\n",
+                router.name(),
+                d.family
+            ),
         }
     }
 }

@@ -6,16 +6,15 @@
 //! ```
 
 use local_routing::{engine, Alg1, Alg2, Alg3, LocalRouter};
+use locality_graph::rng::DetRng;
 use locality_graph::{generators, permute};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(16);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = DetRng::seed_from_u64(42);
 
     // A gauntlet of graphs on n nodes.
     let mut suite = Vec::new();
@@ -28,8 +27,14 @@ fn main() {
     suite.push(generators::cycle(n));
     suite.push(generators::path(n));
 
-    println!("fraction of (graph, s, t) pairs delivered, {} graphs on n = {n}:\n", suite.len());
-    println!("{:>4}  {:>12} {:>12} {:>12}", "k", "algorithm-1", "algorithm-2", "algorithm-3");
+    println!(
+        "fraction of (graph, s, t) pairs delivered, {} graphs on n = {n}:\n",
+        suite.len()
+    );
+    println!(
+        "{:>4}  {:>12} {:>12} {:>12}",
+        "k", "algorithm-1", "algorithm-2", "algorithm-3"
+    );
     for k in 1..=(n as u32 / 2 + 1) {
         print!("{k:>4}");
         for router in [&Alg1 as &dyn LocalRouter, &Alg2, &Alg3] {
@@ -41,7 +46,11 @@ fn main() {
                 ok += m.runs - m.failures.len();
             }
             let frac = ok as f64 / total as f64;
-            let marker = if k == router.min_locality(n) { "*" } else { " " };
+            let marker = if k == router.min_locality(n) {
+                "*"
+            } else {
+                " "
+            };
             print!("  {:>10.1}%{marker}", 100.0 * frac);
         }
         println!();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversary_tables-36e019642dc53c4c.d: crates/integration/../../tests/adversary_tables.rs
+
+/root/repo/target/debug/deps/adversary_tables-36e019642dc53c4c: crates/integration/../../tests/adversary_tables.rs
+
+crates/integration/../../tests/adversary_tables.rs:

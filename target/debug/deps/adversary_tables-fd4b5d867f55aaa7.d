@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adversary_tables-fd4b5d867f55aaa7.d: crates/integration/../../tests/adversary_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadversary_tables-fd4b5d867f55aaa7.rmeta: crates/integration/../../tests/adversary_tables.rs Cargo.toml
+
+crates/integration/../../tests/adversary_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/congestion-0b3c99a09a5b6e31.d: crates/bench/src/bin/congestion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcongestion-0b3c99a09a5b6e31.rmeta: crates/bench/src/bin/congestion.rs Cargo.toml
+
+crates/bench/src/bin/congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

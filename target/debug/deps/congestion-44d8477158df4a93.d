@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/congestion-44d8477158df4a93.d: crates/bench/src/bin/congestion.rs
+
+/root/repo/target/debug/deps/congestion-44d8477158df4a93: crates/bench/src/bin/congestion.rs
+
+crates/bench/src/bin/congestion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/congestion-ac6c344175a35a17.d: crates/bench/src/bin/congestion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcongestion-ac6c344175a35a17.rmeta: crates/bench/src/bin/congestion.rs Cargo.toml
+
+crates/bench/src/bin/congestion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

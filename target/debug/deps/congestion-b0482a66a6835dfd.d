@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/congestion-b0482a66a6835dfd.d: crates/bench/src/bin/congestion.rs
+
+/root/repo/target/debug/deps/congestion-b0482a66a6835dfd: crates/bench/src/bin/congestion.rs
+
+crates/bench/src/bin/congestion.rs:

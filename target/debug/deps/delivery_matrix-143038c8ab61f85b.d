@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delivery_matrix-143038c8ab61f85b.d: crates/integration/../../tests/delivery_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelivery_matrix-143038c8ab61f85b.rmeta: crates/integration/../../tests/delivery_matrix.rs Cargo.toml
+
+crates/integration/../../tests/delivery_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

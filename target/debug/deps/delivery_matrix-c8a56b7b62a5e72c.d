@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/delivery_matrix-c8a56b7b62a5e72c.d: crates/integration/../../tests/delivery_matrix.rs
+
+/root/repo/target/debug/deps/delivery_matrix-c8a56b7b62a5e72c: crates/integration/../../tests/delivery_matrix.rs
+
+crates/integration/../../tests/delivery_matrix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dilation_bounds-1f12f3b4c39e14b1.d: crates/integration/../../tests/dilation_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdilation_bounds-1f12f3b4c39e14b1.rmeta: crates/integration/../../tests/dilation_bounds.rs Cargo.toml
+
+crates/integration/../../tests/dilation_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dilation_bounds-9710b69b94bf03b5.d: crates/integration/../../tests/dilation_bounds.rs
+
+/root/repo/target/debug/deps/dilation_bounds-9710b69b94bf03b5: crates/integration/../../tests/dilation_bounds.rs
+
+crates/integration/../../tests/dilation_bounds.rs:

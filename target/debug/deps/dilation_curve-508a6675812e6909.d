@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dilation_curve-508a6675812e6909.d: crates/bench/src/bin/dilation_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdilation_curve-508a6675812e6909.rmeta: crates/bench/src/bin/dilation_curve.rs Cargo.toml
+
+crates/bench/src/bin/dilation_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dilation_curve-703cfb5021efa7fe.d: crates/bench/src/bin/dilation_curve.rs
+
+/root/repo/target/debug/deps/dilation_curve-703cfb5021efa7fe: crates/bench/src/bin/dilation_curve.rs
+
+crates/bench/src/bin/dilation_curve.rs:

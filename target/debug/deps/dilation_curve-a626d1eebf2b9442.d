@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dilation_curve-a626d1eebf2b9442.d: crates/bench/src/bin/dilation_curve.rs
+
+/root/repo/target/debug/deps/dilation_curve-a626d1eebf2b9442: crates/bench/src/bin/dilation_curve.rs
+
+crates/bench/src/bin/dilation_curve.rs:

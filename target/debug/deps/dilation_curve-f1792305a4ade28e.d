@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dilation_curve-f1792305a4ade28e.d: crates/bench/src/bin/dilation_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdilation_curve-f1792305a4ade28e.rmeta: crates/bench/src/bin/dilation_curve.rs Cargo.toml
+
+crates/bench/src/bin/dilation_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-c2569f600ff11ff8.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-c2569f600ff11ff8: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

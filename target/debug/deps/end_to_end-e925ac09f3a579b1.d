@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-e925ac09f3a579b1.d: crates/bench/benches/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-e925ac09f3a579b1.rmeta: crates/bench/benches/end_to_end.rs Cargo.toml
+
+crates/bench/benches/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

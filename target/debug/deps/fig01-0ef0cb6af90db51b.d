@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-0ef0cb6af90db51b.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-0ef0cb6af90db51b: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

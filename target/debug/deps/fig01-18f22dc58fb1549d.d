@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-18f22dc58fb1549d.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-18f22dc58fb1549d: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-578c8a0c82368bc0.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-578c8a0c82368bc0: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02-e6e0e747b2dfd4ca.d: crates/bench/src/bin/fig02.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02-e6e0e747b2dfd4ca.rmeta: crates/bench/src/bin/fig02.rs Cargo.toml
+
+crates/bench/src/bin/fig02.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

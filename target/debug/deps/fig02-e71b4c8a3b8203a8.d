@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02-e71b4c8a3b8203a8.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/debug/deps/fig02-e71b4c8a3b8203a8: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-541533ed7f88821d.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-541533ed7f88821d: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

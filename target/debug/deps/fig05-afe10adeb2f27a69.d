@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-afe10adeb2f27a69.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-afe10adeb2f27a69: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-8e8cbc2161e5246b.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-8e8cbc2161e5246b.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06-a3cefc51ff4a668a.d: crates/bench/src/bin/fig06.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06-a3cefc51ff4a668a.rmeta: crates/bench/src/bin/fig06.rs Cargo.toml
+
+crates/bench/src/bin/fig06.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

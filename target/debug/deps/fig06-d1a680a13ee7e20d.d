@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-d1a680a13ee7e20d.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-d1a680a13ee7e20d: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06-dfaa6e43e3352d8d.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/debug/deps/fig06-dfaa6e43e3352d8d: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

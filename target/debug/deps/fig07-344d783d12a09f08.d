@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-344d783d12a09f08.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-344d783d12a09f08: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

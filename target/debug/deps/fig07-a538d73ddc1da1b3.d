@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07-a538d73ddc1da1b3.d: crates/bench/src/bin/fig07.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07-a538d73ddc1da1b3.rmeta: crates/bench/src/bin/fig07.rs Cargo.toml
+
+crates/bench/src/bin/fig07.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

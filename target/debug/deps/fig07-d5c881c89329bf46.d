@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07-d5c881c89329bf46.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/debug/deps/fig07-d5c881c89329bf46: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

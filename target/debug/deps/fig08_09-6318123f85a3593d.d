@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_09-6318123f85a3593d.d: crates/bench/src/bin/fig08_09.rs
+
+/root/repo/target/debug/deps/fig08_09-6318123f85a3593d: crates/bench/src/bin/fig08_09.rs
+
+crates/bench/src/bin/fig08_09.rs:

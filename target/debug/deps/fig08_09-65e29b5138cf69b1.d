@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_09-65e29b5138cf69b1.d: crates/bench/src/bin/fig08_09.rs
+
+/root/repo/target/debug/deps/fig08_09-65e29b5138cf69b1: crates/bench/src/bin/fig08_09.rs
+
+crates/bench/src/bin/fig08_09.rs:

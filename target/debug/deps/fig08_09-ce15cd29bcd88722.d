@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_09-ce15cd29bcd88722.d: crates/bench/src/bin/fig08_09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_09-ce15cd29bcd88722.rmeta: crates/bench/src/bin/fig08_09.rs Cargo.toml
+
+crates/bench/src/bin/fig08_09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_09-e2cb96068e0bc1c6.d: crates/bench/src/bin/fig08_09.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_09-e2cb96068e0bc1c6.rmeta: crates/bench/src/bin/fig08_09.rs Cargo.toml
+
+crates/bench/src/bin/fig08_09.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_12-676ac12f82d55891.d: crates/bench/src/bin/fig10_12.rs
+
+/root/repo/target/debug/deps/fig10_12-676ac12f82d55891: crates/bench/src/bin/fig10_12.rs
+
+crates/bench/src/bin/fig10_12.rs:

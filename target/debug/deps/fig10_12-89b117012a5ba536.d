@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_12-89b117012a5ba536.d: crates/bench/src/bin/fig10_12.rs
+
+/root/repo/target/debug/deps/fig10_12-89b117012a5ba536: crates/bench/src/bin/fig10_12.rs
+
+crates/bench/src/bin/fig10_12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_12-e5fb143edfee70f4.d: crates/bench/src/bin/fig10_12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_12-e5fb143edfee70f4.rmeta: crates/bench/src/bin/fig10_12.rs Cargo.toml
+
+crates/bench/src/bin/fig10_12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

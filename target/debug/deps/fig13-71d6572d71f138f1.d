@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-71d6572d71f138f1.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-71d6572d71f138f1: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

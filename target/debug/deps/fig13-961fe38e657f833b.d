@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-961fe38e657f833b.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-961fe38e657f833b.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

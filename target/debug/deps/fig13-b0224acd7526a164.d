@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-b0224acd7526a164.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-b0224acd7526a164: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_16-1a8b05e28c18fc28.d: crates/bench/src/bin/fig14_16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_16-1a8b05e28c18fc28.rmeta: crates/bench/src/bin/fig14_16.rs Cargo.toml
+
+crates/bench/src/bin/fig14_16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

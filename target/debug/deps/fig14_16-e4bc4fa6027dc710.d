@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_16-e4bc4fa6027dc710.d: crates/bench/src/bin/fig14_16.rs
+
+/root/repo/target/debug/deps/fig14_16-e4bc4fa6027dc710: crates/bench/src/bin/fig14_16.rs
+
+crates/bench/src/bin/fig14_16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_16-f5b3d6c33f95ef61.d: crates/bench/src/bin/fig14_16.rs
+
+/root/repo/target/debug/deps/fig14_16-f5b3d6c33f95ef61: crates/bench/src/bin/fig14_16.rs
+
+crates/bench/src/bin/fig14_16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-0e2bd34e8c6eba7a.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-0e2bd34e8c6eba7a: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17-22771fde714d13b1.d: crates/bench/src/bin/fig17.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17-22771fde714d13b1.rmeta: crates/bench/src/bin/fig17.rs Cargo.toml
+
+crates/bench/src/bin/fig17.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

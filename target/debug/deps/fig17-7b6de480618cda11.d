@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-7b6de480618cda11.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-7b6de480618cda11: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

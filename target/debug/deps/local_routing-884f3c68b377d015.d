@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/local_routing-884f3c68b377d015.d: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/local_routing-884f3c68b377d015: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alg1.rs:
+crates/core/src/alg2.rs:
+crates/core/src/alg3.rs:
+crates/core/src/baselines.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/position.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/stateful.rs:
+crates/core/src/traits.rs:
+crates/core/src/verify.rs:
+crates/core/src/view.rs:

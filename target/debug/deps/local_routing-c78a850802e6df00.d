@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/local_routing-c78a850802e6df00.d: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/liblocal_routing-c78a850802e6df00.rlib: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/liblocal_routing-c78a850802e6df00.rmeta: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alg1.rs:
+crates/core/src/alg2.rs:
+crates/core/src/alg3.rs:
+crates/core/src/baselines.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/position.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/stateful.rs:
+crates/core/src/traits.rs:
+crates/core/src/verify.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/local_routing-f99b18f6f2717613.d: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocal_routing-f99b18f6f2717613.rmeta: crates/core/src/lib.rs crates/core/src/alg1.rs crates/core/src/alg2.rs crates/core/src/alg3.rs crates/core/src/baselines.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/model.rs crates/core/src/position.rs crates/core/src/preprocess.rs crates/core/src/stateful.rs crates/core/src/traits.rs crates/core/src/verify.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alg1.rs:
+crates/core/src/alg2.rs:
+crates/core/src/alg3.rs:
+crates/core/src/baselines.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/model.rs:
+crates/core/src/position.rs:
+crates/core/src/preprocess.rs:
+crates/core/src/stateful.rs:
+crates/core/src/traits.rs:
+crates/core/src/verify.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

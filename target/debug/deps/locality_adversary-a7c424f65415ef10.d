@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/locality_adversary-a7c424f65415ef10.d: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+/root/repo/target/debug/deps/liblocality_adversary-a7c424f65415ef10.rlib: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+/root/repo/target/debug/deps/liblocality_adversary-a7c424f65415ef10.rmeta: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/defeat.rs:
+crates/adversary/src/lemma1.rs:
+crates/adversary/src/strategy.rs:
+crates/adversary/src/thm1.rs:
+crates/adversary/src/thm2.rs:
+crates/adversary/src/thm3.rs:
+crates/adversary/src/thm4.rs:
+crates/adversary/src/tight.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/locality_adversary-c9554633f09198f9.d: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+/root/repo/target/debug/deps/locality_adversary-c9554633f09198f9: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/defeat.rs:
+crates/adversary/src/lemma1.rs:
+crates/adversary/src/strategy.rs:
+crates/adversary/src/thm1.rs:
+crates/adversary/src/thm2.rs:
+crates/adversary/src/thm3.rs:
+crates/adversary/src/thm4.rs:
+crates/adversary/src/tight.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/locality_adversary-f59ee0a1fcf8214b.d: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_adversary-f59ee0a1fcf8214b.rmeta: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs Cargo.toml
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/defeat.rs:
+crates/adversary/src/lemma1.rs:
+crates/adversary/src/strategy.rs:
+crates/adversary/src/thm1.rs:
+crates/adversary/src/thm2.rs:
+crates/adversary/src/thm3.rs:
+crates/adversary/src/thm4.rs:
+crates/adversary/src/tight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/locality_bench-2d08d2694229896e.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_bench-2d08d2694229896e.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

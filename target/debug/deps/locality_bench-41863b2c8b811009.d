@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/locality_bench-41863b2c8b811009.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_bench-41863b2c8b811009.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

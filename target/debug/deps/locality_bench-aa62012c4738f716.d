@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/locality_bench-aa62012c4738f716.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblocality_bench-aa62012c4738f716.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/liblocality_bench-aa62012c4738f716.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/timing.rs:

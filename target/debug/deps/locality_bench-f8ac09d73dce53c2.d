@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locality_bench-f8ac09d73dce53c2.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/locality_bench-f8ac09d73dce53c2: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/timing.rs:

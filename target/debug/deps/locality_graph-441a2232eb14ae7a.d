@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/locality_graph-441a2232eb14ae7a.d: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/cycles.rs crates/graph/src/dist.rs crates/graph/src/error.rs crates/graph/src/generators.rs crates/graph/src/geo.rs crates/graph/src/graph.rs crates/graph/src/index.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/neighborhood.rs crates/graph/src/permute.rs crates/graph/src/rng.rs crates/graph/src/subgraph.rs crates/graph/src/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_graph-441a2232eb14ae7a.rmeta: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/cycles.rs crates/graph/src/dist.rs crates/graph/src/error.rs crates/graph/src/generators.rs crates/graph/src/geo.rs crates/graph/src/graph.rs crates/graph/src/index.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/neighborhood.rs crates/graph/src/permute.rs crates/graph/src/rng.rs crates/graph/src/subgraph.rs crates/graph/src/traversal.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/components.rs:
+crates/graph/src/cycles.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/geo.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/index.rs:
+crates/graph/src/io.rs:
+crates/graph/src/labels.rs:
+crates/graph/src/neighborhood.rs:
+crates/graph/src/permute.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/locality_integration-39200e63359cc287.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/locality_integration-39200e63359cc287: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

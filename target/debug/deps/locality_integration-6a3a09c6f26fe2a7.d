@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locality_integration-6a3a09c6f26fe2a7.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_integration-6a3a09c6f26fe2a7.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/locality_integration-8ff4e45047461f5f.d: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/liblocality_integration-8ff4e45047461f5f.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/debug/deps/liblocality_integration-8ff4e45047461f5f.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locality_integration-a8b7ef17069a5287.d: crates/integration/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_integration-a8b7ef17069a5287.rmeta: crates/integration/src/lib.rs Cargo.toml
+
+crates/integration/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/locality_sim-1ecba179f8a911db.d: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+/root/repo/target/debug/deps/locality_sim-1ecba179f8a911db: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flood.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/locality_sim-6a95df2eb0ca9fb3.d: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_sim-6a95df2eb0ca9fb3.rmeta: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/flood.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

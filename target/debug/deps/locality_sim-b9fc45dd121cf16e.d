@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/locality_sim-b9fc45dd121cf16e.d: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocality_sim-b9fc45dd121cf16e.rmeta: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/flood.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/locality_sim-e88066f6a1cb8b9b.d: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+/root/repo/target/debug/deps/liblocality_sim-e88066f6a1cb8b9b.rlib: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+/root/repo/target/debug/deps/liblocality_sim-e88066f6a1cb8b9b.rmeta: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flood.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/localroute-51c436873cfb0cca.d: crates/bench/src/bin/localroute.rs
+
+/root/repo/target/debug/deps/localroute-51c436873cfb0cca: crates/bench/src/bin/localroute.rs
+
+crates/bench/src/bin/localroute.rs:

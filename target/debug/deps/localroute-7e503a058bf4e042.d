@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/localroute-7e503a058bf4e042.d: crates/bench/src/bin/localroute.rs
+
+/root/repo/target/debug/deps/localroute-7e503a058bf4e042: crates/bench/src/bin/localroute.rs
+
+crates/bench/src/bin/localroute.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/localroute-acb2c8b9f4e1bad5.d: crates/bench/src/bin/localroute.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocalroute-acb2c8b9f4e1bad5.rmeta: crates/bench/src/bin/localroute.rs Cargo.toml
+
+crates/bench/src/bin/localroute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/neighborhood-7cba63216eb4265a.d: crates/bench/benches/neighborhood.rs
+
+/root/repo/target/debug/deps/neighborhood-7cba63216eb4265a: crates/bench/benches/neighborhood.rs
+
+crates/bench/benches/neighborhood.rs:

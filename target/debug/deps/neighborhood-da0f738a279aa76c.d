@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/neighborhood-da0f738a279aa76c.d: crates/bench/benches/neighborhood.rs Cargo.toml
+
+/root/repo/target/debug/deps/libneighborhood-da0f738a279aa76c.rmeta: crates/bench/benches/neighborhood.rs Cargo.toml
+
+crates/bench/benches/neighborhood.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_lemmas-003b106583b7cea1.d: crates/integration/../../tests/paper_lemmas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_lemmas-003b106583b7cea1.rmeta: crates/integration/../../tests/paper_lemmas.rs Cargo.toml
+
+crates/integration/../../tests/paper_lemmas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

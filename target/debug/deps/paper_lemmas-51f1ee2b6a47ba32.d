@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_lemmas-51f1ee2b6a47ba32.d: crates/integration/../../tests/paper_lemmas.rs
+
+/root/repo/target/debug/deps/paper_lemmas-51f1ee2b6a47ba32: crates/integration/../../tests/paper_lemmas.rs
+
+crates/integration/../../tests/paper_lemmas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfsmoke-0d4d0805dfb544c9.d: crates/bench/src/bin/perfsmoke.rs
+
+/root/repo/target/debug/deps/perfsmoke-0d4d0805dfb544c9: crates/bench/src/bin/perfsmoke.rs
+
+crates/bench/src/bin/perfsmoke.rs:

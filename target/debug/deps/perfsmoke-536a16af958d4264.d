@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfsmoke-536a16af958d4264.d: crates/bench/src/bin/perfsmoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfsmoke-536a16af958d4264.rmeta: crates/bench/src/bin/perfsmoke.rs Cargo.toml
+
+crates/bench/src/bin/perfsmoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfsmoke-fcfed48a92b8eab0.d: crates/bench/src/bin/perfsmoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfsmoke-fcfed48a92b8eab0.rmeta: crates/bench/src/bin/perfsmoke.rs Cargo.toml
+
+crates/bench/src/bin/perfsmoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

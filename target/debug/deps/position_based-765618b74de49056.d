@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/position_based-765618b74de49056.d: crates/bench/src/bin/position_based.rs
+
+/root/repo/target/debug/deps/position_based-765618b74de49056: crates/bench/src/bin/position_based.rs
+
+crates/bench/src/bin/position_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/position_based-9e87848640ec54bd.d: crates/bench/src/bin/position_based.rs
+
+/root/repo/target/debug/deps/position_based-9e87848640ec54bd: crates/bench/src/bin/position_based.rs
+
+crates/bench/src/bin/position_based.rs:

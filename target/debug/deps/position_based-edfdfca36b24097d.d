@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/position_based-edfdfca36b24097d.d: crates/bench/src/bin/position_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libposition_based-edfdfca36b24097d.rmeta: crates/bench/src/bin/position_based.rs Cargo.toml
+
+crates/bench/src/bin/position_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preprocess-4b7c5df257e3cb7a.d: crates/bench/benches/preprocess.rs
+
+/root/repo/target/debug/deps/preprocess-4b7c5df257e3cb7a: crates/bench/benches/preprocess.rs
+
+crates/bench/benches/preprocess.rs:

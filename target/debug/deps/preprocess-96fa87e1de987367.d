@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preprocess-96fa87e1de987367.d: crates/bench/benches/preprocess.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreprocess-96fa87e1de987367.rmeta: crates/bench/benches/preprocess.rs Cargo.toml
+
+crates/bench/benches/preprocess.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

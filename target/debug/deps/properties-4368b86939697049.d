@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4368b86939697049.d: crates/graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4368b86939697049.rmeta: crates/graph/tests/properties.rs Cargo.toml
+
+crates/graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-92dbb84301ae0f31.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-92dbb84301ae0f31: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/randomized_suites-3052c54be1ea3ed1.d: crates/integration/../../tests/randomized_suites.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandomized_suites-3052c54be1ea3ed1.rmeta: crates/integration/../../tests/randomized_suites.rs Cargo.toml
+
+crates/integration/../../tests/randomized_suites.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/randomized_suites-69e9c1d18101cd38.d: crates/integration/../../tests/randomized_suites.rs
+
+/root/repo/target/debug/deps/randomized_suites-69e9c1d18101cd38: crates/integration/../../tests/randomized_suites.rs
+
+crates/integration/../../tests/randomized_suites.rs:

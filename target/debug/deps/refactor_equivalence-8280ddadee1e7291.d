@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/refactor_equivalence-8280ddadee1e7291.d: crates/integration/../../tests/refactor_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/librefactor_equivalence-8280ddadee1e7291.rmeta: crates/integration/../../tests/refactor_equivalence.rs Cargo.toml
+
+crates/integration/../../tests/refactor_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/refactor_equivalence-acdc6332dd3a0407.d: crates/integration/../../tests/refactor_equivalence.rs
+
+/root/repo/target/debug/deps/refactor_equivalence-acdc6332dd3a0407: crates/integration/../../tests/refactor_equivalence.rs
+
+crates/integration/../../tests/refactor_equivalence.rs:

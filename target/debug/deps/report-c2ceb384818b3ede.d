@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-c2ceb384818b3ede.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-c2ceb384818b3ede: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

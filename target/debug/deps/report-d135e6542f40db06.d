@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-d135e6542f40db06.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-d135e6542f40db06: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

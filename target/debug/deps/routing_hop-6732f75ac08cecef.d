@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/routing_hop-6732f75ac08cecef.d: crates/bench/benches/routing_hop.rs
+
+/root/repo/target/debug/deps/routing_hop-6732f75ac08cecef: crates/bench/benches/routing_hop.rs
+
+crates/bench/benches/routing_hop.rs:

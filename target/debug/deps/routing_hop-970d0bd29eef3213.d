@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/routing_hop-970d0bd29eef3213.d: crates/bench/benches/routing_hop.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouting_hop-970d0bd29eef3213.rmeta: crates/bench/benches/routing_hop.rs Cargo.toml
+
+crates/bench/benches/routing_hop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_parity-0161c65dfe213e86.d: crates/integration/../../tests/simulator_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_parity-0161c65dfe213e86.rmeta: crates/integration/../../tests/simulator_parity.rs Cargo.toml
+
+crates/integration/../../tests/simulator_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_parity-8c9d67a8d19fe820.d: crates/integration/../../tests/simulator_parity.rs
+
+/root/repo/target/debug/deps/simulator_parity-8c9d67a8d19fe820: crates/integration/../../tests/simulator_parity.rs
+
+crates/integration/../../tests/simulator_parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_vs_locality-14a88afcab065931.d: crates/bench/src/bin/state_vs_locality.rs
+
+/root/repo/target/debug/deps/state_vs_locality-14a88afcab065931: crates/bench/src/bin/state_vs_locality.rs
+
+crates/bench/src/bin/state_vs_locality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/state_vs_locality-2226370ddcb6d3f8.d: crates/bench/src/bin/state_vs_locality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstate_vs_locality-2226370ddcb6d3f8.rmeta: crates/bench/src/bin/state_vs_locality.rs Cargo.toml
+
+crates/bench/src/bin/state_vs_locality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

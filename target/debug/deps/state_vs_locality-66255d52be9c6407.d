@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/state_vs_locality-66255d52be9c6407.d: crates/bench/src/bin/state_vs_locality.rs
+
+/root/repo/target/debug/deps/state_vs_locality-66255d52be9c6407: crates/bench/src/bin/state_vs_locality.rs
+
+crates/bench/src/bin/state_vs_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0732b9bac32d90ad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0732b9bac32d90ad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ea6c51ff2c73ad07.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ea6c51ff2c73ad07: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

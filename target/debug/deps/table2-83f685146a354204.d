@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-83f685146a354204.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-83f685146a354204: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

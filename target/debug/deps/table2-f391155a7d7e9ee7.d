@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f391155a7d7e9ee7.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f391155a7d7e9ee7: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

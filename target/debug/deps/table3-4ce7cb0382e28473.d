@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4ce7cb0382e28473.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4ce7cb0382e28473: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

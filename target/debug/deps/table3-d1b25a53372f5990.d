@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d1b25a53372f5990.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-d1b25a53372f5990: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-168c4de6c3bbd6b3.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-168c4de6c3bbd6b3: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

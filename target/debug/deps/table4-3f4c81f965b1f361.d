@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-3f4c81f965b1f361.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-3f4c81f965b1f361: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thresholds-40c6e02a9512b9b8.d: crates/integration/../../tests/thresholds.rs
+
+/root/repo/target/debug/deps/thresholds-40c6e02a9512b9b8: crates/integration/../../tests/thresholds.rs
+
+crates/integration/../../tests/thresholds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thresholds-77d9ee6233cc5a47.d: crates/integration/../../tests/thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthresholds-77d9ee6233cc5a47.rmeta: crates/integration/../../tests/thresholds.rs Cargo.toml
+
+crates/integration/../../tests/thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

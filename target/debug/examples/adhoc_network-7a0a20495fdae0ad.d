@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adhoc_network-7a0a20495fdae0ad.d: crates/bench/../../examples/adhoc_network.rs
+
+/root/repo/target/debug/examples/adhoc_network-7a0a20495fdae0ad: crates/bench/../../examples/adhoc_network.rs
+
+crates/bench/../../examples/adhoc_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adhoc_network-865e4849499abea7.d: crates/bench/../../examples/adhoc_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadhoc_network-865e4849499abea7.rmeta: crates/bench/../../examples/adhoc_network.rs Cargo.toml
+
+crates/bench/../../examples/adhoc_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

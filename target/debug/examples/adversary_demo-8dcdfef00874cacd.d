@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversary_demo-8dcdfef00874cacd.d: crates/bench/../../examples/adversary_demo.rs
+
+/root/repo/target/debug/examples/adversary_demo-8dcdfef00874cacd: crates/bench/../../examples/adversary_demo.rs
+
+crates/bench/../../examples/adversary_demo.rs:

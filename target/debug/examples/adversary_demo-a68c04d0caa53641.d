@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversary_demo-a68c04d0caa53641.d: crates/bench/../../examples/adversary_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversary_demo-a68c04d0caa53641.rmeta: crates/bench/../../examples/adversary_demo.rs Cargo.toml
+
+crates/bench/../../examples/adversary_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

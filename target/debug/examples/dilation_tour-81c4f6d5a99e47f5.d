@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dilation_tour-81c4f6d5a99e47f5.d: crates/bench/../../examples/dilation_tour.rs
+
+/root/repo/target/debug/examples/dilation_tour-81c4f6d5a99e47f5: crates/bench/../../examples/dilation_tour.rs
+
+crates/bench/../../examples/dilation_tour.rs:

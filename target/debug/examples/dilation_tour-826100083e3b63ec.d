@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dilation_tour-826100083e3b63ec.d: crates/bench/../../examples/dilation_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdilation_tour-826100083e3b63ec.rmeta: crates/bench/../../examples/dilation_tour.rs Cargo.toml
+
+crates/bench/../../examples/dilation_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

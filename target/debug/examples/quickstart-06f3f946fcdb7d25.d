@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-06f3f946fcdb7d25.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-06f3f946fcdb7d25: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1e31768506d99a72.d: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1e31768506d99a72.rmeta: crates/bench/../../examples/quickstart.rs Cargo.toml
+
+crates/bench/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threshold_explorer-0b6882770bc2ab70.d: crates/bench/../../examples/threshold_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreshold_explorer-0b6882770bc2ab70.rmeta: crates/bench/../../examples/threshold_explorer.rs Cargo.toml
+
+crates/bench/../../examples/threshold_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threshold_explorer-ad0ea17982805bd6.d: crates/bench/../../examples/threshold_explorer.rs
+
+/root/repo/target/debug/examples/threshold_explorer-ad0ea17982805bd6: crates/bench/../../examples/threshold_explorer.rs
+
+crates/bench/../../examples/threshold_explorer.rs:

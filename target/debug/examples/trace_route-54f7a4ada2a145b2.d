@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_route-54f7a4ada2a145b2.d: crates/bench/../../examples/trace_route.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_route-54f7a4ada2a145b2.rmeta: crates/bench/../../examples/trace_route.rs Cargo.toml
+
+crates/bench/../../examples/trace_route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_route-afe8423c37d7bada.d: crates/bench/../../examples/trace_route.rs
+
+/root/repo/target/debug/examples/trace_route-afe8423c37d7bada: crates/bench/../../examples/trace_route.rs
+
+crates/bench/../../examples/trace_route.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/congestion-7a34676a526985bb.d: crates/bench/src/bin/congestion.rs
+
+/root/repo/target/release/deps/congestion-7a34676a526985bb: crates/bench/src/bin/congestion.rs
+
+crates/bench/src/bin/congestion.rs:

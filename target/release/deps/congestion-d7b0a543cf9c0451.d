@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/congestion-d7b0a543cf9c0451.d: crates/bench/src/bin/congestion.rs
+
+/root/repo/target/release/deps/congestion-d7b0a543cf9c0451: crates/bench/src/bin/congestion.rs
+
+crates/bench/src/bin/congestion.rs:

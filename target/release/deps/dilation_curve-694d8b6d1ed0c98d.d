@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dilation_curve-694d8b6d1ed0c98d.d: crates/bench/src/bin/dilation_curve.rs
+
+/root/repo/target/release/deps/dilation_curve-694d8b6d1ed0c98d: crates/bench/src/bin/dilation_curve.rs
+
+crates/bench/src/bin/dilation_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dilation_curve-beb87396f8d8fa15.d: crates/bench/src/bin/dilation_curve.rs
+
+/root/repo/target/release/deps/dilation_curve-beb87396f8d8fa15: crates/bench/src/bin/dilation_curve.rs
+
+crates/bench/src/bin/dilation_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-7615c673c011c054.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-7615c673c011c054: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

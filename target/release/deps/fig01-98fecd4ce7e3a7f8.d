@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-98fecd4ce7e3a7f8.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-98fecd4ce7e3a7f8: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

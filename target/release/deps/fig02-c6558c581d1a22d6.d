@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-c6558c581d1a22d6.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-c6558c581d1a22d6: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-df1a60c5533fbc54.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-df1a60c5533fbc54: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-33d8e75c4c6dc8d1.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-33d8e75c4c6dc8d1: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05-7ddc4a2614e09ba1.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/release/deps/fig05-7ddc4a2614e09ba1: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

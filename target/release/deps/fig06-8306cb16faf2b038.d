@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-8306cb16faf2b038.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-8306cb16faf2b038: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

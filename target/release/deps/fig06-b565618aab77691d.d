@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-b565618aab77691d.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-b565618aab77691d: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-3169181ecefebcf9.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-3169181ecefebcf9: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

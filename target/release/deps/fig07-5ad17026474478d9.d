@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-5ad17026474478d9.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-5ad17026474478d9: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_09-ec49661095be9c11.d: crates/bench/src/bin/fig08_09.rs
+
+/root/repo/target/release/deps/fig08_09-ec49661095be9c11: crates/bench/src/bin/fig08_09.rs
+
+crates/bench/src/bin/fig08_09.rs:

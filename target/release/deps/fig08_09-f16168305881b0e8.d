@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_09-f16168305881b0e8.d: crates/bench/src/bin/fig08_09.rs
+
+/root/repo/target/release/deps/fig08_09-f16168305881b0e8: crates/bench/src/bin/fig08_09.rs
+
+crates/bench/src/bin/fig08_09.rs:

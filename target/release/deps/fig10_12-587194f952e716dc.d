@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_12-587194f952e716dc.d: crates/bench/src/bin/fig10_12.rs
+
+/root/repo/target/release/deps/fig10_12-587194f952e716dc: crates/bench/src/bin/fig10_12.rs
+
+crates/bench/src/bin/fig10_12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_12-e28255ca6b15f0d3.d: crates/bench/src/bin/fig10_12.rs
+
+/root/repo/target/release/deps/fig10_12-e28255ca6b15f0d3: crates/bench/src/bin/fig10_12.rs
+
+crates/bench/src/bin/fig10_12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-92d6fec3c45d6e5f.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-92d6fec3c45d6e5f: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

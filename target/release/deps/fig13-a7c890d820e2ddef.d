@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-a7c890d820e2ddef.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-a7c890d820e2ddef: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

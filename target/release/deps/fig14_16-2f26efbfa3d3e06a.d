@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_16-2f26efbfa3d3e06a.d: crates/bench/src/bin/fig14_16.rs
+
+/root/repo/target/release/deps/fig14_16-2f26efbfa3d3e06a: crates/bench/src/bin/fig14_16.rs
+
+crates/bench/src/bin/fig14_16.rs:

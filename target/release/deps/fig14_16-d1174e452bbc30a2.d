@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_16-d1174e452bbc30a2.d: crates/bench/src/bin/fig14_16.rs
+
+/root/repo/target/release/deps/fig14_16-d1174e452bbc30a2: crates/bench/src/bin/fig14_16.rs
+
+crates/bench/src/bin/fig14_16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-601bb70d5d055183.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-601bb70d5d055183: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-c75e907c7cc34204.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-c75e907c7cc34204: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

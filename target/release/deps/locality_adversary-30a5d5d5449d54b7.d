@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/locality_adversary-30a5d5d5449d54b7.d: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+/root/repo/target/release/deps/liblocality_adversary-30a5d5d5449d54b7.rlib: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+/root/repo/target/release/deps/liblocality_adversary-30a5d5d5449d54b7.rmeta: crates/adversary/src/lib.rs crates/adversary/src/defeat.rs crates/adversary/src/lemma1.rs crates/adversary/src/strategy.rs crates/adversary/src/thm1.rs crates/adversary/src/thm2.rs crates/adversary/src/thm3.rs crates/adversary/src/thm4.rs crates/adversary/src/tight.rs
+
+crates/adversary/src/lib.rs:
+crates/adversary/src/defeat.rs:
+crates/adversary/src/lemma1.rs:
+crates/adversary/src/strategy.rs:
+crates/adversary/src/thm1.rs:
+crates/adversary/src/thm2.rs:
+crates/adversary/src/thm3.rs:
+crates/adversary/src/thm4.rs:
+crates/adversary/src/tight.rs:

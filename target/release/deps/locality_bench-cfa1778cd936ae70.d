@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/locality_bench-cfa1778cd936ae70.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblocality_bench-cfa1778cd936ae70.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/liblocality_bench-cfa1778cd936ae70.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments.rs crates/bench/src/format.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/format.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/locality_graph-7caba4a08c6836ce.d: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/cycles.rs crates/graph/src/error.rs crates/graph/src/generators.rs crates/graph/src/geo.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/dist.rs crates/graph/src/index.rs crates/graph/src/neighborhood.rs crates/graph/src/permute.rs crates/graph/src/rng.rs crates/graph/src/subgraph.rs crates/graph/src/traversal.rs
+
+/root/repo/target/release/deps/liblocality_graph-7caba4a08c6836ce.rlib: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/cycles.rs crates/graph/src/error.rs crates/graph/src/generators.rs crates/graph/src/geo.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/dist.rs crates/graph/src/index.rs crates/graph/src/neighborhood.rs crates/graph/src/permute.rs crates/graph/src/rng.rs crates/graph/src/subgraph.rs crates/graph/src/traversal.rs
+
+/root/repo/target/release/deps/liblocality_graph-7caba4a08c6836ce.rmeta: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/cycles.rs crates/graph/src/error.rs crates/graph/src/generators.rs crates/graph/src/geo.rs crates/graph/src/graph.rs crates/graph/src/io.rs crates/graph/src/labels.rs crates/graph/src/dist.rs crates/graph/src/index.rs crates/graph/src/neighborhood.rs crates/graph/src/permute.rs crates/graph/src/rng.rs crates/graph/src/subgraph.rs crates/graph/src/traversal.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/components.rs:
+crates/graph/src/cycles.rs:
+crates/graph/src/error.rs:
+crates/graph/src/generators.rs:
+crates/graph/src/geo.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/io.rs:
+crates/graph/src/labels.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/index.rs:
+crates/graph/src/neighborhood.rs:
+crates/graph/src/permute.rs:
+crates/graph/src/rng.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/traversal.rs:

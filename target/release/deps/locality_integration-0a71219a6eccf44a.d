@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/locality_integration-0a71219a6eccf44a.d: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/liblocality_integration-0a71219a6eccf44a.rlib: crates/integration/src/lib.rs
+
+/root/repo/target/release/deps/liblocality_integration-0a71219a6eccf44a.rmeta: crates/integration/src/lib.rs
+
+crates/integration/src/lib.rs:

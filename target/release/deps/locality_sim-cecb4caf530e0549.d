@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/locality_sim-cecb4caf530e0549.d: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+/root/repo/target/release/deps/liblocality_sim-cecb4caf530e0549.rlib: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+/root/repo/target/release/deps/liblocality_sim-cecb4caf530e0549.rmeta: crates/sim/src/lib.rs crates/sim/src/flood.rs crates/sim/src/metrics.rs crates/sim/src/network.rs crates/sim/src/node.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flood.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/network.rs:
+crates/sim/src/node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/localroute-87c962e979d3c5c5.d: crates/bench/src/bin/localroute.rs
+
+/root/repo/target/release/deps/localroute-87c962e979d3c5c5: crates/bench/src/bin/localroute.rs
+
+crates/bench/src/bin/localroute.rs:

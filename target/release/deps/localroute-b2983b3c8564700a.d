@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/localroute-b2983b3c8564700a.d: crates/bench/src/bin/localroute.rs
+
+/root/repo/target/release/deps/localroute-b2983b3c8564700a: crates/bench/src/bin/localroute.rs
+
+crates/bench/src/bin/localroute.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfsmoke-85ee9ebe42820f99.d: crates/bench/src/bin/perfsmoke.rs
+
+/root/repo/target/release/deps/perfsmoke-85ee9ebe42820f99: crates/bench/src/bin/perfsmoke.rs
+
+crates/bench/src/bin/perfsmoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/position_based-73094fe5d37f085f.d: crates/bench/src/bin/position_based.rs
+
+/root/repo/target/release/deps/position_based-73094fe5d37f085f: crates/bench/src/bin/position_based.rs
+
+crates/bench/src/bin/position_based.rs:

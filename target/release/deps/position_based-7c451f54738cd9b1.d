@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/position_based-7c451f54738cd9b1.d: crates/bench/src/bin/position_based.rs
+
+/root/repo/target/release/deps/position_based-7c451f54738cd9b1: crates/bench/src/bin/position_based.rs
+
+crates/bench/src/bin/position_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-37e7538070ae3003.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-37e7538070ae3003: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

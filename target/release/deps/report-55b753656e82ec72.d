@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-55b753656e82ec72.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-55b753656e82ec72: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/routing_hop-fe7a38d11d331bff.d: crates/bench/benches/routing_hop.rs
+
+/root/repo/target/release/deps/routing_hop-fe7a38d11d331bff: crates/bench/benches/routing_hop.rs
+
+crates/bench/benches/routing_hop.rs:

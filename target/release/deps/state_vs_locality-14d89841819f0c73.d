@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/state_vs_locality-14d89841819f0c73.d: crates/bench/src/bin/state_vs_locality.rs
+
+/root/repo/target/release/deps/state_vs_locality-14d89841819f0c73: crates/bench/src/bin/state_vs_locality.rs
+
+crates/bench/src/bin/state_vs_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/state_vs_locality-c39c50ad5d026c53.d: crates/bench/src/bin/state_vs_locality.rs
+
+/root/repo/target/release/deps/state_vs_locality-c39c50ad5d026c53: crates/bench/src/bin/state_vs_locality.rs
+
+crates/bench/src/bin/state_vs_locality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-08a431c3d14c7acf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-08a431c3d14c7acf: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-abc5244a7961367a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-abc5244a7961367a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

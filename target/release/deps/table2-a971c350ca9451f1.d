@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-a971c350ca9451f1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-a971c350ca9451f1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-dc4e0613a97ae037.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-dc4e0613a97ae037: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

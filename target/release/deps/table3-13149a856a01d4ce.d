@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-13149a856a01d4ce.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-13149a856a01d4ce: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

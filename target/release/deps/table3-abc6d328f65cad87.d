@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-abc6d328f65cad87.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-abc6d328f65cad87: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

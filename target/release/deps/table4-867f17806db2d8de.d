@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-867f17806db2d8de.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-867f17806db2d8de: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-be9424c19194f57e.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-be9424c19194f57e: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adhoc_network-48cf9f5ea2041ab0.d: crates/bench/../../examples/adhoc_network.rs
+
+/root/repo/target/release/examples/adhoc_network-48cf9f5ea2041ab0: crates/bench/../../examples/adhoc_network.rs
+
+crates/bench/../../examples/adhoc_network.rs:

@@ -74,9 +74,7 @@ fn hub_views_indistinguishable_across_variants() {
     let k = ((n - 3) / 4) as u32;
     let fps: Vec<String> = thm1::family(n)
         .iter()
-        .map(|inst| {
-            local_routing::LocalView::extract(&inst.graph, inst.hub, k).fingerprint()
-        })
+        .map(|inst| local_routing::LocalView::extract(&inst.graph, inst.hub, k).fingerprint())
         .collect();
     assert_eq!(fps[0], fps[1]);
     assert_eq!(fps[1], fps[2]);

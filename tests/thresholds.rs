@@ -8,9 +8,9 @@ use locality_integration::{assert_all_delivered, random_suite};
 #[test]
 fn threshold_formulae_match_table1() {
     for n in [8usize, 12, 13, 20, 23, 100] {
-        assert_eq!(Alg1.min_locality(n), ((n + 3) / 4) as u32);
-        assert_eq!(Alg1B.min_locality(n), ((n + 3) / 4) as u32);
-        assert_eq!(Alg2.min_locality(n), ((n + 2) / 3) as u32);
+        assert_eq!(Alg1.min_locality(n), n.div_ceil(4) as u32);
+        assert_eq!(Alg1B.min_locality(n), n.div_ceil(4) as u32);
+        assert_eq!(Alg2.min_locality(n), n.div_ceil(3) as u32);
         assert_eq!(Alg3.min_locality(n), (n / 2) as u32);
     }
 }
