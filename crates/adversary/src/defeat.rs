@@ -121,12 +121,14 @@ pub fn find_defeat<R: LocalRouter + ?Sized>(router: &R, n: usize, k: u32) -> Opt
     let candidates: Vec<Graph> = (0..64)
         .map(|_| permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng))
         .collect();
-    scan_candidates(&candidates, k, router).map(|(idx, s, t, status)| Defeat {
-        graph: candidates[idx].clone(),
-        s,
-        t,
-        status,
-        family: "random",
+    scan_candidates(&candidates, k, router).and_then(|(idx, s, t, status)| {
+        candidates.get(idx).map(|g| Defeat {
+            graph: g.clone(),
+            s,
+            t,
+            status,
+            family: "random",
+        })
     })
 }
 

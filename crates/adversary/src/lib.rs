@@ -24,7 +24,7 @@
 //!   for a router run below its threshold.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod defeat;
 pub mod lemma1;

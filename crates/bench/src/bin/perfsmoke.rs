@@ -435,18 +435,38 @@ fn bench_size(n: usize) -> SizeReport {
     }
 }
 
+/// Unsuppressed `locality-lint` violations in the workspace, so the
+/// perf-smoke JSON also records static-invariant health (-1 when the
+/// source tree is not available, e.g. an installed binary).
+fn lint_violations() -> i64 {
+    let start = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Some(root) = locality_lint::walk::find_workspace_root(start) else {
+        return -1;
+    };
+    match locality_lint::lint_workspace(&root) {
+        Ok(report) => report.violations.len() as i64,
+        Err(_) => -1,
+    }
+}
+
 fn main() {
     let sizes: Vec<SizeReport> = [32, 64, 128].into_iter().map(bench_size).collect();
     let body: Vec<String> = sizes.iter().map(SizeReport::json).collect();
+    let lint = lint_violations();
     println!(
         concat!(
             "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
-            "\"sizes\":[{}],",
+            "\"sizes\":[{}],\"lint_violations\":{},",
             "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
             "legacy delivery matrix replays the engine's exact routes on the old ",
             "structures and omits passive-case lookups, so speedups are lower bounds\"}}"
         ),
-        body.join(",")
+        body.join(","),
+        lint,
+    );
+    assert!(
+        lint == 0,
+        "locality-lint reports {lint} unsuppressed violation(s); run `cargo run -p locality-lint`"
     );
     let last = sizes.last().expect("three sizes");
     assert!(

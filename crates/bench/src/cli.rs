@@ -1,11 +1,75 @@
 //! Spec parsing shared by the `localroute` CLI: graph family specs and
 //! algorithm names.
 
+use std::fmt;
+
 use local_routing::baselines::RightHandRule;
 use local_routing::{Alg1, Alg1B, Alg2, Alg3, Alg3OriginAware, LocalRouter};
 use locality_adversary::tight;
 use locality_graph::rng::DetRng;
-use locality_graph::{generators, io, Graph};
+use locality_graph::{generators, io, Graph, GraphError};
+
+/// Why a command-line spec was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// A numeric parameter in a family spec did not parse.
+    BadNumber(String),
+    /// A known family was given the wrong number of parameters.
+    WrongArity {
+        /// The family name, e.g. `grid`.
+        family: String,
+        /// How many parameters it needs.
+        need: usize,
+    },
+    /// The family name is not one of the known generators.
+    UnknownFamily(String),
+    /// The spec looked like a file path but the file was unreadable.
+    UnreadableFile {
+        /// The path as given on the command line.
+        path: String,
+        /// The I/O error text.
+        message: String,
+    },
+    /// The edge-list file was readable but did not parse.
+    BadGraphFile(GraphError),
+    /// Not a recognized algorithm name.
+    UnknownAlgorithm(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::BadNumber(spec) => write!(f, "bad number in '{spec}'"),
+            CliError::WrongArity { family, need } => {
+                write!(f, "{family} needs {need} parameter(s)")
+            }
+            CliError::UnknownFamily(name) => write!(f, "unknown family '{name}'"),
+            CliError::UnreadableFile { path, message } => {
+                write!(f, "cannot read {path}: {message}")
+            }
+            CliError::BadGraphFile(e) => write!(f, "{e}"),
+            CliError::UnknownAlgorithm(name) => write!(
+                f,
+                "unknown algorithm '{name}' (use alg1|alg1b|alg2|alg3|alg3o|rhr)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::BadGraphFile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CliError> for String {
+    fn from(e: CliError) -> String {
+        e.to_string()
+    }
+}
 
 /// Parses a graph spec: either a known family
 /// (`path:N`, `cycle:N`, `grid:RxC`, `lollipop:C,T`, `spider:L,LEN`,
@@ -14,19 +78,22 @@ use locality_graph::{generators, io, Graph};
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on malformed specs or unreadable
-/// files.
-pub fn parse_graph(spec: &str) -> Result<Graph, String> {
+/// Returns a [`CliError`] describing the malformed spec or unreadable
+/// file.
+pub fn parse_graph(spec: &str) -> Result<Graph, CliError> {
     if let Some((family, rest)) = spec.split_once(':') {
         let nums: Vec<usize> = rest
             .split([',', 'x'])
-            .map(|p| p.parse().map_err(|_| format!("bad number in '{spec}'")))
+            .map(|p| p.parse().map_err(|_| CliError::BadNumber(spec.to_string())))
             .collect::<Result<_, _>>()?;
-        let need = |n: usize| -> Result<(), String> {
+        let need = |n: usize| -> Result<(), CliError> {
             if nums.len() == n {
                 Ok(())
             } else {
-                Err(format!("{family} needs {n} parameter(s)"))
+                Err(CliError::WrongArity {
+                    family: family.to_string(),
+                    need: n,
+                })
             }
         };
         return match family {
@@ -67,19 +134,22 @@ pub fn parse_graph(spec: &str) -> Result<Graph, String> {
                 need(1)?;
                 Ok(tight::fig17(nums[0]).graph)
             }
-            other => Err(format!("unknown family '{other}'")),
+            other => Err(CliError::UnknownFamily(other.to_string())),
         };
     }
-    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
-    io::from_str(&text).map_err(|e| e.to_string())
+    let text = std::fs::read_to_string(spec).map_err(|e| CliError::UnreadableFile {
+        path: spec.to_string(),
+        message: e.to_string(),
+    })?;
+    io::from_str(&text).map_err(CliError::BadGraphFile)
 }
 
 /// Parses an algorithm name: `alg1 | alg1b | alg2 | alg3 | alg3o | rhr`.
 ///
 /// # Errors
 ///
-/// Returns a message listing the valid names.
-pub fn parse_alg(name: &str) -> Result<Box<dyn LocalRouter>, String> {
+/// Returns [`CliError::UnknownAlgorithm`] listing the valid names.
+pub fn parse_alg(name: &str) -> Result<Box<dyn LocalRouter>, CliError> {
     match name {
         "alg1" => Ok(Box::new(Alg1)),
         "alg1b" => Ok(Box::new(Alg1B)),
@@ -87,9 +157,7 @@ pub fn parse_alg(name: &str) -> Result<Box<dyn LocalRouter>, String> {
         "alg3" => Ok(Box::new(Alg3)),
         "alg3o" => Ok(Box::new(Alg3OriginAware)),
         "rhr" => Ok(Box::new(RightHandRule)),
-        other => Err(format!(
-            "unknown algorithm '{other}' (use alg1|alg1b|alg2|alg3|alg3o|rhr)"
-        )),
+        other => Err(CliError::UnknownAlgorithm(other.to_string())),
     }
 }
 
@@ -97,27 +165,48 @@ pub fn parse_alg(name: &str) -> Result<Box<dyn LocalRouter>, String> {
 mod tests {
     use super::*;
 
+    fn parsed(spec: &str) -> Graph {
+        parse_graph(spec).expect("spec is well-formed")
+    }
+
     #[test]
     fn parses_families() {
-        assert_eq!(parse_graph("path:5").unwrap().node_count(), 5);
-        assert_eq!(parse_graph("cycle:7").unwrap().edge_count(), 7);
-        assert_eq!(parse_graph("grid:3x4").unwrap().node_count(), 12);
-        assert_eq!(parse_graph("lollipop:5,2").unwrap().node_count(), 7);
-        assert_eq!(parse_graph("spider:3,2").unwrap().node_count(), 7);
-        assert_eq!(parse_graph("complete:5").unwrap().edge_count(), 10);
-        assert_eq!(parse_graph("fig13:16").unwrap().node_count(), 16);
-        assert_eq!(parse_graph("fig17:28").unwrap().node_count(), 28);
-        let g1 = parse_graph("random:9,3").unwrap();
-        let g2 = parse_graph("random:9,3").unwrap();
-        assert_eq!(g1, g2, "random specs are seeded and reproducible");
+        assert_eq!(parsed("path:5").node_count(), 5);
+        assert_eq!(parsed("cycle:7").edge_count(), 7);
+        assert_eq!(parsed("grid:3x4").node_count(), 12);
+        assert_eq!(parsed("lollipop:5,2").node_count(), 7);
+        assert_eq!(parsed("spider:3,2").node_count(), 7);
+        assert_eq!(parsed("complete:5").edge_count(), 10);
+        assert_eq!(parsed("fig13:16").node_count(), 16);
+        assert_eq!(parsed("fig17:28").node_count(), 28);
+        assert_eq!(
+            parsed("random:9,3"),
+            parsed("random:9,3"),
+            "random specs are seeded and reproducible"
+        );
     }
 
     #[test]
     fn rejects_bad_specs() {
-        assert!(parse_graph("path:abc").is_err());
-        assert!(parse_graph("grid:3").is_err());
-        assert!(parse_graph("nosuch:3").is_err());
-        assert!(parse_graph("/no/such/file").is_err());
+        assert_eq!(
+            parse_graph("path:abc").err(),
+            Some(CliError::BadNumber("path:abc".to_string()))
+        );
+        assert_eq!(
+            parse_graph("grid:3").err(),
+            Some(CliError::WrongArity {
+                family: "grid".to_string(),
+                need: 2
+            })
+        );
+        assert_eq!(
+            parse_graph("nosuch:3").err(),
+            Some(CliError::UnknownFamily("nosuch".to_string()))
+        );
+        assert!(matches!(
+            parse_graph("/no/such/file"),
+            Err(CliError::UnreadableFile { .. })
+        ));
     }
 
     #[test]
@@ -130,17 +219,21 @@ mod tests {
             ("alg3o", "algorithm-3-origin-aware"),
             ("rhr", "right-hand-rule"),
         ] {
-            assert_eq!(parse_alg(name).unwrap().name(), expect);
+            assert_eq!(parse_alg(name).expect("known name").name(), expect);
         }
-        assert!(parse_alg("alg9").is_err());
+        assert_eq!(
+            parse_alg("alg9").err(),
+            Some(CliError::UnknownAlgorithm("alg9".to_string()))
+        );
     }
 
     #[test]
     fn file_round_trip() {
         let g = generators::cycle(6);
         let path = std::env::temp_dir().join("localroute-cli-test.graph");
-        std::fs::write(&path, io::to_string(&g)).unwrap();
-        let h = parse_graph(path.to_str().unwrap()).unwrap();
+        std::fs::write(&path, io::to_string(&g)).expect("temp dir is writable");
+        let h = parse_graph(path.to_str().expect("path is valid UTF-8"))
+            .expect("round-tripped file parses");
         assert_eq!(g, h);
         let _ = std::fs::remove_file(path);
     }

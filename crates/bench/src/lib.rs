@@ -6,7 +6,7 @@
 //! micro-benchmarks live under `benches/` (see [`timing`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod experiments;

@@ -7,6 +7,12 @@
 //! print the perf-smoke JSON, while keeping the workspace free of
 //! network-fetched dependencies.
 
+// Wall-clock measurement is this module's entire purpose; the R2/clippy
+// workspace ban on `std::time` exists to keep *routing decisions*
+// deterministic, not to forbid timing the benchmarks themselves.
+// Justified in `lint.allow` (bench is outside the R2 crates anyway).
+#![allow(clippy::disallowed_types)]
+
 pub use std::hint::black_box;
 use std::time::Instant;
 

@@ -39,11 +39,7 @@ impl PositionRouter for GreedyRouter {
         neighbors
             .iter()
             .filter(|(_, p)| p.dist(target) < d_here)
-            .min_by(|(_, a), (_, b)| {
-                a.dist(target)
-                    .partial_cmp(&b.dist(target))
-                    .expect("distances are finite")
-            })
+            .min_by(|(_, a), (_, b)| a.dist(target).total_cmp(&b.dist(target)))
             .map(|&(x, _)| x)
     }
 }
@@ -64,8 +60,7 @@ impl PositionRouter for CompassRouter {
             .iter()
             .min_by(|(_, a), (_, b)| {
                 here.angle_between(*a, target)
-                    .partial_cmp(&here.angle_between(*b, target))
-                    .expect("angles are finite")
+                    .total_cmp(&here.angle_between(*b, target))
             })
             .map(|&(x, _)| x)
     }
@@ -110,7 +105,7 @@ pub fn route_position<R: PositionRouter>(
     let target = g.position(t);
     let mut current = s;
     let mut route = vec![s];
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     loop {
         if current == t {
             return PositionRunReport {

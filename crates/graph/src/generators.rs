@@ -223,7 +223,7 @@ pub fn random_connected(n: usize, extra_edges: usize, rng: &mut DetRng) -> Graph
     }
     let max_extra = n * (n - 1) / 2 - (n - 1);
     let want = extra_edges.min(max_extra);
-    let mut present: std::collections::HashSet<(u32, u32)> = tree
+    let mut present: std::collections::BTreeSet<(u32, u32)> = tree
         .edges()
         .map(|(u, v)| (u.0.min(v.0), u.0.max(v.0)))
         .collect();
@@ -290,7 +290,7 @@ pub fn random_mixed(n: usize, rng: &mut DetRng) -> Graph {
                 }
                 b.add_edge(NodeId(n as u32 - 1), NodeId(0)).expect("cycle");
                 let chords = rng.gen_range(0..=n / 3);
-                let mut present: std::collections::HashSet<(u32, u32)> = (0..n as u32)
+                let mut present: std::collections::BTreeSet<(u32, u32)> = (0..n as u32)
                     .map(|i| (i.min((i + 1) % n as u32), i.max((i + 1) % n as u32)))
                     .collect();
                 let mut added = 0;

@@ -50,6 +50,53 @@ pub fn same_node(_g1: &Graph, u: NodeId) -> NodeId {
     u
 }
 
+/// Returns an isomorphic copy in which old node `u` occupies slot
+/// `perm[u.index()]` and *keeps its label*; edges map through `perm`.
+///
+/// This is the complement of [`relabel`]: there the labels move and the
+/// numbering stays, here the internal numbering moves and each
+/// topological role keeps its label. Since the paper's model lets a
+/// router see only labels (§1.1), a conforming router must behave
+/// *identically* on both graphs — making this the equivariance probe
+/// for hidden dependence on node numbering, memory layout, or
+/// container iteration order.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn permute_nodes(g: &Graph, perm: &[NodeId]) -> Graph {
+    assert_eq!(perm.len(), g.node_count(), "permutation length mismatch");
+    let mut slots: Vec<(NodeId, Label)> =
+        g.nodes().map(|u| (perm[u.index()], g.label(u))).collect();
+    slots.sort_unstable_by_key(|&(slot, _)| slot);
+    assert!(
+        slots
+            .iter()
+            .enumerate()
+            .all(|(i, &(slot, _))| slot.index() == i),
+        "perm must be a permutation of 0..n"
+    );
+    let mut b = GraphBuilder::new();
+    for (_, l) in slots {
+        b.add_node(l)
+            .expect("a permuted node keeps its unique label");
+    }
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u.index()], perm[v.index()])
+            .expect("a node permutation preserves simplicity");
+    }
+    b.build()
+}
+
+/// Applies a uniformly random node permutation; returns the permuted
+/// graph together with the old-id to new-id map.
+pub fn random_permute_nodes(g: &Graph, rng: &mut DetRng) -> (Graph, Vec<NodeId>) {
+    let mut perm: Vec<NodeId> = (0..g.node_count() as u32).map(NodeId).collect();
+    rng.shuffle(&mut perm);
+    let h = permute_nodes(g, &perm);
+    (h, perm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +130,33 @@ mod tests {
     fn relabel_rejects_wrong_length() {
         let g = generators::path(3);
         relabel(&g, &[Label(0)]);
+    }
+
+    #[test]
+    fn permute_nodes_preserves_labels_per_role() {
+        let g = generators::lollipop(5, 3);
+        let mut rng = DetRng::seed_from_u64(7);
+        let (h, perm) = random_permute_nodes(&g, &mut rng);
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            let hu = perm[u.index()];
+            assert_eq!(h.label(hu), g.label(u), "labels ride with their role");
+            let mut old_nbr_labels: Vec<Label> =
+                g.neighbors(u).iter().map(|&v| g.label(v)).collect();
+            let mut new_nbr_labels: Vec<Label> =
+                h.neighbors(hu).iter().map(|&v| h.label(v)).collect();
+            old_nbr_labels.sort_unstable();
+            new_nbr_labels.sort_unstable();
+            assert_eq!(old_nbr_labels, new_nbr_labels);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation of 0..n")]
+    fn permute_nodes_rejects_non_permutations() {
+        let g = generators::path(3);
+        permute_nodes(&g, &[NodeId(0), NodeId(0), NodeId(2)]);
     }
 
     #[test]

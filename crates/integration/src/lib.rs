@@ -1,6 +1,9 @@
 //! Shared helpers for the repository-level integration test suite in
 //! `/tests`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use local_routing::{engine, LocalRouter};
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, permute, Graph};

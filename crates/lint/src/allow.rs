@@ -1,0 +1,187 @@
+//! The checked-in allowlist (`lint.allow` at the workspace root).
+//!
+//! Plain text, one entry per line, pipe-separated so entries stay
+//! greppable and diffable:
+//!
+//! ```text
+//! # rule | file | needle | justification
+//! R3 | crates/graph/src/permute.rs | .expect( | construction invariants of relabelling
+//! R3i | crates/adversary/src/thm1.rs | * | hand-built family graphs index fixed-layout vectors
+//! ```
+//!
+//! An entry suppresses violations of `rule` in `file` whose raw source
+//! line contains `needle` (`*` matches every line). The justification
+//! is mandatory — an allowlisted violation without a reason is itself a
+//! lint error. Entries that suppress nothing are reported as *stale* so
+//! the allowlist cannot rot.
+
+use crate::rules::{Rule, Violation};
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule the entry applies to.
+    pub rule: Rule,
+    /// Workspace-relative file the entry applies to.
+    pub file: String,
+    /// Substring of the raw source line, or `*` for the whole file.
+    pub needle: String,
+    /// Why the violation is acceptable.
+    pub justification: String,
+    /// 1-indexed line in `lint.allow` (for stale reporting).
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses `v`.
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && self.file == v.file
+            && (self.needle == "*" || v.raw_line.contains(&self.needle))
+    }
+
+    /// Compact rendering for stale-entry reports.
+    pub fn render(&self) -> String {
+        format!(
+            "lint.allow:{}: {} | {} | {}",
+            self.line,
+            self.rule.id(),
+            self.file,
+            self.needle
+        )
+    }
+}
+
+/// Parses the allowlist text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed entries
+/// (wrong field count, unknown rule id, empty justification).
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '|').map(str::trim);
+        let (rule, file, needle, justification) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(f), Some(n), Some(j)) => (r, f, n, j),
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{line_no}: expected `rule | file | needle | justification`"
+                    ))
+                }
+            };
+        let Some(rule) = Rule::from_id(rule) else {
+            return Err(format!(
+                "lint.allow:{line_no}: unknown rule id `{rule}` (use R1/R2/R3/R3i/R4)"
+            ));
+        };
+        if file.is_empty() || needle.is_empty() {
+            return Err(format!("lint.allow:{line_no}: empty file or needle field"));
+        }
+        if justification.is_empty() {
+            return Err(format!(
+                "lint.allow:{line_no}: a justification is mandatory"
+            ));
+        }
+        out.push(AllowEntry {
+            rule,
+            file: file.to_string(),
+            needle: needle.to_string(),
+            justification: justification.to_string(),
+            line: line_no,
+        });
+    }
+    Ok(out)
+}
+
+/// Splits violations into (kept, suppressed-count) and returns the
+/// stale entries that matched nothing.
+pub fn apply(
+    entries: &[AllowEntry],
+    violations: Vec<Violation>,
+) -> (Vec<Violation>, usize, Vec<AllowEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for v in violations {
+        let mut hit = false;
+        for (i, e) in entries.iter().enumerate() {
+            if e.matches(&v) {
+                if let Some(u) = used.get_mut(i) {
+                    *u = true;
+                }
+                hit = true;
+            }
+        }
+        if hit {
+            suppressed += 1;
+        } else {
+            kept.push(v);
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::check_file;
+
+    #[test]
+    fn entries_suppress_matching_violations() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"fine\") }\n";
+        let violations = check_file("crates/sim/src/foo.rs", src);
+        assert_eq!(violations.len(), 1);
+        let entries =
+            parse("# comment\n\nR3 | crates/sim/src/foo.rs | .expect( | provably present\n")
+                .expect("parses");
+        let (kept, suppressed, stale) = apply(&entries, violations);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn wildcard_needle_covers_the_file() {
+        let src = "fn f(v: &[u32]) -> u32 { v[0] + v[1] }\n";
+        let violations = check_file("crates/sim/src/foo.rs", src);
+        assert_eq!(violations.len(), 2);
+        let entries =
+            parse("R3i | crates/sim/src/foo.rs | * | fixed-layout vector\n").expect("parses");
+        let (kept, suppressed, stale) = apply(&entries, violations);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unused_entries_are_stale_and_wrong_rule_does_not_match() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let violations = check_file("crates/sim/src/foo.rs", src);
+        let entries = parse("R3i | crates/sim/src/foo.rs | unwrap | wrong family on purpose\n")
+            .expect("parses");
+        let (kept, suppressed, stale) = apply(&entries, violations);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed, 0);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn malformed_entries_are_rejected() {
+        assert!(parse("R3 | too | few\n").is_err());
+        assert!(parse("R9 | a | b | c\n").is_err());
+        assert!(parse("R3 | a | b | \n").is_err());
+    }
+}

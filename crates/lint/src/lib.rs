@@ -1,0 +1,183 @@
+//! # locality-lint
+//!
+//! A hermetic (zero-dependency) static-analysis pass that proves, at
+//! the source level, the model invariants the paper's `k`-local routing
+//! results rest on — so they are machine-checked on every verify run
+//! instead of being a code-review convention:
+//!
+//! * **R1 locality** — router implementation modules cannot name a
+//!   whole-graph API. The `LocalRouter` trait already enforces at the
+//!   type level that a routing *decision* sees only `G_k(u)`; R1
+//!   enforces that the *modules implementing deciders* cannot even
+//!   import the global [`Graph`] type, closing the loophole of a future
+//!   helper that peeks.
+//! * **R2 determinism** — the crates whose outputs must be
+//!   bit-reproducible (graph substrate, routing core, adversary
+//!   machinery) cannot iterate hash-ordered collections, read clocks or
+//!   the environment, or compare floats NaN-unstably. The adversarial
+//!   families of Theorems 1–4 are replayed byte-for-byte in goldens;
+//!   any hidden iteration-order dependence would rot them.
+//! * **R3 panic policy** — library code cannot `unwrap()`, `expect(`,
+//!   `panic!`, or raw-index slices (`R3i`): the theorem families are
+//!   *designed* to be pathological inputs, so a reachable panic is a
+//!   denial-of-service bug, not a style nit. The dense-slot idiom
+//!   `container[node.index()]` is blessed (bounds-correct by
+//!   construction of the compact-index layer).
+//! * **R4 lint hygiene** — every library crate root forbids unsafe
+//!   code and denies missing docs, and the workspace `clippy.toml`
+//!   co-enforces R2/R3 with clippy's native
+//!   `disallowed-types`/`disallowed-methods`.
+//!
+//! Known-good exceptions live in the checked-in [`allow`]list
+//! (`lint.allow`), one justified entry per site, and stale entries are
+//! reported so the list cannot rot. See DESIGN.md, "Model invariants &
+//! static analysis".
+//!
+//! The scanner is deliberately token/line-level (in the spirit of the
+//! in-repo `DetRng`): no syn, no rustc internals, no network-fetched
+//! dependencies — it masks comments/strings, tracks `#[cfg(test)]`
+//! regions, and matches identifier tokens.
+//!
+//! [`Graph`]: https://docs.rs/ (the `locality_graph::Graph` type)
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allow;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+pub use allow::AllowEntry;
+pub use rules::{FileClass, Rule, Violation};
+
+/// Outcome of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations not covered by the allowlist, sorted by location.
+    pub violations: Vec<Violation>,
+    /// Number of violations suppressed by `lint.allow` entries.
+    pub suppressed: usize,
+    /// Allowlist entries that matched nothing (the list is rotting).
+    pub stale_allows: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean (stale entries are warnings, not
+    /// failures).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.render());
+            out.push('\n');
+        }
+        for e in &self.stale_allows {
+            out.push_str(&format!("warning: stale allowlist entry {}\n", e.render()));
+        }
+        out.push_str(&format!(
+            "locality-lint: {} file(s), {} violation(s), {} suppressed by lint.allow, {} stale allow entrie(s)",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed,
+            self.stale_allows.len(),
+        ));
+        out
+    }
+}
+
+/// Errors raised by [`lint_workspace`] itself (as opposed to findings).
+#[derive(Debug)]
+pub enum LintError {
+    /// A file could not be read or a directory walked.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// `lint.allow` is malformed.
+    Allowlist(
+        /// The parse error, naming the offending line.
+        String,
+    ),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, message } => write!(f, "{path}: {message}"),
+            LintError::Allowlist(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+fn read(root: &Path, rel: &str) -> Result<String, LintError> {
+    fs::read_to_string(root.join(rel)).map_err(|e| LintError::Io {
+        path: rel.to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Lints the workspace rooted at `root`: walks the source tree, runs
+/// R1–R4, and applies the `lint.allow` allowlist.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on filesystem problems or a malformed
+/// allowlist — never for rule findings, which land in the [`Report`].
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    let files = walk::rust_files(root).map_err(|e| LintError::Io {
+        path: root.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut violations: Vec<Violation> = Vec::new();
+    for rel in &files {
+        let source = read(root, rel)?;
+        violations.extend(rules::check_file(rel, &source));
+        if !walk::crate_roots(std::slice::from_ref(rel)).is_empty() {
+            violations.extend(rules::check_crate_root(rel, &source));
+        }
+    }
+    let clippy = fs::read_to_string(root.join("clippy.toml")).ok();
+    violations.extend(rules::check_clippy_toml(clippy.as_deref()));
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule.id()).cmp(&(&b.file, b.line, b.rule.id())));
+
+    let allow_text = fs::read_to_string(root.join("lint.allow")).ok();
+    let entries = match allow_text {
+        Some(text) => allow::parse(&text).map_err(LintError::Allowlist)?,
+        None => Vec::new(),
+    };
+    let (kept, suppressed, stale_allows) = allow::apply(&entries, violations);
+    Ok(Report {
+        violations: kept,
+        suppressed,
+        stale_allows,
+        files_scanned: files.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_workspace_is_lintable() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = walk::find_workspace_root(here).expect("workspace root exists");
+        let report = lint_workspace(&root).expect("lint runs");
+        assert!(report.files_scanned > 50, "should scan the whole workspace");
+    }
+}

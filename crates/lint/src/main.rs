@@ -1,0 +1,60 @@
+//! `locality-lint` — the command-line front end.
+//!
+//! ```text
+//! locality-lint [--root <dir>] [--quiet]
+//! ```
+//!
+//! Exits 0 when the workspace has no unsuppressed violations, 1 when it
+//! does, 2 on usage or I/O errors. Stale `lint.allow` entries are
+//! printed as warnings (and fail the dedicated integration test, which
+//! is stricter).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use locality_lint::{lint_workspace, walk};
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory argument")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: locality-lint [--root <dir>] [--quiet]");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            walk::find_workspace_root(&cwd).ok_or(
+                "no workspace root ([workspace] in Cargo.toml) above the current directory",
+            )?
+        }
+    };
+    let report = lint_workspace(&root).map_err(|e| e.to_string())?;
+    if !quiet || !report.is_clean() {
+        println!("{}", report.render());
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("locality-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! The four rule families.
+//!
+//! * **R1 locality leak** — router implementation modules may not name
+//!   whole-graph APIs (`Graph`, `GraphBuilder`, `EmbeddedGraph`,
+//!   `locality_graph::graph`); a `k`-local router sees `G_k(u)` and
+//!   nothing else, so its module must be physically unable to reach
+//!   `G`.
+//! * **R2 determinism** — the crates whose outputs must be
+//!   bit-reproducible (`locality-graph`, `local-routing`,
+//!   `locality-adversary`) may not use hash-ordered collections, wall
+//!   clocks, the process environment, or NaN-unstable float
+//!   comparisons.
+//! * **R3 panic policy** — library code may not `unwrap()`, `expect(`,
+//!   `panic!`, or (sub-rule `R3i`) index slices, except through the
+//!   blessed dense-slot idiom `container[node.index()]` or an
+//!   allowlisted, justified site. Test modules, benches, and binaries
+//!   are exempt.
+//! * **R4 lint hygiene** — every library crate root carries
+//!   `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` (or a
+//!   documented opt-out), and the workspace `clippy.toml` co-enforces
+//!   R2/R3 natively.
+
+use crate::scan;
+
+/// Identifier of a rule family (sub-rule `R3i` is R3's slice-indexing
+/// arm, split out so allowlist entries stay precise).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rule {
+    /// Locality leak in a router module.
+    R1,
+    /// Nondeterminism in a bit-reproducible crate.
+    R2,
+    /// Panicking call in library code.
+    R3,
+    /// Unchecked slice indexing in library code.
+    R3i,
+    /// Missing crate-level lint hygiene.
+    R4,
+}
+
+impl Rule {
+    /// The id used in reports and `lint.allow` entries.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R3i => "R3i",
+            Rule::R4 => "R4",
+        }
+    }
+
+    /// Parses a rule id.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R3i" => Some(Rule::R3i),
+            "R4" => Some(Rule::R4),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+    /// The raw source line (untrimmed), used for allowlist matching.
+    pub raw_line: String,
+}
+
+impl Violation {
+    /// `RULE file:line: message` plus a trimmed excerpt.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {}:{}: {}\n    {}",
+            self.rule.id(),
+            self.file,
+            self.line,
+            self.message,
+            self.raw_line.trim()
+        )
+    }
+}
+
+/// How a file participates in the rule families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileClass {
+    /// Library source: `crates/<c>/src/**` minus `src/bin` and
+    /// `src/main.rs`.
+    Lib,
+    /// Binary tooling: `crates/<c>/src/bin/**`, `crates/<c>/src/main.rs`.
+    Bin,
+    /// Tests, benches, examples — exempt from R3.
+    TestBench,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (_crate_dir, inside) = rest.split_once('/')?;
+        if inside.starts_with("tests/") || inside.starts_with("benches/") {
+            return Some(FileClass::TestBench);
+        }
+        if inside.starts_with("src/bin/") || inside == "src/main.rs" {
+            return Some(FileClass::Bin);
+        }
+        if inside.starts_with("src/") {
+            return Some(FileClass::Lib);
+        }
+        return None;
+    }
+    if rel.starts_with("tests/") || rel.starts_with("examples/") {
+        return Some(FileClass::TestBench);
+    }
+    None
+}
+
+/// The crate directory name (`graph`, `core`, ...) of a path under
+/// `crates/`.
+pub fn crate_dir(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")?.split('/').next()
+}
+
+/// Router implementation modules covered by R1: the paper's positive
+/// algorithms and the baseline/position/stateful comparators.
+pub const R1_FILES: &[&str] = &[
+    "crates/core/src/alg1.rs",
+    "crates/core/src/alg1b.rs",
+    "crates/core/src/alg2.rs",
+    "crates/core/src/alg3.rs",
+    "crates/core/src/baselines.rs",
+    "crates/core/src/stateful.rs",
+    "crates/core/src/position.rs",
+];
+
+/// Crates whose outputs must be bit-reproducible (R2).
+pub const R2_CRATES: &[&str] = &["graph", "core", "adversary"];
+
+const R1_IDENTS: &[&str] = &["Graph", "GraphBuilder", "EmbeddedGraph"];
+const R2_IDENTS: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "hash-ordered map: iteration order is nondeterministic",
+    ),
+    (
+        "HashSet",
+        "hash-ordered set: iteration order is nondeterministic",
+    ),
+    ("Instant", "wall-clock reads break bit-reproducibility"),
+    ("SystemTime", "wall-clock reads break bit-reproducibility"),
+    (
+        "partial_cmp",
+        "NaN-unstable float comparison; use total_cmp or integer keys",
+    ),
+];
+const R2_PATHS: &[(&str, &str)] = &[
+    ("std::time", "wall-clock reads break bit-reproducibility"),
+    ("std::env", "environment reads break bit-reproducibility"),
+];
+const R3_CALLS: &[&str] = &["unwrap", "expect"];
+const R3_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`let [a, b] = ..`, `&mut [T]`, ..).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "static", "struct", "super", "trait", "true", "type",
+    "union", "unsafe", "use", "where", "while", "yield",
+];
+
+fn is_keyword(tok: &str) -> bool {
+    KEYWORDS.contains(&tok)
+}
+
+/// Runs R1/R2/R3/R3i over one file. `rel` is the workspace-relative
+/// path; `source` the raw text.
+pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
+    let Some(class) = classify(rel) else {
+        return Vec::new();
+    };
+    let pre = scan::preprocess(source);
+    let r1 = R1_FILES.contains(&rel);
+    let r2 =
+        class != FileClass::TestBench && crate_dir(rel).is_some_and(|c| R2_CRATES.contains(&c));
+    let r3 = class == FileClass::Lib;
+    if !(r1 || r2 || r3) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, (masked_line, raw_line)) in pre.text.lines().zip(source.lines()).enumerate() {
+        if pre.test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let line_no = idx + 1;
+        let mut push = |rule: Rule, message: String| {
+            out.push(Violation {
+                rule,
+                file: rel.to_string(),
+                line: line_no,
+                message,
+                raw_line: raw_line.to_string(),
+            });
+        };
+        let idents = scan::identifiers(masked_line);
+        if r1 {
+            check_r1(masked_line, &idents, &mut push);
+        }
+        if r2 {
+            check_r2(masked_line, &idents, &mut push);
+        }
+        if r3 {
+            check_r3(masked_line, &idents, &mut push);
+            check_r3i(masked_line, &idents, &mut push);
+        }
+    }
+    out
+}
+
+fn check_r1(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+    for &(_, tok) in idents {
+        if R1_IDENTS.contains(&tok) {
+            push(
+                Rule::R1,
+                format!(
+                    "`{tok}` is a whole-graph API; a k-local router module may only \
+                     name LocalView/Subgraph/model types"
+                ),
+            );
+        }
+    }
+    if masked_line.contains("locality_graph::graph") {
+        push(
+            Rule::R1,
+            "`locality_graph::graph` is the whole-graph module; router modules must \
+             not reach it"
+                .to_string(),
+        );
+    }
+}
+
+fn check_r2(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+    for &(_, tok) in idents {
+        if let Some(&(_, why)) = R2_IDENTS.iter().find(|&&(name, _)| name == tok) {
+            push(
+                Rule::R2,
+                format!("`{tok}` in a bit-reproducible crate: {why}"),
+            );
+        }
+    }
+    for &(path, why) in R2_PATHS {
+        if masked_line.contains(path) {
+            push(
+                Rule::R2,
+                format!("`{path}` in a bit-reproducible crate: {why}"),
+            );
+        }
+    }
+}
+
+fn check_r3(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+    for &(off, tok) in idents {
+        let next = scan::next_nonspace(masked_line, off + tok.len()).map(|(_, b)| b);
+        if R3_CALLS.contains(&tok) && next == Some(b'(') {
+            push(
+                Rule::R3,
+                format!("`{tok}(` can panic in library code; return a typed error or allowlist with a justification"),
+            );
+        }
+        if R3_MACROS.contains(&tok) && next == Some(b'!') {
+            push(
+                Rule::R3,
+                format!("`{tok}!` panics in library code; return a typed error or allowlist with a justification"),
+            );
+        }
+    }
+}
+
+fn check_r3i(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+    let bytes = masked_line.as_bytes();
+    for (open, _) in bytes.iter().enumerate().filter(|&(_, &b)| b == b'[') {
+        let Some((prev_off, prev)) = scan::prev_nonspace(masked_line, open) else {
+            continue;
+        };
+        let indexable = match prev {
+            b')' | b']' | b'?' => true,
+            b if b.is_ascii_alphanumeric() || b == b'_' => {
+                // The identifier ending at prev_off must not be a
+                // keyword (`let [a, b] = ..` is a pattern, not an
+                // index).
+                idents
+                    .iter()
+                    .rev()
+                    .find(|&&(o, t)| o <= prev_off && o + t.len() > prev_off)
+                    .map(|&(_, t)| !is_keyword(t))
+                    .unwrap_or(true)
+            }
+            _ => false,
+        };
+        if !indexable {
+            continue;
+        }
+        // Bracket content, matched within the line (fall back to
+        // end-of-line when the expression wraps).
+        let mut depth = 0usize;
+        let mut close = masked_line.len();
+        for (j, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'[' => depth += 1,
+                b']' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let content = masked_line.get(open + 1..close).unwrap_or("");
+        if content.trim().is_empty() {
+            continue;
+        }
+        if content.contains(".index()") {
+            // The blessed dense-slot idiom: NodeId::index() into a
+            // slot-aligned Vec is bounds-correct by construction.
+            continue;
+        }
+        push(
+            Rule::R3i,
+            "unchecked slice indexing can panic; use `.get()`, the dense `container[node.index()]` idiom, or allowlist with a justification"
+                .to_string(),
+        );
+    }
+}
+
+/// R4: crate-root hygiene for `crates/<c>/src/lib.rs`.
+///
+/// The `missing_docs` requirement accepts a documented opt-out: a line
+/// containing `locality-lint: allow missing_docs` (with a reason) in
+/// the crate root.
+pub fn check_crate_root(rel: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |message: String| {
+        out.push(Violation {
+            rule: Rule::R4,
+            file: rel.to_string(),
+            line: 1,
+            message,
+            raw_line: source.lines().next().unwrap_or("").to_string(),
+        });
+    };
+    if !source.contains("#![forbid(unsafe_code)]") {
+        push("crate root must carry `#![forbid(unsafe_code)]`".to_string());
+    }
+    if !source.contains("#![deny(missing_docs)]")
+        && !source.contains("locality-lint: allow missing_docs")
+    {
+        push(
+            "crate root must carry `#![deny(missing_docs)]` (or a documented \
+             `locality-lint: allow missing_docs` opt-out)"
+                .to_string(),
+        );
+    }
+    out
+}
+
+/// R4: the workspace `clippy.toml` must co-enforce R2/R3 natively.
+pub fn check_clippy_toml(clippy_toml: Option<&str>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |message: String| {
+        out.push(Violation {
+            rule: Rule::R4,
+            file: "clippy.toml".to_string(),
+            line: 1,
+            message,
+            raw_line: String::new(),
+        });
+    };
+    match clippy_toml {
+        None => push(
+            "workspace is missing clippy.toml (clippy must co-enforce R2/R3 via \
+             disallowed-types/disallowed-methods)"
+                .to_string(),
+        ),
+        Some(text) => {
+            for key in ["disallowed-types", "disallowed-methods"] {
+                if !text.contains(key) {
+                    push(format!("clippy.toml is missing a `{key}` section"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn r1_catches_whole_graph_names_in_router_modules() {
+        let src = "use locality_graph::{Graph, NodeId};\nfn f(g: &Graph) {}\n";
+        let v = check_file("crates/core/src/alg1.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R1, Rule::R1]);
+        // The same text is fine outside an R1 module (engine is the
+        // driver and is allowed to hold G).
+        assert!(check_file("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_catches_the_graph_module_path_but_not_subgraph() {
+        let src = "use locality_graph::graph::something;\nuse locality_graph::Subgraph;\n";
+        let v = check_file("crates/core/src/alg2.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R1]);
+        assert_eq!(v.first().map(|x| x.line), Some(1));
+    }
+
+    #[test]
+    fn r2_catches_hash_collections_in_reproducible_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u32> = d(); }\n";
+        let v = check_file("crates/graph/src/foo.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2]);
+        // The simulator crate is not bit-reproducibility-scoped.
+        assert!(check_file("crates/sim/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_catches_clocks_env_and_nan_unstable_comparisons() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n\
+                   fn g() { let h = std::env::var(\"HOME\"); }\n\
+                   fn h(a: f64, b: f64) { a.partial_cmp(&b); }\n";
+        let v = check_file("crates/adversary/src/foo.rs", src);
+        // Line 1 fires twice (Instant ident + std::time path).
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.rule == Rule::R2));
+    }
+
+    #[test]
+    fn r2_ignores_strings_comments_and_tests() {
+        let src = "// HashMap in a comment\nconst N: &str = \"HashMap\";\n\
+                   #[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}\n";
+        assert!(check_file("crates/graph/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_catches_panicking_calls_in_lib_code_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"present\") }\n\
+                   fn h() { panic!(\"boom\"); }\n";
+        let v = check_file("crates/sim/src/foo.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R3, Rule::R3, Rule::R3]);
+        assert!(check_file("crates/bench/src/bin/foo.rs", src).is_empty());
+        assert!(check_file("crates/sim/tests/foo.rs", src).is_empty());
+        assert!(check_file("tests/foo.rs", src).is_empty());
+        assert!(check_file("examples/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_does_not_flag_unwrap_or_variants() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(check_file("crates/sim/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3i_catches_raw_indexing_but_blesses_dense_slots() {
+        let flagged = "fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+        assert_eq!(
+            rules_of(&check_file("crates/sim/src/foo.rs", flagged)),
+            vec![Rule::R3i]
+        );
+        let blessed = "fn f(v: &[u32], u: NodeId) -> u32 { v[u.index()] }\n";
+        assert!(check_file("crates/sim/src/foo.rs", blessed).is_empty());
+    }
+
+    #[test]
+    fn r3i_ignores_types_patterns_attributes_and_macros() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\n\
+                   fn f(s: &S) -> Vec<u32> { let [x, y] = [1u32, 2]; vec![x, y] }\n\
+                   fn g(v: &mut [u32]) {}\n";
+        assert!(check_file("crates/sim/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r4_requires_crate_root_headers() {
+        let bad = "//! docs\n";
+        let v = check_crate_root("crates/sim/src/lib.rs", bad);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == Rule::R4));
+        let good = "//! docs\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n";
+        assert!(check_crate_root("crates/sim/src/lib.rs", good).is_empty());
+        let opted_out =
+            "//! docs\n#![forbid(unsafe_code)]\n// locality-lint: allow missing_docs: generated\n";
+        assert!(check_crate_root("crates/sim/src/lib.rs", opted_out).is_empty());
+    }
+
+    #[test]
+    fn r4_requires_clippy_toml_sections() {
+        assert_eq!(check_clippy_toml(None).len(), 1);
+        assert_eq!(check_clippy_toml(Some("disallowed-types = []")).len(), 1);
+        assert!(
+            check_clippy_toml(Some("disallowed-types = []\ndisallowed-methods = []")).is_empty()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Workspace discovery: the `.rs` files the rules run over.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories under the workspace root that are scanned.
+const ROOTS: &[&str] = &["crates", "tests", "examples"];
+
+/// Directory names never descended into.
+const SKIP: &[&str] = &["target", ".git", "node_modules"];
+
+/// Recursively collects workspace-relative paths (forward slashes) of
+/// every `.rs` file under the scanned roots, sorted for deterministic
+/// output.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing scan root.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || SKIP.contains(&name.as_ref()) {
+            continue;
+        }
+        if path.is_dir() {
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = relative(root, &path) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    Some(parts.join("/"))
+}
+
+/// The `crates/<name>/src/lib.rs` crate roots among `files`.
+pub fn crate_roots(files: &[String]) -> Vec<&String> {
+    files
+        .iter()
+        .filter(|f| {
+            f.strip_prefix("crates/")
+                .and_then(|rest| rest.split_once('/'))
+                .is_some_and(|(_, inside)| inside == "src/lib.rs")
+        })
+        .collect()
+}
+
+/// Walks up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here).expect("workspace root above the lint crate");
+        assert!(root.join("Cargo.toml").is_file());
+        let files = rust_files(&root).expect("walk succeeds");
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f.starts_with("tests/")));
+        let roots = crate_roots(&files);
+        assert!(roots
+            .iter()
+            .any(|f| f.as_str() == "crates/graph/src/lib.rs"));
+        assert!(!roots.iter().any(|f| f.contains("src/bin")));
+    }
+}

@@ -1,0 +1,51 @@
+//! Typed errors for dynamic-topology operations on a running network.
+
+use std::fmt;
+
+use locality_graph::{GraphError, NodeId};
+
+/// Why a [`crate::Network::set_edge`] topology change was rejected.
+///
+/// The network is left untouched when any of these is returned: the
+/// change is validated on a rebuilt copy before being installed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Removing the edge would disconnect the network, which the
+    /// paper's model (a connected graph) and every router's
+    /// preconditions forbid.
+    WouldDisconnect(
+        /// One endpoint of the removed edge.
+        NodeId,
+        /// The other endpoint.
+        NodeId,
+    ),
+    /// The underlying graph edit was invalid: unknown endpoint,
+    /// duplicate edge, or self-loop.
+    Topology(GraphError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WouldDisconnect(a, b) => {
+                write!(f, "removing edge ({a}, {b}) would disconnect the network")
+            }
+            SimError::Topology(e) => write!(f, "invalid topology change: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Topology(e) => Some(e),
+            SimError::WouldDisconnect(..) => None,
+        }
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> SimError {
+        SimError::Topology(e)
+    }
+}

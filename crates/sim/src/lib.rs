@@ -28,13 +28,15 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod error;
 pub mod flood;
 mod metrics;
 mod network;
 mod node;
 
+pub use error::SimError;
 pub use metrics::{MessageFate, MessageRecord, NetworkMetrics};
 pub use network::{MessageId, Network, NetworkBuilder};
 pub use node::SimNode;

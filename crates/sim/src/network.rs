@@ -1,10 +1,11 @@
 //! The tick-based network simulation.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use local_routing::LocalRouter;
 use locality_graph::{traversal, Graph, GraphBuilder, NodeId};
 
+use crate::error::SimError;
 use crate::metrics::{MessageFate, MessageRecord, NetworkMetrics};
 use crate::node::SimNode;
 
@@ -92,7 +93,7 @@ pub struct Network {
     router: Box<dyn LocalRouter>,
     events: BTreeMap<u64, VecDeque<Arrival>>,
     messages: Vec<MessageRecord>,
-    seen_states: Vec<HashSet<(NodeId, Option<NodeId>)>>,
+    seen_states: Vec<BTreeSet<(NodeId, Option<NodeId>)>>,
     tick: u64,
     next_id: u64,
 }
@@ -130,7 +131,7 @@ impl Network {
             sent_at: self.tick,
             delivered_at: None,
         });
-        self.seen_states.push(HashSet::new());
+        self.seen_states.push(BTreeSet::new());
         self.events
             .entry(self.tick)
             .or_default()
@@ -145,11 +146,10 @@ impl Network {
     /// Runs one tick: processes every arrival scheduled for `now` and
     /// advances the clock. Returns the number of arrivals processed.
     pub fn step(&mut self) -> usize {
-        let Some((&when, _)) = self.events.iter().next() else {
+        let Some((when, batch)) = self.events.pop_first() else {
             return 0;
         };
         self.tick = self.tick.max(when);
-        let batch = self.events.remove(&when).expect("key just observed");
         let count = batch.len();
         for arrival in batch {
             self.process(arrival);
@@ -260,33 +260,31 @@ impl Network {
     /// either endpoint, in the old or new topology). In-flight messages
     /// keep routing — on the *new* views, as in a real network.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if removing `(a, b)` would disconnect the network or the
-    /// edge change is invalid.
-    pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) {
+    /// Returns [`SimError::WouldDisconnect`] if removing `(a, b)` would
+    /// disconnect the network, or [`SimError::Topology`] if the edge
+    /// change itself is invalid. The network is unchanged on error.
+    pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) -> Result<(), SimError> {
         let mut builder = GraphBuilder::new();
         for u in self.graph.nodes() {
-            builder
-                .add_node(self.graph.label(u))
-                .expect("labels unique");
+            builder.add_node(self.graph.label(u))?;
         }
         for (x, y) in self.graph.edges() {
             if present || !(locality_graph::NodeId::min(x, y) == a.min(b) && x.max(y) == a.max(b)) {
-                builder.add_edge(x, y).expect("copying existing edges");
+                builder.add_edge(x, y)?;
             }
         }
         if present {
-            builder.add_edge(a, b).expect("edge must be addable");
+            builder.add_edge(a, b)?;
         }
         let new_graph = builder.build();
-        assert!(
-            traversal::is_connected(&new_graph),
-            "topology change would disconnect the network"
-        );
+        if !traversal::is_connected(&new_graph) {
+            return Err(SimError::WouldDisconnect(a, b));
+        }
         // Refresh everything within k hops of the change in either
         // topology.
-        let mut dirty = HashSet::new();
+        let mut dirty = BTreeSet::new();
         for g in [&self.graph, &new_graph] {
             for &end in &[a, b] {
                 for x in traversal::bfs_distances(g, end, Some(self.k)).keys() {
@@ -299,6 +297,7 @@ impl Network {
         for u in dirty {
             self.nodes[u.index()] = SimNode::provision_from(&cache, u);
         }
+        Ok(())
     }
 }
 
@@ -314,7 +313,7 @@ mod tests {
         let mut net = NetworkBuilder::new(&g, 6).build(Alg3);
         let id = net.send(NodeId(0), NodeId(6));
         net.run_until_quiet();
-        let r = net.record(id).unwrap();
+        let r = net.record(id).expect("id was returned by send");
         assert!(r.delivered());
         assert_eq!(r.hops(), 6);
         assert_eq!(r.latency(), Some(6));
@@ -331,7 +330,7 @@ mod tests {
             .collect();
         net.run_until_quiet();
         for id in ids {
-            assert!(net.record(id).unwrap().delivered());
+            assert!(net.record(id).expect("id was returned by send").delivered());
         }
         let m = net.metrics();
         assert_eq!(m.delivery_ratio(), 1.0);
@@ -345,7 +344,10 @@ mod tests {
         let mut net = NetworkBuilder::new(&g, 2).build(LowestRankForward);
         let id = net.send(NodeId(3), NodeId(7));
         net.run_until_quiet();
-        assert_eq!(net.record(id).unwrap().fate, MessageFate::Looped);
+        assert_eq!(
+            net.record(id).expect("id was returned by send").fate,
+            MessageFate::Looped
+        );
         assert_eq!(net.metrics().looped, 1);
     }
 
@@ -355,10 +357,11 @@ mod tests {
         // must still deliver on fresh views.
         let g = generators::cycle(10);
         let mut net = NetworkBuilder::new(&g, 5).build(Alg3);
-        net.set_edge(NodeId(0), NodeId(9), false);
+        net.set_edge(NodeId(0), NodeId(9), false)
+            .expect("removing one cycle edge keeps it connected");
         let id = net.send(NodeId(1), NodeId(8));
         net.run_until_quiet();
-        let r = net.record(id).unwrap();
+        let r = net.record(id).expect("id was returned by send");
         assert!(r.delivered());
         assert_eq!(r.hops(), 7, "must take the long way on the path");
     }
@@ -367,20 +370,25 @@ mod tests {
     fn topology_change_adding_a_shortcut() {
         let g = generators::path(11);
         let mut net = NetworkBuilder::new(&g, 5).build(Alg3);
-        net.set_edge(NodeId(0), NodeId(10), true);
+        net.set_edge(NodeId(0), NodeId(10), true)
+            .expect("adding an edge cannot disconnect");
         let id = net.send(NodeId(1), NodeId(9));
         net.run_until_quiet();
-        let r = net.record(id).unwrap();
+        let r = net.record(id).expect("id was returned by send");
         assert!(r.delivered());
         assert_eq!(r.hops(), 3, "must use the new shortcut: 1-0-10-9");
     }
 
     #[test]
-    #[should_panic(expected = "disconnect")]
     fn refuses_disconnection() {
         let g = generators::path(5);
         let mut net = NetworkBuilder::new(&g, 2).build(Alg3);
-        net.set_edge(NodeId(2), NodeId(3), false);
+        let err = net.set_edge(NodeId(2), NodeId(3), false);
+        assert_eq!(err, Err(SimError::WouldDisconnect(NodeId(2), NodeId(3))));
+        // The failed change must leave the network fully operational.
+        let id = net.send(NodeId(0), NodeId(4));
+        net.run_until_quiet();
+        assert!(net.record(id).expect("id was returned by send").delivered());
     }
 
     #[test]
@@ -389,7 +397,7 @@ mod tests {
         let mut net = NetworkBuilder::new(&g, 2).build(Alg3);
         let id = net.send(NodeId(1), NodeId(1));
         net.run_until_quiet();
-        let r = net.record(id).unwrap();
+        let r = net.record(id).expect("id was returned by send");
         assert!(r.delivered());
         assert_eq!(r.hops(), 0);
         assert_eq!(r.latency(), Some(0));
@@ -407,7 +415,7 @@ mod tests {
         let id = net.send(NodeId(10), NodeId(22));
         net.run_until_quiet();
         assert_eq!(
-            net.record(id).unwrap().fate,
+            net.record(id).expect("id was returned by send").fate,
             crate::MessageFate::HopBudgetExhausted
         );
     }
@@ -434,7 +442,7 @@ mod tests {
                 let mut net = NetworkBuilder::new(&g, k).build(Alg2);
                 let id = net.send(s, t);
                 net.run_until_quiet();
-                let r = net.record(id).unwrap();
+                let r = net.record(id).expect("id was returned by send");
                 assert!(r.delivered());
                 assert_eq!(r.path, central.route, "({s},{t})");
             }

@@ -45,7 +45,8 @@ fn main() {
     // Phase 2: a link fails; affected nodes rediscover their
     // neighbourhoods and traffic keeps flowing.
     let (a, b) = g.edges().nth(7).expect("grid has edges");
-    net.set_edge(a, b, false);
+    net.set_edge(a, b, false)
+        .expect("grids stay connected after one edge loss");
     println!("\nlink {{{a},{b}}} failed; k-neighbourhoods re-provisioned\n");
     for _ in 0..40 {
         let s = NodeId(rng.gen_range(0..n as u32));

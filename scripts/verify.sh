@@ -16,4 +16,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> locality-lint"
+cargo run -q -p locality-lint
+
 echo "verify: OK"

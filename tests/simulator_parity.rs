@@ -74,11 +74,13 @@ fn repeated_topology_changes_keep_delivering() {
     for round in 0..4u32 {
         let a = NodeId(round * 2);
         let b = NodeId((round * 2 + 1) % 12);
-        net.set_edge(a, b, false);
+        net.set_edge(a, b, false)
+            .expect("cycle minus one edge stays connected");
         let id = net.send(NodeId(3), NodeId(9));
         net.run_until_quiet();
         assert!(net.record(id).unwrap().delivered(), "round {round}");
-        net.set_edge(a, b, true);
+        net.set_edge(a, b, true)
+            .expect("restoring an edge cannot disconnect");
         let id = net.send(NodeId(9), NodeId(3));
         net.run_until_quiet();
         assert!(net.record(id).unwrap().delivered(), "round {round} restore");
