@@ -435,6 +435,53 @@ fn bench_size(n: usize) -> SizeReport {
     }
 }
 
+/// A fixed-seed mini chaos soak (Algorithm 1 under churn, loss, stale
+/// views, and retries — the `chaos` binary's fault model at n=32), so
+/// the perf-smoke JSON also tracks robustness alongside speed.
+fn chaos_delivery_ratio() -> f64 {
+    use local_routing::LocalRouter;
+    use locality_sim::{
+        ChurnConfig, DeadLinkPolicy, FaultConfig, FaultPlan, LinkProfile, NetworkBuilder,
+    };
+    let g = generators::random_connected(32, 16, &mut DetRng::seed_from_u64(7));
+    let plan = FaultPlan::random_churn(&g, &ChurnConfig::default(), &mut DetRng::seed_from_u64(8));
+    let cfg = FaultConfig {
+        dead_link: DeadLinkPolicy::Drop,
+        view_delay: 2,
+        default_link: LinkProfile {
+            loss: 0.03,
+            extra_latency: 0,
+        },
+        timeout: Some(128),
+        max_retries: 3,
+        backoff: 32,
+        seed: 9,
+        ..Default::default()
+    };
+    let mut net = NetworkBuilder::new(&g, Alg1.min_locality(32))
+        .faults(cfg)
+        .fault_plan(plan)
+        .build(Alg1);
+    let mut traffic = DetRng::seed_from_u64(10);
+    for _ in 0..4 {
+        for _ in 0..16 {
+            let s = NodeId(traffic.gen_range(0..32u32));
+            let t = NodeId(traffic.gen_range(0..32u32));
+            if s != t {
+                net.send(s, t);
+            }
+        }
+        net.run_until(net.now() + 40);
+    }
+    net.run_until_quiet();
+    let m = net.metrics();
+    assert!(
+        m.accounted(),
+        "chaos smoke: metrics must account for every message"
+    );
+    m.delivery_ratio()
+}
+
 /// Unsuppressed `locality-lint` violations in the workspace, so the
 /// perf-smoke JSON also records static-invariant health (-1 when the
 /// source tree is not available, e.g. an installed binary).
@@ -453,16 +500,18 @@ fn main() {
     let sizes: Vec<SizeReport> = [32, 64, 128].into_iter().map(bench_size).collect();
     let body: Vec<String> = sizes.iter().map(SizeReport::json).collect();
     let lint = lint_violations();
+    let chaos_ratio = chaos_delivery_ratio();
     println!(
         concat!(
             "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
-            "\"sizes\":[{}],\"lint_violations\":{},",
+            "\"sizes\":[{}],\"lint_violations\":{},\"chaos_delivery_ratio\":{:.4},",
             "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
             "legacy delivery matrix replays the engine's exact routes on the old ",
             "structures and omits passive-case lookups, so speedups are lower bounds\"}}"
         ),
         body.join(","),
         lint,
+        chaos_ratio,
     );
     assert!(
         lint == 0,

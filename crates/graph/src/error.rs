@@ -13,6 +13,8 @@ pub enum GraphError {
     DuplicateLabel(Label),
     /// An edge was added twice; the graph is simple.
     DuplicateEdge(NodeId, NodeId),
+    /// An edge removal named an edge that is not present.
+    MissingEdge(NodeId, NodeId),
     /// A self-loop was requested; the graph is simple.
     SelfLoop(NodeId),
     /// An endpoint refers to a node that was never added.
@@ -33,6 +35,7 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::DuplicateLabel(l) => write!(f, "duplicate node label {l}"),
             GraphError::DuplicateEdge(a, b) => write!(f, "edge {{{a},{b}}} already present"),
+            GraphError::MissingEdge(a, b) => write!(f, "edge {{{a},{b}}} is not present"),
             GraphError::SelfLoop(a) => write!(f, "self-loop at {a} not allowed in a simple graph"),
             GraphError::UnknownNode(a) => write!(f, "node {a} does not exist"),
             GraphError::UnknownLabel(l) => write!(f, "label {l} does not exist"),

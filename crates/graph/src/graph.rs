@@ -140,6 +140,72 @@ impl Graph {
         EdgeRank::new(self.label(u), self.label(v))
     }
 
+    /// Inserts the undirected edge `{u, v}` in place, keeping both
+    /// adjacency lists sorted by label. This is the incremental
+    /// counterpart of rebuilding through [`GraphBuilder`]: O(deg)
+    /// per endpoint instead of O(n + m) for the whole graph, which is
+    /// what makes per-event topology churn affordable in the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`], [`GraphError::UnknownNode`], or
+    /// [`GraphError::DuplicateEdge`]; the graph is unchanged on error.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for &x in &[u, v] {
+            if x.index() >= self.labels.len() {
+                return Err(GraphError::UnknownNode(x));
+            }
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let lb = self.labels[b.index()];
+            let pos =
+                match self.adj[a.index()].binary_search_by_key(&lb, |&w| self.labels[w.index()]) {
+                    Ok(i) | Err(i) => i,
+                };
+            self.adj[a.index()].insert(pos, b);
+        }
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `{u, v}` in place — the incremental
+    /// inverse of [`insert_edge`](Self::insert_edge), O(deg) per
+    /// endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`], [`GraphError::UnknownNode`], or
+    /// [`GraphError::MissingEdge`]; the graph is unchanged on error.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for &x in &[u, v] {
+            if x.index() >= self.labels.len() {
+                return Err(GraphError::UnknownNode(x));
+            }
+        }
+        if !self.has_edge(u, v) {
+            return Err(GraphError::MissingEdge(u, v));
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let lb = self.labels[b.index()];
+            if let Ok(pos) =
+                self.adj[a.index()].binary_search_by_key(&lb, |&w| self.labels[w.index()])
+            {
+                self.adj[a.index()].remove(pos);
+            }
+        }
+        self.edge_count -= 1;
+        Ok(())
+    }
+
     /// Sum of degrees (twice the edge count); handy for sizing buffers.
     pub fn degree_sum(&self) -> usize {
         2 * self.edge_count
@@ -389,5 +455,61 @@ mod tests {
     fn debug_is_nonempty_for_empty_graph() {
         let g = GraphBuilder::new().build();
         assert!(!format!("{g:?}").is_empty());
+    }
+
+    #[test]
+    fn incremental_flip_matches_full_rebuild() {
+        // insert_edge/remove_edge must land in exactly the state a
+        // GraphBuilder rebuild would produce, sorted adjacency included.
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        g.insert_edge(NodeId(4), NodeId(0)).unwrap();
+        assert_eq!(
+            g,
+            Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap()
+        );
+        g.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(
+            g,
+            Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4), (4, 0)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_flip_keeps_neighbors_label_sorted() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(Label(5)).unwrap();
+        let hi = b.add_node(Label(9)).unwrap();
+        let lo = b.add_node(Label(1)).unwrap();
+        let mid = b.add_node(Label(4)).unwrap();
+        b.add_edge(n0, hi).unwrap();
+        b.add_edge(n0, lo).unwrap();
+        let mut g = b.build();
+        g.insert_edge(n0, mid).unwrap();
+        let labels: Vec<Label> = g.neighbors(n0).iter().map(|&v| g.label(v)).collect();
+        assert_eq!(labels, vec![Label(1), Label(4), Label(9)]);
+        assert!(g.has_edge(n0, mid) && g.has_edge(mid, n0));
+    }
+
+    #[test]
+    fn incremental_flip_rejects_invalid_edits() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            g.insert_edge(NodeId(0), NodeId(1)),
+            Err(GraphError::DuplicateEdge(NodeId(0), NodeId(1)))
+        );
+        assert_eq!(
+            g.remove_edge(NodeId(0), NodeId(2)),
+            Err(GraphError::MissingEdge(NodeId(0), NodeId(2)))
+        );
+        assert_eq!(
+            g.insert_edge(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop(NodeId(1)))
+        );
+        assert_eq!(
+            g.remove_edge(NodeId(0), NodeId(7)),
+            Err(GraphError::UnknownNode(NodeId(7)))
+        );
+        // Errors leave the graph untouched.
+        assert_eq!(g, Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap());
     }
 }

@@ -9,7 +9,12 @@
 //!   bit-reproducible (`locality-graph`, `local-routing`,
 //!   `locality-adversary`) may not use hash-ordered collections, wall
 //!   clocks, the process environment, or NaN-unstable float
-//!   comparisons.
+//!   comparisons. A narrower randomness-source arm applies to the
+//!   fault-injection module and the chaos soak binary
+//!   ([`R2_DETRNG_FILES`]) regardless of crate: their whole contract is
+//!   replayability from one seed, so every draw must come from the
+//!   in-repo `DetRng` — ambient RNGs, OS entropy, and clocks are
+//!   flagged even where full R2 does not apply.
 //! * **R3 panic policy** — library code may not `unwrap()`, `expect(`,
 //!   `panic!`, or (sub-rule `R3i`) index slices, except through the
 //!   blessed dense-slot idiom `container[node.index()]` or an
@@ -149,6 +154,13 @@ pub const R1_FILES: &[&str] = &[
 /// Crates whose outputs must be bit-reproducible (R2).
 pub const R2_CRATES: &[&str] = &["graph", "core", "adversary"];
 
+/// Files whose randomness may come only from the in-repo `DetRng`
+/// (R2's randomness-source arm). Fault injection and the chaos soak
+/// promise byte-identical replays from a single `u64` seed, so any
+/// other entropy source — ambient RNGs, OS randomness, clocks — is a
+/// violation even though these files sit outside [`R2_CRATES`].
+pub const R2_DETRNG_FILES: &[&str] = &["crates/sim/src/fault.rs", "crates/bench/src/bin/chaos.rs"];
+
 const R1_IDENTS: &[&str] = &["Graph", "GraphBuilder", "EmbeddedGraph"];
 const R2_IDENTS: &[(&str, &str)] = &[
     (
@@ -170,6 +182,19 @@ const R2_PATHS: &[(&str, &str)] = &[
     ("std::time", "wall-clock reads break bit-reproducibility"),
     ("std::env", "environment reads break bit-reproducibility"),
 ];
+const R2_RNG_IDENTS: &[(&str, &str)] = &[
+    ("thread_rng", "ambient RNG breaks seed-replayability"),
+    ("OsRng", "OS entropy breaks seed-replayability"),
+    ("StdRng", "external RNG; draw from the in-repo DetRng"),
+    ("SmallRng", "external RNG; draw from the in-repo DetRng"),
+    ("getrandom", "OS entropy breaks seed-replayability"),
+    ("fastrand", "external RNG; draw from the in-repo DetRng"),
+    ("rand_core", "external RNG; draw from the in-repo DetRng"),
+    ("RandomState", "hash-seeded state is nondeterministic"),
+    ("Instant", "wall-clock reads break seed-replayability"),
+    ("SystemTime", "wall-clock reads break seed-replayability"),
+];
+
 const R3_CALLS: &[&str] = &["unwrap", "expect"];
 const R3_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
@@ -196,8 +221,9 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
     let r1 = R1_FILES.contains(&rel);
     let r2 =
         class != FileClass::TestBench && crate_dir(rel).is_some_and(|c| R2_CRATES.contains(&c));
+    let r2_rng = R2_DETRNG_FILES.contains(&rel);
     let r3 = class == FileClass::Lib;
-    if !(r1 || r2 || r3) {
+    if !(r1 || r2 || r2_rng || r3) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -221,6 +247,9 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
         }
         if r2 {
             check_r2(masked_line, &idents, &mut push);
+        }
+        if r2_rng {
+            check_r2_rng(masked_line, &idents, &mut push);
         }
         if r3 {
             check_r3(masked_line, &idents, &mut push);
@@ -266,6 +295,17 @@ fn check_r2(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(R
             push(
                 Rule::R2,
                 format!("`{path}` in a bit-reproducible crate: {why}"),
+            );
+        }
+    }
+}
+
+fn check_r2_rng(_masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+    for &(_, tok) in idents {
+        if let Some(&(_, why)) = R2_RNG_IDENTS.iter().find(|&&(name, _)| name == tok) {
+            push(
+                Rule::R2,
+                format!("`{tok}` in a seed-replayable fault/chaos file: {why}; use DetRng"),
             );
         }
     }
@@ -458,6 +498,31 @@ mod tests {
         let src = "// HashMap in a comment\nconst N: &str = \"HashMap\";\n\
                    #[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}\n";
         assert!(check_file("crates/graph/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_rng_arm_covers_fault_and_chaos_files_only() {
+        let src = "fn f() { let mut r = rand::thread_rng(); }\n\
+                   fn g() { let t = std::time::SystemTime::now(); }\n";
+        // The fault module is Lib code inside a non-R2 crate: only the
+        // randomness-source arm fires (plus nothing from full R2).
+        let v = check_file("crates/sim/src/fault.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2]);
+        // The chaos binary is Bin class — normally lint-exempt — but
+        // the randomness arm still applies.
+        let v = check_file("crates/bench/src/bin/chaos.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2]);
+        // Other sim files and other bench bins are untouched.
+        assert!(check_file("crates/sim/src/network.rs", src).is_empty());
+        assert!(check_file("crates/bench/src/bin/perfsmoke.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_rng_arm_accepts_detrng() {
+        let src = "use locality_graph::rng::DetRng;\n\
+                   fn f() { let mut r = DetRng::seed_from_u64(7); let _ = r.gen_bool(0.5); }\n";
+        assert!(check_file("crates/sim/src/fault.rs", src).is_empty());
+        assert!(check_file("crates/bench/src/bin/chaos.rs", src).is_empty());
     }
 
     #[test]

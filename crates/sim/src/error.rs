@@ -1,13 +1,15 @@
-//! Typed errors for dynamic-topology operations on a running network.
+//! Typed errors for operations on a running network.
 
 use std::fmt;
 
 use locality_graph::{GraphError, NodeId};
 
-/// Why a [`crate::Network::set_edge`] topology change was rejected.
+/// Why a [`crate::Network`] operation was rejected.
 ///
-/// The network is left untouched when any of these is returned: the
-/// change is validated on a rebuilt copy before being installed.
+/// The network is left untouched when any of these is returned:
+/// topology changes are validated (and rolled back) before any node is
+/// re-provisioned, and message injection validates endpoints before
+/// allocating a record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// Removing the edge would disconnect the network, which the
@@ -22,6 +24,9 @@ pub enum SimError {
     /// The underlying graph edit was invalid: unknown endpoint,
     /// duplicate edge, or self-loop.
     Topology(GraphError),
+    /// A [`NodeId`] handed to the network does not name a provisioned
+    /// node.
+    UnknownNode(NodeId),
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +36,9 @@ impl fmt::Display for SimError {
                 write!(f, "removing edge ({a}, {b}) would disconnect the network")
             }
             SimError::Topology(e) => write!(f, "invalid topology change: {e}"),
+            SimError::UnknownNode(u) => {
+                write!(f, "node {u} is not provisioned in this network")
+            }
         }
     }
 }
@@ -39,7 +47,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Topology(e) => Some(e),
-            SimError::WouldDisconnect(..) => None,
+            SimError::WouldDisconnect(..) | SimError::UnknownNode(..) => None,
         }
     }
 }

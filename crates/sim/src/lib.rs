@@ -13,6 +13,11 @@
 //! travel through FIFO links with unit latency, many messages are in
 //! flight at once, and per-node load (congestion) is recorded.
 //!
+//! The [`fault`] module layers deterministic fault injection on top:
+//! scheduled link outages and node crashes ([`FaultPlan`]), lossy and
+//! slow links, stale-view propagation delays, and source-side
+//! timeout/retry ([`FaultConfig`]) — all replayable from a single seed.
+//!
 //! ```
 //! use local_routing::Alg2;
 //! use locality_graph::{generators, NodeId};
@@ -31,12 +36,16 @@
 #![deny(missing_docs)]
 
 mod error;
+pub mod fault;
 pub mod flood;
 mod metrics;
 mod network;
 mod node;
 
 pub use error::SimError;
+pub use fault::{
+    ChurnConfig, DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey, LinkProfile,
+};
 pub use metrics::{MessageFate, MessageRecord, NetworkMetrics};
 pub use network::{MessageId, Network, NetworkBuilder};
 pub use node::SimNode;

@@ -5,7 +5,7 @@ use locality_graph::NodeId;
 /// Why a message's journey ended (or has not).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MessageFate {
-    /// Still travelling.
+    /// Still travelling (or parked on a down link awaiting restoration).
     InFlight,
     /// Arrived at its destination.
     Delivered,
@@ -16,6 +16,15 @@ pub enum MessageFate {
     Errored(String),
     /// The per-message hop budget was exhausted.
     HopBudgetExhausted,
+    /// Lost in transit — a lossy link, a dead link under the `Drop`
+    /// policy, or a crashed node — with no source-side timeout
+    /// configured to notice.
+    Dropped,
+    /// A source-side timeout expired and no retries were configured.
+    TimedOut,
+    /// A source-side timeout expired after every configured retry was
+    /// spent.
+    GaveUp,
 }
 
 /// The observable history of one message. The tracking lives in the
@@ -27,14 +36,19 @@ pub struct MessageRecord {
     pub s: NodeId,
     /// Destination node.
     pub t: NodeId,
-    /// Nodes visited so far, starting with `s`.
+    /// Nodes visited by the **current attempt**, starting with `s` (a
+    /// source-side retry restarts the path).
     pub path: Vec<NodeId>,
     /// Final fate.
     pub fate: MessageFate,
-    /// Tick at which the message was injected.
+    /// Tick at which the message was first injected (retries do not
+    /// reset it, so [`latency`](Self::latency) is end-to-end as the
+    /// sender experiences it).
     pub sent_at: u64,
     /// Tick of delivery (if delivered).
     pub delivered_at: Option<u64>,
+    /// Source-side retransmissions performed for this message.
+    pub retries: u32,
 }
 
 impl MessageRecord {
@@ -43,18 +57,22 @@ impl MessageRecord {
         self.fate == MessageFate::Delivered
     }
 
-    /// Edges traversed so far.
+    /// Edges traversed by the current attempt so far.
     pub fn hops(&self) -> usize {
         self.path.len().saturating_sub(1)
     }
 
-    /// End-to-end latency in ticks (delivery only).
+    /// End-to-end latency in ticks (delivery only), timeouts and
+    /// retries included.
     pub fn latency(&self) -> Option<u64> {
         self.delivered_at.map(|d| d - self.sent_at)
     }
 }
 
-/// Aggregate statistics over a finished simulation.
+/// Aggregate statistics over a finished simulation. Every injected
+/// message lands in exactly one bucket:
+/// `sent == delivered + looped + errored + exhausted + dropped +
+/// timed_out + gave_up + in_flight` — see [`accounted`](Self::accounted).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetworkMetrics {
     /// Messages injected.
@@ -65,7 +83,25 @@ pub struct NetworkMetrics {
     pub looped: usize,
     /// Messages dropped on router errors.
     pub errored: usize,
-    /// Total hops of delivered messages.
+    /// Messages that exhausted their hop budget.
+    pub exhausted: usize,
+    /// Messages lost in transit with no reliability configured.
+    pub dropped: usize,
+    /// Messages whose timeout expired with no retries configured.
+    pub timed_out: usize,
+    /// Messages abandoned after exhausting their retry budget.
+    pub gave_up: usize,
+    /// Messages still travelling (or parked on a down link) when the
+    /// metrics were read.
+    pub in_flight: usize,
+    /// Source-side retransmissions across all messages.
+    pub retries: u64,
+    /// Fault-plan events applied (topology flips, crashes, restarts).
+    pub faults_applied: usize,
+    /// Fault-plan events skipped (no-op flips, or link cuts refused
+    /// because they would disconnect the network).
+    pub faults_skipped: usize,
+    /// Total hops of delivered messages (final attempts).
     pub delivered_hops: usize,
     /// The highest per-node forwarding load.
     pub max_node_load: u64,
@@ -87,6 +123,21 @@ impl NetworkMetrics {
             self.delivered as f64 / self.sent as f64
         }
     }
+
+    /// Whether every injected message is accounted for by exactly one
+    /// terminal (or in-flight) bucket — the conservation invariant the
+    /// churn suite asserts after every run.
+    pub fn accounted(&self) -> bool {
+        self.sent
+            == self.delivered
+                + self.looped
+                + self.errored
+                + self.exhausted
+                + self.dropped
+                + self.timed_out
+                + self.gave_up
+                + self.in_flight
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +153,7 @@ mod tests {
             fate: MessageFate::Delivered,
             sent_at: 2,
             delivered_at: Some(5),
+            retries: 0,
         };
         assert!(r.delivered());
         assert_eq!(r.hops(), 3);
@@ -119,5 +171,24 @@ mod tests {
         assert_eq!(m.mean_hops(), Some(4.0));
         assert_eq!(m.delivery_ratio(), 0.75);
         assert_eq!(NetworkMetrics::default().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn accounted_checks_every_bucket() {
+        let mut m = NetworkMetrics {
+            sent: 8,
+            delivered: 3,
+            looped: 1,
+            errored: 1,
+            exhausted: 1,
+            dropped: 1,
+            timed_out: 0,
+            gave_up: 1,
+            in_flight: 0,
+            ..Default::default()
+        };
+        assert!(m.accounted());
+        m.in_flight = 1;
+        assert!(!m.accounted(), "an extra bucket entry must break the sum");
     }
 }

@@ -1,11 +1,19 @@
 //! The tick-based network simulation.
+//!
+//! With a default [`FaultConfig`] the simulator is tick-for-tick the
+//! machine it always was: unit-latency FIFO links, no loss, instant
+//! view refresh on topology changes. A non-default config (or a
+//! [`FaultPlan`] handed to the builder) layers deterministic fault
+//! injection on top — see [`crate::fault`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use local_routing::LocalRouter;
-use locality_graph::{traversal, Graph, GraphBuilder, NodeId};
+use locality_graph::rng::DetRng;
+use locality_graph::{traversal, Graph, GraphError, NodeId};
 
 use crate::error::SimError;
+use crate::fault::{DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey};
 use crate::metrics::{MessageFate, MessageRecord, NetworkMetrics};
 use crate::node::SimNode;
 
@@ -28,6 +36,8 @@ pub struct NetworkBuilder {
     graph: Graph,
     k: u32,
     hop_budget: usize,
+    faults: FaultConfig,
+    plan: FaultPlan,
 }
 
 impl NetworkBuilder {
@@ -37,12 +47,28 @@ impl NetworkBuilder {
             graph: graph.clone(),
             k,
             hop_budget: 0,
+            faults: FaultConfig::default(),
+            plan: FaultPlan::new(),
         }
     }
 
-    /// Overrides the per-message hop budget (default `8 n² + 16`).
+    /// Overrides the per-message hop budget (default `8 n² + 16`). With
+    /// source-side retries the budget applies to each attempt.
     pub fn hop_budget(mut self, budget: usize) -> NetworkBuilder {
         self.hop_budget = budget;
+        self
+    }
+
+    /// Sets the ambient fault model. The default disables every fault,
+    /// reproducing the pre-fault simulator exactly.
+    pub fn faults(mut self, cfg: FaultConfig) -> NetworkBuilder {
+        self.faults = cfg;
+        self
+    }
+
+    /// Schedules a fault plan to run alongside the traffic.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> NetworkBuilder {
+        self.plan = plan;
         self
     }
 
@@ -52,12 +78,13 @@ impl NetworkBuilder {
     pub fn build<R: LocalRouter + 'static>(self, router: R) -> Network {
         let n = self.graph.node_count();
         let cache = local_routing::ViewCache::new(&self.graph, self.k);
-        let nodes = self
+        let nodes: Vec<SimNode> = self
             .graph
             .nodes()
             .map(|u| SimNode::provision_from(&cache, u))
             .collect();
         drop(cache);
+        let rng = DetRng::seed_from_u64(self.faults.seed);
         Network {
             k: self.k,
             hop_budget: if self.hop_budget == 0 {
@@ -66,11 +93,22 @@ impl NetworkBuilder {
                 self.hop_budget
             },
             graph: self.graph,
+            crashed: vec![false; nodes.len()],
             nodes,
             router: Box::new(router),
             events: BTreeMap::new(),
+            fault_schedule: self.plan.into_schedule(),
+            reprovision_at: BTreeMap::new(),
+            timers: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            cfg: self.faults,
+            rng,
             messages: Vec::new(),
+            states: Vec::new(),
             seen_states: Vec::new(),
+            retries_total: 0,
+            faults_applied: 0,
+            faults_skipped: 0,
             tick: 0,
             next_id: 0,
         }
@@ -81,19 +119,47 @@ struct Arrival {
     msg: usize,
     at: NodeId,
     from: Option<NodeId>,
+    /// Which source-side attempt this transmission belongs to. A retry
+    /// bumps the message's attempt counter, so copies of an abandoned
+    /// attempt still in flight (or parked on a dead link) are ignored
+    /// when they eventually surface.
+    attempt: u32,
+}
+
+/// Per-message simulator-side state that is not part of the observable
+/// record.
+struct MsgState {
+    attempt: u32,
+    retries: u32,
 }
 
 /// A running simulated network: provisioned nodes, in-flight messages,
-/// unit-latency FIFO links.
+/// unit-latency FIFO links, and (optionally) deterministic faults.
 pub struct Network {
     graph: Graph,
     k: u32,
     hop_budget: usize,
     nodes: Vec<SimNode>,
+    /// `crashed[u.index()]`: the node black-holes arrivals until restart.
+    crashed: Vec<bool>,
     router: Box<dyn LocalRouter>,
     events: BTreeMap<u64, VecDeque<Arrival>>,
+    fault_schedule: BTreeMap<u64, Vec<FaultEvent>>,
+    /// Stale-view wave: nodes due to re-provision at a tick.
+    reprovision_at: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Source-side timeout checks (message indices) due at a tick.
+    timers: BTreeMap<u64, Vec<usize>>,
+    /// Messages parked on a down link under [`DeadLinkPolicy::Queue`],
+    /// FIFO per link, released when the link comes back.
+    parked: BTreeMap<LinkKey, VecDeque<Arrival>>,
+    cfg: FaultConfig,
+    rng: DetRng,
     messages: Vec<MessageRecord>,
+    states: Vec<MsgState>,
     seen_states: Vec<BTreeSet<(NodeId, Option<NodeId>)>>,
+    retries_total: u64,
+    faults_applied: usize,
+    faults_skipped: usize,
     tick: u64,
     next_id: u64,
 }
@@ -114,13 +180,60 @@ impl Network {
         self.tick
     }
 
+    /// The current topology (faults included).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Whether `u` is currently crashed.
+    pub fn is_crashed(&self, u: NodeId) -> bool {
+        self.crashed.get(u.index()).copied().unwrap_or(false)
+    }
+
     /// Access a node (for load inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of this network; [`try_node`](Self::try_node)
+    /// is the typed-error path.
     pub fn node(&self, u: NodeId) -> &SimNode {
-        &self.nodes[u.index()]
+        self.try_node(u)
+            .expect("node: id out of range; use try_node for a typed error")
+    }
+
+    /// Access a node, rejecting out-of-range ids with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if `u` is out of range.
+    pub fn try_node(&self, u: NodeId) -> Result<&SimNode, SimError> {
+        self.nodes.get(u.index()).ok_or(SimError::UnknownNode(u))
     }
 
     /// Injects a message from `s` to `t` at the current tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is not a node of this network;
+    /// [`try_send`](Self::try_send) is the typed-error path.
     pub fn send(&mut self, s: NodeId, t: NodeId) -> MessageId {
+        self.try_send(s, t)
+            .expect("send: endpoint out of range; use try_send for a typed error")
+    }
+
+    /// Injects a message from `s` to `t` at the current tick, rejecting
+    /// out-of-range endpoints with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if either endpoint is out of
+    /// range. Nothing is injected on error.
+    pub fn try_send(&mut self, s: NodeId, t: NodeId) -> Result<MessageId, SimError> {
+        for &x in &[s, t] {
+            if x.index() >= self.nodes.len() {
+                return Err(SimError::UnknownNode(x));
+            }
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.messages.push(MessageRecord {
@@ -130,6 +243,11 @@ impl Network {
             fate: MessageFate::InFlight,
             sent_at: self.tick,
             delivered_at: None,
+            retries: 0,
+        });
+        self.states.push(MsgState {
+            attempt: 0,
+            retries: 0,
         });
         self.seen_states.push(BTreeSet::new());
         self.events
@@ -139,33 +257,158 @@ impl Network {
                 msg: id as usize,
                 at: s,
                 from: None,
+                attempt: 0,
             });
-        MessageId(id)
+        if let Some(timeout) = self.cfg.timeout {
+            self.timers
+                .entry(self.tick + timeout)
+                .or_default()
+                .push(id as usize);
+        }
+        Ok(MessageId(id))
     }
 
-    /// Runs one tick: processes every arrival scheduled for `now` and
-    /// advances the clock. Returns the number of arrivals processed.
+    /// Schedules a fault to fire at tick `at` (merged after any plan
+    /// events already scheduled for that tick).
+    pub fn schedule_fault(&mut self, at: u64, event: FaultEvent) {
+        self.fault_schedule.entry(at).or_default().push(event);
+    }
+
+    /// The earliest tick at which anything is scheduled.
+    fn next_event_time(&self) -> Option<u64> {
+        [
+            self.fault_schedule.keys().next(),
+            self.reprovision_at.keys().next(),
+            self.events.keys().next(),
+            self.timers.keys().next(),
+        ]
+        .into_iter()
+        .flatten()
+        .copied()
+        .min()
+    }
+
+    /// Runs one tick: advances the clock to the earliest scheduled
+    /// work and processes, in order, faults, view re-provisions,
+    /// message arrivals, and timeout checks due then. Returns the
+    /// number of items processed (zero means the network is quiet).
     pub fn step(&mut self) -> usize {
-        let Some((when, batch)) = self.events.pop_first() else {
+        let Some(when) = self.next_event_time() else {
             return 0;
         };
         self.tick = self.tick.max(when);
-        let count = batch.len();
-        for arrival in batch {
-            self.process(arrival);
+        let mut count = 0;
+        if let Some(evs) = self.fault_schedule.remove(&when) {
+            count += evs.len();
+            for ev in evs {
+                self.apply_fault(ev);
+            }
+        }
+        if let Some(due) = self.reprovision_at.remove(&when) {
+            count += due.len();
+            self.reprovision(&due);
+        }
+        if let Some(batch) = self.events.remove(&when) {
+            count += batch.len();
+            for arrival in batch {
+                self.process(arrival);
+            }
+        }
+        if let Some(msgs) = self.timers.remove(&when) {
+            count += msgs.len();
+            for msg in msgs {
+                self.check_timeout(msg);
+            }
         }
         self.tick += 1;
         count
     }
 
-    /// Runs until no message is in flight.
+    /// Runs until nothing is scheduled: no arrivals, faults, view
+    /// refreshes, or timeout checks. Messages parked on a link that
+    /// never comes back stay [`MessageFate::InFlight`].
     pub fn run_until_quiet(&mut self) {
         while self.step() > 0 {}
     }
 
+    /// Runs every event scheduled up to and including `deadline`, then
+    /// advances the clock to at least `deadline`. Lets a workload
+    /// interleave traffic with a fault plan at chosen points.
+    pub fn run_until(&mut self, deadline: u64) {
+        while self.next_event_time().is_some_and(|t| t <= deadline) {
+            self.step();
+        }
+        self.tick = self.tick.max(deadline);
+    }
+
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        let applied = match ev {
+            FaultEvent::LinkDown(a, b) => matches!(self.set_edge_inner(a, b, false), Ok(true)),
+            FaultEvent::LinkUp(a, b) => matches!(self.set_edge_inner(a, b, true), Ok(true)),
+            FaultEvent::Crash(u) => {
+                let fresh = u.index() < self.nodes.len() && !self.crashed[u.index()];
+                if fresh {
+                    self.crashed[u.index()] = true;
+                }
+                fresh
+            }
+            FaultEvent::Restart(u) => {
+                let down = u.index() < self.nodes.len() && self.crashed[u.index()];
+                if down {
+                    self.crashed[u.index()] = false;
+                    // A restarting node re-discovers its neighbourhood
+                    // from the current topology as it boots.
+                    let mut due = BTreeSet::new();
+                    due.insert(u);
+                    self.reprovision(&due);
+                }
+                down
+            }
+        };
+        if applied {
+            self.faults_applied += 1;
+        } else {
+            self.faults_skipped += 1;
+        }
+    }
+
     fn process(&mut self, arrival: Arrival) {
-        let Arrival { msg, at, from } = arrival;
-        if self.messages[msg].fate != MessageFate::InFlight {
+        let Arrival {
+            msg,
+            at,
+            from,
+            attempt,
+        } = arrival;
+        if self.messages[msg].fate != MessageFate::InFlight || attempt != self.states[msg].attempt {
+            return;
+        }
+        // A message mid-flight on a link that has since gone down.
+        if let Some(f) = from {
+            if !self.graph.has_edge(f, at) {
+                match self.cfg.dead_link {
+                    DeadLinkPolicy::Deliver => {}
+                    DeadLinkPolicy::Drop => {
+                        self.lose(msg);
+                        return;
+                    }
+                    DeadLinkPolicy::Queue => {
+                        self.parked
+                            .entry(LinkKey::new(f, at))
+                            .or_default()
+                            .push_back(Arrival {
+                                msg,
+                                at,
+                                from,
+                                attempt,
+                            });
+                        return;
+                    }
+                }
+            }
+        }
+        // A crashed node black-holes everything, deliveries included.
+        if self.crashed[at.index()] {
+            self.lose(msg);
             return;
         }
         let t = self.messages[msg].t;
@@ -201,30 +444,115 @@ impl Network {
             self.nodes[at.index()].forward(&*self.router, origin_label, target_label, from_label);
         match decision {
             Err(e) => self.messages[msg].fate = MessageFate::Errored(e.to_string()),
-            Ok(next_label) => {
-                let next = self
-                    .graph
-                    .node_by_label(next_label)
-                    .filter(|&x| self.graph.has_edge(at, x));
-                match next {
-                    None => {
-                        self.messages[msg].fate = MessageFate::Errored(format!(
-                            "router named non-neighbour {next_label}"
-                        ));
-                    }
-                    Some(next) => {
-                        self.messages[msg].path.push(next);
-                        self.events
-                            .entry(self.tick + 1)
-                            .or_default()
-                            .push_back(Arrival {
-                                msg,
-                                at: next,
-                                from: Some(at),
-                            });
+            Ok(next_label) => match self.graph.node_by_label(next_label) {
+                None => {
+                    self.messages[msg].fate =
+                        MessageFate::Errored(format!("router named non-neighbour {next_label}"));
+                }
+                Some(next) if self.graph.has_edge(at, next) => {
+                    self.transmit(msg, at, next);
+                }
+                Some(next)
+                    if self.nodes[at.index()]
+                        .view()
+                        .center_neighbors()
+                        .contains(&next) =>
+                {
+                    // The decision is valid on the node's (stale) view —
+                    // the link is simply down right now.
+                    match self.cfg.dead_link {
+                        DeadLinkPolicy::Queue => {
+                            self.messages[msg].path.push(next);
+                            self.parked
+                                .entry(LinkKey::new(at, next))
+                                .or_default()
+                                .push_back(Arrival {
+                                    msg,
+                                    at: next,
+                                    from: Some(at),
+                                    attempt,
+                                });
+                        }
+                        DeadLinkPolicy::Deliver | DeadLinkPolicy::Drop => self.lose(msg),
                     }
                 }
-            }
+                Some(_) => {
+                    // Not a neighbour in the topology *or* the view:
+                    // a router bug, not a fault.
+                    self.messages[msg].fate =
+                        MessageFate::Errored(format!("router named non-neighbour {next_label}"));
+                }
+            },
+        }
+    }
+
+    /// Puts `msg` on the wire from `at` to its live neighbour `next`:
+    /// a loss draw if the link is lossy, then a scheduled arrival after
+    /// the link's latency.
+    fn transmit(&mut self, msg: usize, at: NodeId, next: NodeId) {
+        let profile = self.cfg.link_profile(at, next);
+        if profile.loss > 0.0 && self.rng.gen_bool(profile.loss) {
+            self.lose(msg);
+            return;
+        }
+        self.messages[msg].path.push(next);
+        self.events
+            .entry(self.tick + 1 + profile.extra_latency)
+            .or_default()
+            .push_back(Arrival {
+                msg,
+                at: next,
+                from: Some(at),
+                attempt: self.states[msg].attempt,
+            });
+    }
+
+    /// The message vanished in transit. With reliability configured the
+    /// source's timeout will notice; otherwise it is terminally
+    /// [`MessageFate::Dropped`].
+    fn lose(&mut self, msg: usize) {
+        if self.cfg.timeout.is_none() {
+            self.messages[msg].fate = MessageFate::Dropped;
+        }
+    }
+
+    /// A source-side timeout came due: retransmit if the retry budget
+    /// allows, otherwise declare the terminal fate.
+    fn check_timeout(&mut self, msg: usize) {
+        if self.messages[msg].fate != MessageFate::InFlight {
+            return;
+        }
+        let Some(timeout) = self.cfg.timeout else {
+            return;
+        };
+        if self.states[msg].retries < self.cfg.max_retries {
+            self.states[msg].retries += 1;
+            self.states[msg].attempt += 1;
+            self.retries_total += 1;
+            let s = self.messages[msg].s;
+            self.messages[msg].retries += 1;
+            self.messages[msg].path = vec![s];
+            self.seen_states[msg].clear();
+            self.events
+                .entry(self.tick + 1)
+                .or_default()
+                .push_back(Arrival {
+                    msg,
+                    at: s,
+                    from: None,
+                    attempt: self.states[msg].attempt,
+                });
+            let wait = timeout + self.cfg.backoff * u64::from(self.states[msg].retries);
+            self.timers
+                .entry(self.tick + 1 + wait)
+                .or_default()
+                .push(msg);
+        } else {
+            self.messages[msg].fate = if self.cfg.max_retries > 0 {
+                MessageFate::GaveUp
+            } else {
+                MessageFate::TimedOut
+            };
         }
     }
 
@@ -233,11 +561,21 @@ impl Network {
         self.messages.get(id.0 as usize)
     }
 
-    /// Aggregate metrics over all messages so far.
+    /// All message records, in injection order.
+    pub fn records(&self) -> &[MessageRecord] {
+        &self.messages
+    }
+
+    /// Aggregate metrics over all messages so far. Every injected
+    /// message lands in exactly one bucket
+    /// ([`NetworkMetrics::accounted`] always holds).
     pub fn metrics(&self) -> NetworkMetrics {
         let mut m = NetworkMetrics {
             sent: self.messages.len(),
             ticks: self.tick,
+            retries: self.retries_total,
+            faults_applied: self.faults_applied,
+            faults_skipped: self.faults_skipped,
             ..Default::default()
         };
         for r in &self.messages {
@@ -248,64 +586,117 @@ impl Network {
                 }
                 MessageFate::Looped => m.looped += 1,
                 MessageFate::Errored(_) => m.errored += 1,
-                _ => {}
+                MessageFate::HopBudgetExhausted => m.exhausted += 1,
+                MessageFate::Dropped => m.dropped += 1,
+                MessageFate::TimedOut => m.timed_out += 1,
+                MessageFate::GaveUp => m.gave_up += 1,
+                MessageFate::InFlight => m.in_flight += 1,
             }
         }
         m.max_node_load = self.nodes.iter().map(|n| n.forwarded).max().unwrap_or(0);
         m
     }
 
-    /// Applies a topology change and re-provisions every node whose
-    /// k-neighbourhood could have changed (nodes within `k` hops of
-    /// either endpoint, in the old or new topology). In-flight messages
-    /// keep routing — on the *new* views, as in a real network.
+    /// Applies a topology change. Re-adding a present edge or removing
+    /// an absent one is an idempotent no-op. Affected nodes (within `k`
+    /// hops of either endpoint, old or new topology) re-provision —
+    /// immediately when [`FaultConfig::view_delay`] is zero, otherwise
+    /// as a propagation wave. In-flight messages keep routing, as in a
+    /// real network.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::WouldDisconnect`] if removing `(a, b)` would
-    /// disconnect the network, or [`SimError::Topology`] if the edge
-    /// change itself is invalid. The network is unchanged on error.
+    /// disconnect the network, [`SimError::UnknownNode`] for an
+    /// out-of-range endpoint, or [`SimError::Topology`] for a
+    /// self-loop. The network is unchanged on error.
     pub fn set_edge(&mut self, a: NodeId, b: NodeId, present: bool) -> Result<(), SimError> {
-        let mut builder = GraphBuilder::new();
-        for u in self.graph.nodes() {
-            builder.add_node(self.graph.label(u))?;
-        }
-        for (x, y) in self.graph.edges() {
-            if present || !(locality_graph::NodeId::min(x, y) == a.min(b) && x.max(y) == a.max(b)) {
-                builder.add_edge(x, y)?;
+        self.set_edge_inner(a, b, present).map(|_| ())
+    }
+
+    /// Flips one edge incrementally (no full graph rebuild) and marks
+    /// the affected views for refresh. Returns `Ok(false)` when the
+    /// edge was already in the requested state.
+    fn set_edge_inner(&mut self, a: NodeId, b: NodeId, present: bool) -> Result<bool, SimError> {
+        for &x in &[a, b] {
+            if x.index() >= self.nodes.len() {
+                return Err(SimError::UnknownNode(x));
             }
         }
+        if a == b {
+            return Err(SimError::Topology(GraphError::SelfLoop(a)));
+        }
+        if self.graph.has_edge(a, b) == present {
+            return Ok(false);
+        }
+        // Nodes whose k-neighbourhood could change, with their distance
+        // to the change (for the stale-view wave): within k hops of
+        // either endpoint, in the old or new topology.
+        let mut dirty: BTreeMap<NodeId, u32> = BTreeMap::new();
+        self.collect_dirty(&mut dirty, a, b);
         if present {
-            builder.add_edge(a, b)?;
-        }
-        let new_graph = builder.build();
-        if !traversal::is_connected(&new_graph) {
-            return Err(SimError::WouldDisconnect(a, b));
-        }
-        // Refresh everything within k hops of the change in either
-        // topology.
-        let mut dirty = BTreeSet::new();
-        for g in [&self.graph, &new_graph] {
-            for &end in &[a, b] {
-                for x in traversal::bfs_distances(g, end, Some(self.k)).keys() {
-                    dirty.insert(x);
-                }
+            self.graph.insert_edge(a, b)?;
+            // A restored link delivers whatever was parked on it, in
+            // FIFO order, starting next tick.
+            if let Some(q) = self.parked.remove(&LinkKey::new(a, b)) {
+                self.events.entry(self.tick + 1).or_default().extend(q);
+            }
+        } else {
+            self.graph.remove_edge(a, b)?;
+            if !traversal::is_connected(&self.graph) {
+                self.graph.insert_edge(a, b)?;
+                return Err(SimError::WouldDisconnect(a, b));
             }
         }
-        self.graph = new_graph;
-        let cache = local_routing::ViewCache::new(&self.graph, self.k);
-        for u in dirty {
-            self.nodes[u.index()] = SimNode::provision_from(&cache, u);
+        self.collect_dirty(&mut dirty, a, b);
+        if self.cfg.view_delay == 0 {
+            let due: BTreeSet<NodeId> = dirty.keys().copied().collect();
+            self.reprovision(&due);
+        } else {
+            for (&x, &d) in &dirty {
+                let when = self.tick + self.cfg.view_delay * (u64::from(d) + 1);
+                self.reprovision_at.entry(when).or_default().insert(x);
+            }
         }
-        Ok(())
+        Ok(true)
+    }
+
+    /// Merges into `dirty` every node within `k` hops of `a` or `b` in
+    /// the **current** topology, keyed by its distance to the nearest
+    /// endpoint (minimum over calls).
+    fn collect_dirty(&self, dirty: &mut BTreeMap<NodeId, u32>, a: NodeId, b: NodeId) {
+        for &end in &[a, b] {
+            for (x, d) in traversal::bfs_distances(&self.graph, end, Some(self.k)).iter() {
+                let entry = dirty.entry(x).or_insert(d);
+                *entry = (*entry).min(d);
+            }
+        }
+    }
+
+    /// Re-extracts the views of `due` from the current topology through
+    /// one shared cache, preserving each node's traffic counters and
+    /// stamping [`SimNode::provisioned_at`].
+    fn reprovision(&mut self, due: &BTreeSet<NodeId>) {
+        if due.is_empty() {
+            return;
+        }
+        let cache = local_routing::ViewCache::new(&self.graph, self.k);
+        for &u in due {
+            let mut fresh = SimNode::provision_from(&cache, u);
+            fresh.forwarded = self.nodes[u.index()].forwarded;
+            fresh.delivered = self.nodes[u.index()].delivered;
+            fresh.provisioned_at = self.tick;
+            self.nodes[u.index()] = fresh;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{ChurnConfig, LinkProfile};
     use local_routing::{Alg1, Alg2, Alg3, LocalRouter};
-    use locality_graph::generators;
+    use locality_graph::{generators, Label};
 
     #[test]
     fn single_message_delivery() {
@@ -446,6 +837,225 @@ mod tests {
                 assert!(r.delivered());
                 assert_eq!(r.path, central.route, "({s},{t})");
             }
+        }
+    }
+
+    #[test]
+    fn set_edge_is_idempotent() {
+        let g = generators::cycle(8);
+        let mut net = NetworkBuilder::new(&g, 3).build(Alg3);
+        // Re-adding a present edge and removing an absent one are
+        // no-ops, not errors.
+        net.set_edge(NodeId(0), NodeId(1), true)
+            .expect("re-adding a present edge is a no-op");
+        net.set_edge(NodeId(0), NodeId(4), false)
+            .expect("removing an absent edge is a no-op");
+        assert_eq!(net.graph().edge_count(), g.edge_count());
+        // And a no-op does not touch any view.
+        for u in g.nodes() {
+            assert_eq!(net.node(u).provisioned_at, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_are_typed_errors() {
+        let g = generators::path(4);
+        let mut net = NetworkBuilder::new(&g, 2).build(Alg3);
+        assert_eq!(
+            net.try_send(NodeId(9), NodeId(0)),
+            Err(SimError::UnknownNode(NodeId(9)))
+        );
+        assert!(matches!(
+            net.try_node(NodeId(9)),
+            Err(SimError::UnknownNode(NodeId(9)))
+        ));
+        assert_eq!(
+            net.set_edge(NodeId(0), NodeId(9), true),
+            Err(SimError::UnknownNode(NodeId(9)))
+        );
+        assert_eq!(net.metrics().sent, 0, "failed sends inject nothing");
+    }
+
+    #[test]
+    fn lossy_link_drops_without_reliability() {
+        let g = generators::path(2);
+        let cfg = FaultConfig {
+            default_link: LinkProfile {
+                loss: 1.0,
+                extra_latency: 0,
+            },
+            ..Default::default()
+        };
+        let mut net = NetworkBuilder::new(&g, 1).faults(cfg).build(Alg3);
+        let id = net.send(NodeId(0), NodeId(1));
+        net.run_until_quiet();
+        assert_eq!(
+            net.record(id).expect("id was returned by send").fate,
+            MessageFate::Dropped
+        );
+        let m = net.metrics();
+        assert_eq!(m.dropped, 1);
+        assert!(m.accounted());
+    }
+
+    #[test]
+    fn timeout_without_retries_times_out() {
+        let g = generators::path(2);
+        let cfg = FaultConfig {
+            default_link: LinkProfile {
+                loss: 1.0,
+                extra_latency: 0,
+            },
+            timeout: Some(4),
+            ..Default::default()
+        };
+        let mut net = NetworkBuilder::new(&g, 1).faults(cfg).build(Alg3);
+        let id = net.send(NodeId(0), NodeId(1));
+        net.run_until_quiet();
+        assert_eq!(
+            net.record(id).expect("id was returned by send").fate,
+            MessageFate::TimedOut
+        );
+        assert!(net.metrics().accounted());
+    }
+
+    #[test]
+    fn retries_exhaust_to_gave_up() {
+        let g = generators::path(2);
+        let cfg = FaultConfig {
+            default_link: LinkProfile {
+                loss: 1.0,
+                extra_latency: 0,
+            },
+            timeout: Some(3),
+            max_retries: 2,
+            backoff: 1,
+            ..Default::default()
+        };
+        let mut net = NetworkBuilder::new(&g, 1).faults(cfg).build(Alg3);
+        let id = net.send(NodeId(0), NodeId(1));
+        net.run_until_quiet();
+        let r = net.record(id).expect("id was returned by send");
+        assert_eq!(r.fate, MessageFate::GaveUp);
+        assert_eq!(r.retries, 2);
+        let m = net.metrics();
+        assert_eq!((m.gave_up, m.retries), (1, 2));
+        assert!(m.accounted());
+    }
+
+    #[test]
+    fn retry_recovers_after_restart() {
+        // Crash the only relay; the source retries through the outage
+        // and succeeds once the relay restarts.
+        let g = generators::path(3);
+        let cfg = FaultConfig {
+            timeout: Some(5),
+            max_retries: 10,
+            ..Default::default()
+        };
+        let mut net = NetworkBuilder::new(&g, 2)
+            .faults(cfg)
+            .fault_plan(
+                FaultPlan::new()
+                    .at(0, FaultEvent::Crash(NodeId(1)))
+                    .at(12, FaultEvent::Restart(NodeId(1))),
+            )
+            .build(Alg3);
+        let id = net.send(NodeId(0), NodeId(2));
+        net.run_until_quiet();
+        let r = net.record(id).expect("id was returned by send");
+        assert_eq!(r.fate, MessageFate::Delivered);
+        assert!(r.retries >= 1, "delivery must have needed a retry");
+        assert!(net.metrics().accounted());
+    }
+
+    #[test]
+    fn crashed_node_black_holes() {
+        let g = generators::path(3);
+        let mut net = NetworkBuilder::new(&g, 2).build(Alg3);
+        net.schedule_fault(0, FaultEvent::Crash(NodeId(1)));
+        let id = net.send(NodeId(0), NodeId(2));
+        net.run_until_quiet();
+        assert!(net.is_crashed(NodeId(1)));
+        assert_eq!(
+            net.record(id).expect("id was returned by send").fate,
+            MessageFate::Dropped
+        );
+        let m = net.metrics();
+        assert_eq!((m.dropped, m.faults_applied), (1, 1));
+        assert!(m.accounted());
+    }
+
+    #[test]
+    fn parked_messages_cross_when_link_returns() {
+        // With stale views (large delay) node 1 still believes in the
+        // cut link and forwards onto it; Queue parks the message until
+        // the link is restored.
+        let g = generators::cycle(4);
+        let cfg = FaultConfig {
+            dead_link: DeadLinkPolicy::Queue,
+            view_delay: 1_000,
+            ..Default::default()
+        };
+        let mut net = NetworkBuilder::new(&g, 2).faults(cfg).build(Alg3);
+        net.set_edge(NodeId(1), NodeId(2), false)
+            .expect("one cycle edge can go");
+        let id = net.send(NodeId(1), NodeId(2));
+        for _ in 0..4 {
+            net.step();
+        }
+        assert_eq!(
+            net.record(id).expect("id was returned by send").fate,
+            MessageFate::InFlight,
+            "the message should be parked on the dead link"
+        );
+        net.set_edge(NodeId(1), NodeId(2), true)
+            .expect("restoring the edge");
+        net.run_until_quiet();
+        assert_eq!(
+            net.record(id).expect("id was returned by send").fate,
+            MessageFate::Delivered
+        );
+        assert!(net.metrics().accounted());
+    }
+
+    #[test]
+    fn stale_views_refresh_as_a_wave() {
+        let g = generators::cycle(10);
+        let cfg = FaultConfig {
+            view_delay: 2,
+            ..Default::default()
+        };
+        let mut net = NetworkBuilder::new(&g, 2).faults(cfg).build(Alg3);
+        net.set_edge(NodeId(0), NodeId(9), false)
+            .expect("one cycle edge can go");
+        // Instantly after the cut, node 0 still *sees* the old edge.
+        assert!(net.node(NodeId(0)).view().contains_label(Label(9)));
+        net.run_until_quiet();
+        // Endpoints re-provision at delay*(0+1), their neighbours at
+        // delay*(1+1), …
+        assert_eq!(net.node(NodeId(0)).provisioned_at, 2);
+        assert_eq!(net.node(NodeId(1)).provisioned_at, 4);
+        assert!(!net.node(NodeId(0)).view().contains_label(Label(9)));
+        // Nodes farther than k from both endpoints never re-provision.
+        assert_eq!(net.node(NodeId(5)).provisioned_at, 0);
+    }
+
+    #[test]
+    fn fault_plan_quiesces_to_original_topology() {
+        let g = generators::random_connected(16, 8, &mut DetRng::seed_from_u64(3));
+        let plan =
+            FaultPlan::random_churn(&g, &ChurnConfig::default(), &mut DetRng::seed_from_u64(4));
+        let mut net = NetworkBuilder::new(&g, 3).fault_plan(plan).build(Alg3);
+        net.run_until_quiet();
+        let m = net.metrics();
+        assert!(m.faults_applied > 0);
+        assert_eq!(net.graph().edge_count(), g.edge_count());
+        for (a, b) in g.edges() {
+            assert!(net.graph().has_edge(a, b));
+        }
+        for u in g.nodes() {
+            assert!(!net.is_crashed(u));
         }
     }
 }

@@ -18,6 +18,10 @@ pub struct SimNode {
     pub forwarded: u64,
     /// Messages delivered at this node.
     pub delivered: u64,
+    /// Tick at which the stored view was last (re-)provisioned — `0`
+    /// at start-up. Lets churn tests observe exactly when a node's
+    /// knowledge caught up with a topology change.
+    pub provisioned_at: u64,
 }
 
 impl SimNode {
@@ -39,6 +43,7 @@ impl SimNode {
             view: cache.view(id),
             forwarded: 0,
             delivered: 0,
+            provisioned_at: 0,
         }
     }
 

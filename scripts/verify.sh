@@ -19,4 +19,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> locality-lint"
 cargo run -q -p locality-lint
 
+echo "==> chaos determinism smoke"
+out_a="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7)"
+out_b="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7)"
+if [ "$out_a" != "$out_b" ]; then
+  echo "chaos: seed 7 replay is not byte-identical" >&2
+  exit 1
+fi
+
 echo "verify: OK"
