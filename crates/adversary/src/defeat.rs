@@ -2,14 +2,12 @@
 //! its threshold, search the paper's families and random suites for a
 //! defeating instance.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use local_routing::engine::{self, RunStatus};
 use local_routing::{Awareness, LocalRouter};
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, permute, Graph, NodeId};
 
-use crate::{thm1, thm2, thm3};
+use crate::{scan, thm1, thm2, thm3};
 
 /// A witness that a router fails.
 #[derive(Clone, Debug)]
@@ -121,7 +119,14 @@ pub fn find_defeat<R: LocalRouter + ?Sized>(router: &R, n: usize, k: u32) -> Opt
     let candidates: Vec<Graph> = (0..64)
         .map(|_| permute::random_relabel(&generators::random_mixed(n, &mut rng), &mut rng))
         .collect();
-    scan_candidates(&candidates, k, router).and_then(|(idx, s, t, status)| {
+    // scan::first_match prunes against the lowest witness found so
+    // far and returns the lowest-index hit, identical to a sequential
+    // scan regardless of thread count.
+    scan::first_match(&candidates, |_, g| {
+        let m = engine::delivery_matrix(g, k, router);
+        m.failures.into_iter().next()
+    })
+    .and_then(|(idx, (s, t, status))| {
         candidates.get(idx).map(|g| Defeat {
             graph: g.clone(),
             s,
@@ -130,61 +135,6 @@ pub fn find_defeat<R: LocalRouter + ?Sized>(router: &R, n: usize, k: u32) -> Opt
             family: "random",
         })
     })
-}
-
-/// Number of worker threads for the candidate scan: the machine's
-/// parallelism, capped — the scan is CPU-bound and short-lived.
-fn scan_threads(candidates: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8)
-        .min(candidates.max(1))
-}
-
-/// Scans `candidates` for a router failure, in parallel, returning the
-/// lowest candidate index that defeats the router (with its failing
-/// pair and status). Threads share a "best index so far" so they can
-/// skip work that cannot improve on an already-found witness.
-fn scan_candidates<R: LocalRouter + ?Sized>(
-    candidates: &[Graph],
-    k: u32,
-    router: &R,
-) -> Option<(usize, NodeId, NodeId, RunStatus)> {
-    let threads = scan_threads(candidates.len());
-    let best = AtomicUsize::new(usize::MAX);
-    let mut found: Vec<Option<(usize, NodeId, NodeId, RunStatus)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|worker| {
-                let best = &best;
-                scope.spawn(move || {
-                    let mut local: Option<(usize, NodeId, NodeId, RunStatus)> = None;
-                    // Strided assignment keeps low indices spread
-                    // across workers, so the lowest witness is
-                    // found early and later candidates get pruned.
-                    for (idx, g) in candidates.iter().enumerate().skip(worker).step_by(threads) {
-                        if idx >= best.load(Ordering::Relaxed) {
-                            continue;
-                        }
-                        let m = engine::delivery_matrix(g, k, router);
-                        if let Some((s, t, status)) = m.failures.into_iter().next() {
-                            best.fetch_min(idx, Ordering::Relaxed);
-                            if local.as_ref().is_none_or(|&(i, ..)| idx < i) {
-                                local = Some((idx, s, t, status));
-                            }
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker panicked"))
-            .collect()
-    });
-    found.sort_by_key(|w| w.as_ref().map_or(usize::MAX, |&(i, ..)| i));
-    found.into_iter().next().flatten()
 }
 
 #[cfg(test)]

@@ -21,13 +21,16 @@
 //! * [`strategy`] — the enumerable strategy routers the impossibility
 //!   proofs quantify over,
 //! * [`defeat`] — a black-box search that finds a defeating instance
-//!   for a router run below its threshold.
+//!   for a router run below its threshold,
+//! * [`scan`] — the deterministic parallel scan primitives the
+//!   searches and table regenerations fan out through.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod defeat;
 pub mod lemma1;
+pub mod scan;
 pub mod strategy;
 pub mod thm1;
 pub mod thm2;

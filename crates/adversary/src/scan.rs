@@ -1,0 +1,178 @@
+//! Reusable parallel scan over independent adversarial probes.
+//!
+//! The searches in this crate share one shape: a list of independent
+//! jobs — candidate graphs, strategy permutations — each checked by a
+//! pure function, with a result that must not depend on how many
+//! threads ran or how the OS scheduled them. This module factors that
+//! shape out of `defeat.rs` into two primitives:
+//!
+//! * [`map_ordered`] evaluates every job and returns the results in
+//!   input order — a parallel `map` whose output is indistinguishable
+//!   from the sequential loop it replaces.
+//! * [`first_match`] finds the **lowest-index** job whose check
+//!   returns `Some`, sharing a best-index-so-far across workers so
+//!   higher-index jobs are pruned once a better witness exists.
+//!
+//! Work is assigned by striding (worker `w` of `W` takes jobs `w`,
+//! `w + W`, …), which spreads low indices across all workers: for
+//! `first_match` that means a low witness is found early and most of
+//! the tail is skipped, and for `map_ordered` it balances cost when
+//! expensive jobs cluster at one end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Number of scan workers for `jobs` independent jobs: the machine's
+/// available parallelism, capped at 8 (the probes are CPU-bound and
+/// short-lived), never more than there are jobs.
+pub fn threads_for(jobs: usize) -> usize {
+    thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(8)
+        .min(jobs.max(1))
+}
+
+/// Evaluates `f(index, &jobs[index])` for every job on up to
+/// [`threads_for`] scoped workers and returns the results in job
+/// order, exactly as a sequential loop would.
+///
+/// # Panics
+///
+/// Re-raises the panic of any job that panicked, after all workers
+/// have stopped.
+pub fn map_ordered<T, R, F>(jobs: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads_for(jobs.len());
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(jobs.len());
+    if workers <= 1 {
+        tagged.extend(jobs.iter().enumerate().map(|(i, t)| (i, f(i, t))));
+    } else {
+        let f = &f;
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || -> Vec<(usize, R)> {
+                        jobs.iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, t)| (i, f(i, t)))
+                            .collect()
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => tagged.extend(part),
+                    Err(cause) => std::panic::resume_unwind(cause),
+                }
+            }
+        });
+    }
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `check(index, &jobs[index])` across up to [`threads_for`]
+/// workers and returns the match with the **lowest job index**, or
+/// `None` if no job matches. Identical to a sequential
+/// first-`Some` scan regardless of thread count or scheduling.
+///
+/// Workers publish the best index found so far through a shared
+/// atomic and skip any job that cannot improve on it, so a scan
+/// whose witness sits at a low index finishes without checking most
+/// of the list.
+///
+/// # Panics
+///
+/// Re-raises the panic of any check that panicked, after all workers
+/// have stopped.
+pub fn first_match<T, R, F>(jobs: &[T], check: F) -> Option<(usize, R)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Option<R> + Sync,
+{
+    let workers = threads_for(jobs.len());
+    let best = AtomicUsize::new(usize::MAX);
+    let mut found: Vec<Option<(usize, R)>> = Vec::with_capacity(workers);
+    {
+        let run_worker = |w: usize| -> Option<(usize, R)> {
+            let mut local: Option<(usize, R)> = None;
+            for (idx, job) in jobs.iter().enumerate().skip(w).step_by(workers) {
+                if idx >= best.load(Ordering::Relaxed) {
+                    continue;
+                }
+                if let Some(r) = check(idx, job) {
+                    best.fetch_min(idx, Ordering::Relaxed);
+                    if local.as_ref().is_none_or(|&(i, _)| idx < i) {
+                        local = Some((idx, r));
+                    }
+                }
+            }
+            local
+        };
+        if workers <= 1 {
+            found.push(run_worker(0));
+        } else {
+            let run_worker = &run_worker;
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| scope.spawn(move || run_worker(w)))
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(hit) => found.push(hit),
+                        Err(cause) => std::panic::resume_unwind(cause),
+                    }
+                }
+            });
+        }
+    }
+    found.into_iter().flatten().min_by_key(|&(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_ordered_matches_sequential() {
+        let jobs: Vec<u32> = (0..37).rev().collect();
+        let seq: Vec<u64> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| u64::from(t) * 3 + i as u64)
+            .collect();
+        let par = map_ordered(&jobs, |i, &t| u64::from(t) * 3 + i as u64);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn first_match_returns_lowest_index() {
+        // Matches at 5, 12, 29 — every thread count must report 5.
+        let jobs: Vec<usize> = (0..64).collect();
+        let hit = first_match(&jobs, |_, &j| {
+            (j == 5 || j == 12 || j == 29).then_some(j * 10)
+        });
+        assert_eq!(hit, Some((5, 50)));
+    }
+
+    #[test]
+    fn first_match_none_when_nothing_matches() {
+        let jobs: Vec<usize> = (0..16).collect();
+        assert_eq!(first_match(&jobs, |_, _| None::<()>), None);
+        assert_eq!(first_match(&[], |_, _: &usize| Some(())), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe 4 failed")]
+    fn map_ordered_propagates_panics() {
+        let jobs: Vec<usize> = (0..8).collect();
+        map_ordered(&jobs, |i, _| assert!(i != 4, "probe {i} failed"));
+    }
+}

@@ -154,28 +154,28 @@ pub struct TableRow {
 pub fn table3(n: usize, k: u32) -> Vec<TableRow> {
     let insts = family(n);
     assert!(k >= 1 && (k as usize) <= insts[0].r, "theorem needs k <= r");
-    StrategyRouter::all_cycle_orders(4)
-        .into_iter()
-        .map(|order| {
-            let mut outcomes = [false; 3];
-            for (i, inst) in insts.iter().enumerate() {
-                let router = StrategyRouter::new(inst.graph.label(inst.hub), &order, 0);
-                let run = engine::route(
-                    &inst.graph,
-                    k,
-                    &router,
-                    inst.s,
-                    inst.t,
-                    &RunOptions::default(),
-                );
-                outcomes[i] = run.status.is_delivered();
-            }
-            TableRow {
-                cycle_order: order,
-                outcomes,
-            }
-        })
-        .collect()
+    // The six strategies are independent probes of the same family:
+    // fan them out; scan::map_ordered keeps the rows in strategy order.
+    let orders = StrategyRouter::all_cycle_orders(4);
+    crate::scan::map_ordered(&orders, |_, order| {
+        let mut outcomes = [false; 3];
+        for (i, inst) in insts.iter().enumerate() {
+            let router = StrategyRouter::new(inst.graph.label(inst.hub), order, 0);
+            let run = engine::route(
+                &inst.graph,
+                k,
+                &router,
+                inst.s,
+                inst.t,
+                &RunOptions::default(),
+            );
+            outcomes[i] = run.status.is_delivered();
+        }
+        TableRow {
+            cycle_order: order.clone(),
+            outcomes,
+        }
+    })
 }
 
 /// The paper's Table 3, in the same strategy order as

@@ -143,30 +143,33 @@ pub struct TableRow {
 pub fn table4(n: usize, k: u32) -> Vec<TableRow> {
     let insts = family(n);
     assert!(k >= 1 && (k as usize) <= insts[0].r, "theorem needs k <= r");
-    let mut rows = Vec::new();
-    for order in StrategyRouter::all_cycle_orders(3) {
-        for initial in 0..3usize {
-            let mut outcomes = [false; 3];
-            for (i, inst) in insts.iter().enumerate() {
-                let router = StrategyRouter::new(inst.graph.label(inst.s), &order, initial);
-                let run = engine::route(
-                    &inst.graph,
-                    k,
-                    &router,
-                    inst.s,
-                    inst.t,
-                    &RunOptions::default(),
-                );
-                outcomes[i] = run.status.is_delivered();
-            }
-            rows.push(TableRow {
-                cycle_order: order.clone(),
-                initial,
-                outcomes,
-            });
+    // Six independent (permutation, initial direction) strategies:
+    // fan them out; scan::map_ordered keeps the rows in enumeration
+    // order.
+    let strategies: Vec<(Vec<usize>, usize)> = StrategyRouter::all_cycle_orders(3)
+        .into_iter()
+        .flat_map(|order| (0..3usize).map(move |initial| (order.clone(), initial)))
+        .collect();
+    crate::scan::map_ordered(&strategies, |_, (order, initial)| {
+        let mut outcomes = [false; 3];
+        for (i, inst) in insts.iter().enumerate() {
+            let router = StrategyRouter::new(inst.graph.label(inst.s), order, *initial);
+            let run = engine::route(
+                &inst.graph,
+                k,
+                &router,
+                inst.s,
+                inst.t,
+                &RunOptions::default(),
+            );
+            outcomes[i] = run.status.is_delivered();
         }
-    }
-    rows
+        TableRow {
+            cycle_order: order.clone(),
+            initial: *initial,
+            outcomes,
+        }
+    })
 }
 
 /// The paper's Table 4, rows in the order produced by [`table4`]:

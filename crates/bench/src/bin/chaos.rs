@@ -1,148 +1,9 @@
 //! Chaos soak: delivery under deterministic churn.
 //!
-//! Runs every router of the paper (Algorithms 1, 1B, 2, 3) plus the
-//! baselines through the same seeded fault storm — link outages, node
-//! crash/restart cycles, lossy links, stale views, and source-side
-//! retries — and emits one line of JSON (redirect to
-//! `BENCH_chaos.json`) with delivery ratio, latency percentiles, retry
-//! counts, and the full fate histogram per router, plus a
-//! delivery-vs-`k` sweep for Algorithm 3 that feeds the churn table in
-//! `EXPERIMENTS.md`.
-//!
-//! Everything is derived from one `u64` seed (`--seed N`, default 7):
-//! the topology, the fault plan, the traffic, and every loss draw. Two
-//! runs with the same seed print byte-identical JSON — `scripts/
-//! verify.sh` checks exactly that.
-
-use local_routing::baselines::{LowestRankForward, RightHandRule};
-use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
-use locality_graph::rng::DetRng;
-use locality_graph::{generators, Graph, NodeId};
-use locality_sim::{
-    ChurnConfig, DeadLinkPolicy, FaultConfig, FaultPlan, LinkProfile, NetworkBuilder,
-    NetworkMetrics,
-};
-
-const N: usize = 48;
-const EXTRA_EDGES: usize = 20;
-const ROUNDS: usize = 6;
-const BATCH: usize = 24;
-const ROUND_GAP: u64 = 30;
-
-fn churn_config() -> ChurnConfig {
-    ChurnConfig {
-        horizon: (ROUNDS as u64) * ROUND_GAP,
-        link_events: 10,
-        crash_events: 3,
-        min_outage: 8,
-        max_outage: 30,
-    }
-}
-
-fn fault_config(seed: u64) -> FaultConfig {
-    FaultConfig {
-        dead_link: DeadLinkPolicy::Drop,
-        view_delay: 2,
-        default_link: LinkProfile {
-            loss: 0.03,
-            extra_latency: 0,
-        },
-        timeout: Some(4 * N as u64),
-        max_retries: 3,
-        backoff: N as u64,
-        seed,
-        ..Default::default()
-    }
-}
-
-struct Report {
-    name: &'static str,
-    k: u32,
-    m: NetworkMetrics,
-    p50: u64,
-    p99: u64,
-}
-
-impl Report {
-    fn json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"router\":\"{}\",\"k\":{},\"sent\":{},\"delivery_ratio\":{:.4},",
-                "\"latency_p50\":{},\"latency_p99\":{},\"retries\":{},",
-                "\"fates\":{{\"delivered\":{},\"looped\":{},\"errored\":{},",
-                "\"exhausted\":{},\"dropped\":{},\"timed_out\":{},\"gave_up\":{},",
-                "\"in_flight\":{}}},\"faults_applied\":{},\"faults_skipped\":{}}}"
-            ),
-            self.name,
-            self.k,
-            self.m.sent,
-            self.m.delivery_ratio(),
-            self.p50,
-            self.p99,
-            self.m.retries,
-            self.m.delivered,
-            self.m.looped,
-            self.m.errored,
-            self.m.exhausted,
-            self.m.dropped,
-            self.m.timed_out,
-            self.m.gave_up,
-            self.m.in_flight,
-            self.m.faults_applied,
-            self.m.faults_skipped,
-        )
-    }
-}
-
-/// Drives one router through the storm: the same seeded fault plan and
-/// the same seeded traffic for every caller, so reports are comparable
-/// across routers.
-fn soak(g: &Graph, k: u32, router: Box<dyn LocalRouter>, name: &'static str, seed: u64) -> Report {
-    let plan = FaultPlan::random_churn(
-        g,
-        &churn_config(),
-        &mut DetRng::seed_from_u64(seed ^ 0xFA417),
-    );
-    let mut net = NetworkBuilder::new(g, k)
-        .faults(fault_config(seed))
-        .fault_plan(plan)
-        .build(router);
-    let mut traffic = DetRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let n = g.node_count() as u32;
-    for _ in 0..ROUNDS {
-        for _ in 0..BATCH {
-            let s = NodeId(traffic.gen_range(0..n));
-            let t = NodeId(traffic.gen_range(0..n));
-            if s != t {
-                net.send(s, t);
-            }
-        }
-        net.run_until(net.now() + ROUND_GAP);
-    }
-    net.run_until_quiet();
-    let m = net.metrics();
-    assert!(
-        m.accounted(),
-        "{name}: metrics lose messages: {m:?} (sum != sent)"
-    );
-    let mut lats: Vec<u64> = net.records().iter().filter_map(|r| r.latency()).collect();
-    lats.sort_unstable();
-    let (p50, p99) = if lats.is_empty() {
-        (0, 0)
-    } else {
-        (
-            lats[(lats.len() - 1) / 2],
-            lats[(lats.len() - 1) * 99 / 100],
-        )
-    };
-    Report {
-        name,
-        k,
-        m,
-        p50,
-        p99,
-    }
-}
+//! Thin CLI wrapper over [`locality_bench::chaos::report`]: parses
+//! `--seed N` (default 7) and prints the one-line JSON report
+//! (redirect to `BENCH_chaos.json`). Two runs with the same seed print
+//! byte-identical JSON — `scripts/verify.sh` checks exactly that.
 
 fn main() {
     let mut seed = 7u64;
@@ -154,81 +15,5 @@ fn main() {
             }
         }
     }
-    let g = generators::random_connected(N, EXTRA_EDGES, &mut DetRng::seed_from_u64(seed));
-
-    let routers: Vec<Report> = vec![
-        soak(
-            &g,
-            Alg1.min_locality(N),
-            Box::new(Alg1),
-            "algorithm-1",
-            seed,
-        ),
-        soak(
-            &g,
-            Alg1B.min_locality(N),
-            Box::new(Alg1B),
-            "algorithm-1b",
-            seed,
-        ),
-        soak(
-            &g,
-            Alg2.min_locality(N),
-            Box::new(Alg2),
-            "algorithm-2",
-            seed,
-        ),
-        soak(
-            &g,
-            Alg3.min_locality(N),
-            Box::new(Alg3),
-            "algorithm-3",
-            seed,
-        ),
-        soak(
-            &g,
-            RightHandRule.min_locality(N),
-            Box::new(RightHandRule),
-            "right-hand-rule",
-            seed,
-        ),
-        soak(
-            &g,
-            LowestRankForward.min_locality(N),
-            Box::new(LowestRankForward),
-            "lowest-rank-forward",
-            seed,
-        ),
-    ];
-
-    // Delivery under churn as a function of the locality parameter:
-    // Algorithm 3 below, at, and above its threshold k = n/2.
-    let sweep: Vec<String> = [6u32, 12, 18, 24, 30]
-        .into_iter()
-        .map(|k| {
-            let r = soak(&g, k, Box::new(Alg3), "algorithm-3", seed);
-            format!(
-                "{{\"k\":{},\"delivery_ratio\":{:.4},\"delivered\":{},\"sent\":{},\"retries\":{}}}",
-                k,
-                r.m.delivery_ratio(),
-                r.m.delivered,
-                r.m.sent,
-                r.m.retries,
-            )
-        })
-        .collect();
-
-    let body: Vec<String> = routers.iter().map(Report::json).collect();
-    println!(
-        concat!(
-            "{{\"bench\":\"chaos\",\"seed\":{},\"n\":{},\"graph\":\"random_connected\",",
-            "\"loss\":0.03,\"view_delay\":2,\"timeout\":{},\"max_retries\":3,",
-            "\"routers\":[{}],\"alg3_k_sweep\":[{}]}}"
-        ),
-        seed,
-        N,
-        4 * N,
-        body.join(","),
-        sweep.join(","),
-    );
+    println!("{}", locality_bench::chaos::report(seed));
 }

@@ -16,14 +16,22 @@
 //! replays the engine's exact routes, charging the old structures for
 //! each hop's shortest-path step; cheap passive-case lookups are
 //! omitted, so the reported speedups are lower bounds.
+//!
+//! The `sim` section does the same for the distributed simulator: the
+//! real engine (timing wheel, arrival slab, dense loop bitset,
+//! memoized step tables) against a replay of the identical hop
+//! sequence charged to the pre-refactor simulator structures, plus an
+//! end-to-end trials-per-second figure through the parallel driver.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use local_routing::engine::{self, RunOptions, ViewCache};
 use local_routing::{preprocess, Alg1, LocalView};
+use locality_bench::simbench;
 use locality_bench::timing::{black_box, measure_ns};
 use locality_graph::rng::DetRng;
-use locality_graph::{generators, Graph, Label, NodeId};
+use locality_graph::{generators, traversal, Graph, Label, NodeId};
+use locality_sim::driver;
 
 /// Emulation of the pre-refactor (tree-map) data model, kept verbatim
 /// in spirit: every structure the old hot path allocated per node is
@@ -435,6 +443,146 @@ fn bench_size(n: usize) -> SizeReport {
     }
 }
 
+/// The simulator throughput section: the real engine (timing wheel,
+/// arrival slab, dense loop bitset, memoized step tables) against a
+/// replay of the same hops charged to the **pre-refactor simulator
+/// structures** — `BTreeMap<u64, Vec<Arrival>>` scheduling, per-message
+/// `BTreeSet<(NodeId, Option<NodeId>)>` loop detection, and an uncached
+/// shortest-step BFS per forwarding decision, exactly the per-hop costs
+/// the old `Network::step`/`process` paid. Both sides execute the very
+/// same hop sequence (the workload is a pure function of the seed), so
+/// the speedup is a data-model ratio, not a workload difference.
+struct SimReport {
+    n: usize,
+    k: u32,
+    messages: usize,
+    hops: u64,
+    sim_hops_per_sec: f64,
+    legacy_sim_hops_per_sec: f64,
+    driver_threads: usize,
+    sim_trials_per_sec: f64,
+}
+
+impl SimReport {
+    fn speedup(&self) -> f64 {
+        if self.legacy_sim_hops_per_sec == 0.0 {
+            return 0.0;
+        }
+        self.sim_hops_per_sec / self.legacy_sim_hops_per_sec
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"n\":{},\"k\":{},\"messages\":{},\"hops\":{},",
+                "\"sim_hops_per_sec\":{:.0},\"legacy_sim_hops_per_sec\":{:.0},",
+                "\"sim_speedup\":{:.2},\"driver_threads\":{},",
+                "\"sim_trials_per_sec\":{:.2}}}"
+            ),
+            self.n,
+            self.k,
+            self.messages,
+            self.hops,
+            self.sim_hops_per_sec,
+            self.legacy_sim_hops_per_sec,
+            self.speedup(),
+            self.driver_threads,
+            self.sim_trials_per_sec,
+        )
+    }
+}
+
+fn bench_sim() -> SimReport {
+    const N: usize = 128;
+    const K: u32 = 32;
+    const MESSAGES: usize = 4096;
+    const SEED: u64 = 42;
+
+    let real = simbench::sim_throughput(N, K, MESSAGES, SEED, Alg1);
+    let routes = simbench::sim_routes(N, K, MESSAGES, SEED, Alg1);
+
+    // Persistent per-node views, as the old simulator's nodes held them
+    // (provisioning was never the hot path; it stays untimed).
+    let g = generators::random_connected(N, N / 2, &mut DetRng::seed_from_u64(SEED));
+    let views: Vec<LocalView> = g.nodes().map(|u| LocalView::extract(&g, u, K)).collect();
+
+    let legacy_ns = measure_ns(|| {
+        let mut acc = 0usize;
+        // The heap tuple the old scheduler boxed per hop.
+        type Hop = (u32, NodeId, Option<NodeId>, u32);
+        let mut events: Vec<Hop> = Vec::new();
+        let mut sched: BTreeMap<u64, Vec<Hop>> = BTreeMap::new();
+        let mut tick = 0u64;
+        for (mi, (t, path)) in routes.iter().enumerate() {
+            let mut seen: BTreeSet<(NodeId, Option<NodeId>)> = BTreeSet::new();
+            let Some((_, deciders)) = path.split_last() else {
+                continue;
+            };
+            let mut prev: Option<NodeId> = None;
+            for &u in deciders {
+                // Old scheduler: push the arrival struct into the tick
+                // map, then drain the earliest tick (ordered-map probe
+                // plus node deallocation, once per hop).
+                sched
+                    .entry(tick + 1)
+                    .or_default()
+                    .push((mi as u32, u, prev, 0));
+                if let Some((&t0, _)) = sched.first_key_value() {
+                    tick = t0;
+                    if let Some(q) = sched.remove(&t0) {
+                        events = q;
+                        acc += events.len();
+                    }
+                }
+                // Old loop detection: tree-set insert per hop.
+                seen.insert((u, prev));
+                // Old forwarding decision: a fresh shortest-step BFS
+                // through the stored view, recomputed on every hop.
+                let view = &views[u.index()];
+                let step = traversal::shortest_path_steps(view.raw(), u, *t)
+                    .into_iter()
+                    .min_by_key(|&x| view.label(x));
+                acc += step.map_or(0, |x| x.index());
+                prev = Some(u);
+            }
+            acc += seen.len();
+        }
+        black_box(events.len());
+        acc
+    });
+    let legacy_sim_hops_per_sec = if legacy_ns > 0.0 {
+        real.hops as f64 * 1e9 / legacy_ns
+    } else {
+        0.0
+    };
+
+    // End-to-end trial throughput through the parallel driver: eight
+    // independent (seed, n=64) sims, build and drain included.
+    let trial_seeds: Vec<u64> = (0..8).collect();
+    let batch_ns = measure_ns(|| {
+        let done = driver::run_trials(&trial_seeds, driver::default_threads(), |_, &s| {
+            simbench::sim_throughput(64, 16, 256, SEED + s, Alg1).delivered
+        });
+        done.iter().sum::<usize>()
+    });
+    let sim_trials_per_sec = if batch_ns > 0.0 {
+        trial_seeds.len() as f64 * 1e9 / batch_ns
+    } else {
+        0.0
+    };
+
+    SimReport {
+        n: N,
+        k: K,
+        messages: real.messages,
+        hops: real.hops,
+        sim_hops_per_sec: real.hops_per_sec(),
+        legacy_sim_hops_per_sec,
+        driver_threads: driver::default_threads(),
+        sim_trials_per_sec,
+    }
+}
+
 /// A fixed-seed mini chaos soak (Algorithm 1 under churn, loss, stale
 /// views, and retries — the `chaos` binary's fault model at n=32), so
 /// the perf-smoke JSON also tracks robustness alongside speed.
@@ -499,17 +647,21 @@ fn lint_violations() -> i64 {
 fn main() {
     let sizes: Vec<SizeReport> = [32, 64, 128].into_iter().map(bench_size).collect();
     let body: Vec<String> = sizes.iter().map(SizeReport::json).collect();
+    let sim = bench_sim();
     let lint = lint_violations();
     let chaos_ratio = chaos_delivery_ratio();
     println!(
         concat!(
             "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
-            "\"sizes\":[{}],\"lint_violations\":{},\"chaos_delivery_ratio\":{:.4},",
+            "\"sizes\":[{}],\"sim\":{},\"lint_violations\":{},\"chaos_delivery_ratio\":{:.4},",
             "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
             "legacy delivery matrix replays the engine's exact routes on the old ",
-            "structures and omits passive-case lookups, so speedups are lower bounds\"}}"
+            "structures and omits passive-case lookups, so speedups are lower bounds; ",
+            "sim replays the simulator's exact hop sequence against the old ",
+            "BTreeMap scheduler, tree-set loop detection, and uncached per-hop BFS\"}}"
         ),
         body.join(","),
+        sim.json(),
         lint,
         chaos_ratio,
     );
@@ -522,5 +674,10 @@ fn main() {
         last.speedup() >= 2.0,
         "delivery matrix speedup at n=128 is {:.2}x, expected >= 2x",
         last.speedup()
+    );
+    assert!(
+        sim.speedup() >= 3.0,
+        "simulator speedup at n=128 is {:.2}x, expected >= 3x",
+        sim.speedup()
     );
 }

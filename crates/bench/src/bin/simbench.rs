@@ -1,0 +1,40 @@
+//! Simulator hop-throughput snapshot at n ∈ {128, 512, 2048}.
+//!
+//! One line of JSON per size: delivered-hop throughput of the
+//! zero-fault simulator with Algorithm 1 at its threshold locality
+//! k = ⌈n/4⌉ (every target visible, every message delivered — the
+//! routed work is identical before and after any scheduler change).
+//! Feeds the before/after table in `EXPERIMENTS.md`.
+
+use local_routing::{Alg1, LocalRouter};
+use locality_bench::simbench::sim_throughput;
+
+const MESSAGES: usize = 4096;
+const SEED: u64 = 42;
+
+fn main() {
+    let rows: Vec<String> = [128usize, 512, 2048]
+        .into_iter()
+        .map(|n| {
+            let r = sim_throughput(n, Alg1.min_locality(n), MESSAGES, SEED, Alg1);
+            format!(
+                concat!(
+                    "{{\"n\":{},\"k\":{},\"messages\":{},\"delivered\":{},",
+                    "\"hops\":{},\"elapsed_ms\":{:.1},\"hops_per_sec\":{:.0}}}"
+                ),
+                r.n,
+                r.k,
+                r.messages,
+                r.delivered,
+                r.hops,
+                r.elapsed_ns as f64 / 1e6,
+                r.hops_per_sec(),
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\":\"simbench\",\"seed\":{},\"rows\":[{}]}}",
+        SEED,
+        rows.join(",")
+    );
+}

@@ -780,18 +780,21 @@ pub fn position_based(n: usize, radius: f64) -> String {
 /// **§2.2 extension** — congestion: per-node load under all-pairs
 /// traffic on a grid, for the locality extremes.
 pub fn congestion(rows: usize, cols: usize) -> String {
-    use locality_sim::NetworkBuilder;
+    use locality_sim::{driver, NetworkBuilder};
     let g = generators::grid(rows, cols);
     let n = g.node_count();
     let mut out = format!("## §2.2 extension — congestion on a {rows}x{cols} grid (all pairs)\n\n");
     let mut table = Table::new(&["algorithm", "k", "delivered", "mean hops", "max node load"]);
-    for (router, name) in [
-        (&Alg1 as &dyn LocalRouter, "Alg 1"),
-        (&Alg1B, "Alg 1B"),
-        (&Alg2, "Alg 2"),
-        (&Alg3, "Alg 3"),
-    ] {
-        let k = router.min_locality(n);
+    // One independent all-pairs simulation per router: fan the four
+    // trials across workers; the driver's in-order merge keeps the
+    // table rows in router order at any thread count.
+    let trials = [
+        ("Alg 1", Alg1.min_locality(n)),
+        ("Alg 1B", Alg1B.min_locality(n)),
+        ("Alg 2", Alg2.min_locality(n)),
+        ("Alg 3", Alg3.min_locality(n)),
+    ];
+    let rendered = driver::run_trials(&trials, driver::default_threads(), |_, &(name, k)| {
         // NetworkBuilder takes the router by value; dispatch on the name.
         let mut net = match name {
             "Alg 1" => NetworkBuilder::new(&g, k).build(Alg1),
@@ -806,14 +809,16 @@ pub fn congestion(rows: usize, cols: usize) -> String {
         }
         net.run_until_quiet();
         let m = net.metrics();
-        table.row(&[
+        [
             name.to_string(),
             k.to_string(),
             format!("{}/{}", m.delivered, m.sent),
             f3(m.mean_hops().unwrap_or(0.0)),
             m.max_node_load.to_string(),
-        ]);
-        let _ = router;
+        ]
+    });
+    for row in &rendered {
+        table.row(row);
     }
     out.push_str(&table.render());
     out.push_str(

@@ -8,9 +8,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod cli;
 pub mod experiments;
 pub mod format;
+pub mod simbench;
 pub mod timing;
 
 pub use experiments::*;

@@ -1,0 +1,145 @@
+//! Simulator message-throughput probe.
+//!
+//! Drives a zero-fault [`locality_sim::Network`] with a seeded batched
+//! traffic pattern and reports delivered-hop throughput: total
+//! message-hops executed per wall-clock second once the network is
+//! built and provisioned. Used by `bin/simbench` for the
+//! `EXPERIMENTS.md` before/after table and by `bin/perfsmoke` for the
+//! regression-gated `sim_hops_per_sec` field.
+//!
+//! The traffic is batched — `BATCH` sends, then four ticks of
+//! progress, repeated — so the scheduler carries a realistic mix of
+//! near-future arrival ticks instead of one giant tick-zero burst.
+
+// Wall-clock measurement is the point here, exactly as in `timing`;
+// the workspace `std::time` ban protects routing determinism, not the
+// benchmarks that time it.
+#![allow(clippy::disallowed_types)]
+
+use std::time::Instant;
+
+use local_routing::LocalRouter;
+use locality_graph::rng::DetRng;
+use locality_graph::{generators, NodeId};
+use locality_sim::NetworkBuilder;
+
+/// Sends per round; a new round starts every four ticks.
+const BATCH: usize = 32;
+
+/// One finished throughput run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimThroughput {
+    /// Node count of the probed topology.
+    pub n: usize,
+    /// Locality parameter every node was provisioned with.
+    pub k: u32,
+    /// Messages injected.
+    pub messages: usize,
+    /// Messages that reached their destination.
+    pub delivered: usize,
+    /// Total message-hops executed across all attempts.
+    pub hops: u64,
+    /// Wall-clock time of the send/step/drain phase (provisioning
+    /// excluded), in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl SimThroughput {
+    /// Message-hops per second.
+    pub fn hops_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.hops as f64 * 1e9 / self.elapsed_ns as f64
+    }
+}
+
+/// Runs `messages` seeded random-pair sends through a zero-fault
+/// network on `random_connected(n, n/2)` and measures hop throughput.
+///
+/// The graph, the traffic, and therefore every routed path are pure
+/// functions of `seed` — only `elapsed_ns` varies between calls, so
+/// before/after comparisons time identical work.
+pub fn sim_throughput(
+    n: usize,
+    k: u32,
+    messages: usize,
+    seed: u64,
+    router: impl LocalRouter + 'static,
+) -> SimThroughput {
+    let g = generators::random_connected(n, n / 2, &mut DetRng::seed_from_u64(seed));
+    let mut net = NetworkBuilder::new(&g, k).build(router);
+    let mut traffic = DetRng::seed_from_u64(seed ^ 0x7AFF1C);
+    let start = Instant::now();
+    let mut sent = 0usize;
+    while sent < messages {
+        for _ in 0..BATCH.min(messages - sent) {
+            let s = NodeId(traffic.gen_range(0..n as u32));
+            let t = NodeId(traffic.gen_range(0..n as u32));
+            if s != t {
+                net.send(s, t);
+            }
+            sent += 1;
+        }
+        net.run_until(net.now() + 4);
+    }
+    net.run_until_quiet();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let hops: u64 = net.records().iter().map(|r| r.hops() as u64).sum();
+    let delivered = net.records().iter().filter(|r| r.delivered()).count();
+    SimThroughput {
+        n,
+        k,
+        messages: net.records().len(),
+        delivered,
+        hops,
+        elapsed_ns,
+    }
+}
+
+/// Replays the exact workload of [`sim_throughput`] (same graph, same
+/// traffic stream) untimed and returns each message's `(target, path)` —
+/// the raw material for `bin/perfsmoke`'s legacy-cost replay, which
+/// charges the pre-refactor data structures for precisely these hops.
+pub fn sim_routes(
+    n: usize,
+    k: u32,
+    messages: usize,
+    seed: u64,
+    router: impl LocalRouter + 'static,
+) -> Vec<(NodeId, Vec<NodeId>)> {
+    let g = generators::random_connected(n, n / 2, &mut DetRng::seed_from_u64(seed));
+    let mut net = NetworkBuilder::new(&g, k).build(router);
+    let mut traffic = DetRng::seed_from_u64(seed ^ 0x7AFF1C);
+    let mut sent = 0usize;
+    while sent < messages {
+        for _ in 0..BATCH.min(messages - sent) {
+            let s = NodeId(traffic.gen_range(0..n as u32));
+            let t = NodeId(traffic.gen_range(0..n as u32));
+            if s != t {
+                net.send(s, t);
+            }
+            sent += 1;
+        }
+        net.run_until(net.now() + 4);
+    }
+    net.run_until_quiet();
+    net.records()
+        .iter()
+        .map(|r| (r.t, r.path.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_routing::{Alg1, LocalRouter};
+
+    #[test]
+    fn probe_delivers_everything_at_threshold() {
+        let r = sim_throughput(32, Alg1.min_locality(32), 200, 7, Alg1);
+        assert_eq!(r.delivered, r.messages);
+        assert!(r.hops > 0);
+        assert!(r.hops_per_sec() > 0.0);
+    }
+}

@@ -193,6 +193,93 @@ impl<'g> ViewCache<'g> {
     }
 }
 
+/// Owned, invalidatable sibling of [`ViewCache`] for long-lived hosts
+/// whose graph **changes** over time — the simulator being the
+/// canonical one. A `ViewCache` borrows its graph, so a struct that
+/// owns and mutates its own `Graph` cannot hold one; a `ViewStore`
+/// holds no graph reference and is handed the current graph at each
+/// lookup instead.
+///
+/// The contract is the inverse of `ViewCache`'s immutability: after
+/// any topology change the **caller** must [`invalidate`]
+/// (Self::invalidate) every node whose `G_k(u)` the change could have
+/// reached (the simulator's dirty-set computation does exactly this).
+/// A lookup then re-extracts from the graph it is given; undamaged
+/// entries keep their `Arc` — and with it every lazily memoized
+/// routing structure — across the wave.
+///
+/// Sharded exactly like [`ViewCache`], so provisioning can be shared
+/// across scoped worker threads.
+pub struct ViewStore {
+    k: u32,
+    shards: Vec<RwLock<HashMap<NodeId, Arc<LocalView>>>>,
+}
+
+impl ViewStore {
+    /// Creates an empty store for locality `k`.
+    pub fn new(k: u32) -> ViewStore {
+        ViewStore {
+            k,
+            shards: (0..VIEW_CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The locality parameter.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of views currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether no view is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn shard_of(&self, u: NodeId) -> &RwLock<HashMap<NodeId, Arc<LocalView>>> {
+        &self.shards[u.index() % VIEW_CACHE_SHARDS]
+    }
+
+    /// The view at `u`, extracted from `graph` on first request (or on
+    /// the first request after an [`invalidate`](Self::invalidate)).
+    ///
+    /// The caller is responsible for passing the same graph state
+    /// between invalidations — the store cannot tell graphs apart.
+    pub fn view(&self, graph: &Graph, u: NodeId) -> Arc<LocalView> {
+        let shard = self.shard_of(u);
+        if let Some(v) = shard.read().unwrap_or_else(PoisonError::into_inner).get(&u) {
+            return Arc::clone(v);
+        }
+        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            map.entry(u)
+                .or_insert_with(|| Arc::new(LocalView::extract(graph, u, self.k))),
+        )
+    }
+
+    /// Drops the cached view at `u`, forcing re-extraction on the next
+    /// lookup. Returns whether an entry existed. `Arc`s already handed
+    /// out keep the old view alive — exactly the stale-view semantics
+    /// the simulator wants for nodes that have not yet been told about
+    /// a topology change.
+    pub fn invalidate(&self, u: NodeId) -> bool {
+        self.shard_of(u)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&u)
+            .is_some()
+    }
+}
+
 /// Routes one message from `s` to `t` with a fresh view cache.
 pub fn route<R: LocalRouter + ?Sized>(
     graph: &Graph,
@@ -643,6 +730,46 @@ mod tests {
             }
         }
         assert_eq!(cache.len(), g.node_count());
+    }
+
+    #[test]
+    fn view_store_invalidation_reextracts_from_current_graph() {
+        let mut g = generators::cycle(8);
+        let store = ViewStore::new(2);
+        assert!(store.is_empty());
+        let a = store.view(&g, NodeId(0));
+        let b = store.view(&g, NodeId(0));
+        assert!(Arc::ptr_eq(&a, &b), "unchanged entries share one Arc");
+        assert_eq!(store.len(), 1);
+        // Mutate the topology; the store cannot see it until told.
+        g.insert_edge(NodeId(0), NodeId(4)).expect("simple edge");
+        let stale = store.view(&g, NodeId(0));
+        assert!(Arc::ptr_eq(&a, &stale), "uninvalidated views stay stale");
+        assert!(store.invalidate(NodeId(0)));
+        assert!(!store.invalidate(NodeId(0)), "second invalidate is a no-op");
+        let fresh = store.view(&g, NodeId(0));
+        assert!(!Arc::ptr_eq(&a, &fresh));
+        assert_eq!(
+            fresh.center_neighbors(),
+            &[NodeId(1), NodeId(4), NodeId(7)],
+            "re-extraction must see the new edge"
+        );
+        // The old Arc is still alive and still shows the old world.
+        assert_eq!(a.center_neighbors(), &[NodeId(1), NodeId(7)]);
+    }
+
+    #[test]
+    fn view_store_matches_view_cache_per_node() {
+        let g = generators::grid(4, 4);
+        let cache = ViewCache::new(&g, 3);
+        let store = ViewStore::new(3);
+        for u in g.nodes() {
+            assert_eq!(
+                cache.view(u).fingerprint(),
+                store.view(&g, u).fingerprint(),
+                "store and cache must extract identical views"
+            );
+        }
     }
 
     #[test]

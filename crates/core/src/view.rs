@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use std::sync::OnceLock;
 
 use locality_graph::components::ComponentAnalysis;
-use locality_graph::{neighborhood, traversal, DistMap, Graph, Label, NodeId, Subgraph};
+use locality_graph::{neighborhood, DistMap, Graph, Label, NodeId, Subgraph};
 
 use crate::preprocess::{self, EdgeKey, Preprocessed};
 
@@ -32,6 +32,10 @@ pub struct LocalView {
     by_label: Vec<(Label, NodeId)>,
     routing: OnceLock<RoutingView>,
     raw_analysis: OnceLock<ComponentAnalysis>,
+    /// All-targets memo for [`shortest_step_toward`](Self::shortest_step_toward),
+    /// indexed by the target's raw slot. Built by a single BFS on first
+    /// use (see [`step_table`](Self::step_table)).
+    steps: OnceLock<Vec<Option<NodeId>>>,
 }
 
 /// The preprocessed routing structure `G'_k(u)` (§5.1) with its
@@ -73,6 +77,7 @@ impl LocalView {
             by_label,
             routing: OnceLock::new(),
             raw_analysis: OnceLock::new(),
+            steps: OnceLock::new(),
         }
     }
 
@@ -151,9 +156,69 @@ impl LocalView {
     /// The neighbour of the centre of **lowest label** lying on a
     /// shortest path (within the view) from the centre to `target`.
     /// `None` if `target` is the centre or unreachable in the view.
+    ///
+    /// The answer is a pure function of the (immutable) view, so the
+    /// whole table is memoized: the first query runs one BFS that
+    /// answers for *every* target at once, every later query — for any
+    /// target — is an array load. Routers query fresh (view, target)
+    /// pairs on nearly every hop, so a per-target cache would miss
+    /// constantly and re-run a full BFS per hop; amortizing all targets
+    /// into one traversal is what makes this call cheap.
     pub fn shortest_step_toward(&self, target: NodeId) -> Option<NodeId> {
-        let steps = traversal::shortest_path_steps(&self.raw, self.center, target);
-        steps.into_iter().min_by_key(|&x| self.label(x))
+        let slot = self.raw.slot_of(target)?;
+        self.step_table().get(slot).copied().flatten()
+    }
+
+    /// Slot-indexed table of lowest-label shortest first steps, for
+    /// every target simultaneously, from a single BFS out of the
+    /// centre.
+    ///
+    /// Correctness: the first steps toward `t` are exactly the
+    /// centre-neighbours `x` with `dist(x, t) = dist(c, t) - 1`
+    /// (what [`traversal::shortest_path_steps`] computes). For `t` at
+    /// BFS depth `d ≥ 2`, a shortest `c → x → ⋯ → t` path passes
+    /// through some neighbour `p` of `t` at depth `d - 1`, and
+    /// conversely any first step toward such a `p` extends to `t`; so
+    /// `steps(t) = ⋃ steps(p)` over `t`'s depth-`(d-1)` neighbours,
+    /// and the lowest label distributes over the union. Depth-1 nodes
+    /// are their own unique first step. Processing the queue in BFS
+    /// order finalizes every depth-`(d-1)` entry before any depth-`d`
+    /// node is dequeued.
+    fn step_table(&self) -> &[Option<NodeId>] {
+        self.steps.get_or_init(|| {
+            let n = self.raw.node_count();
+            let mut step: Vec<Option<NodeId>> = vec![None; n];
+            let mut depth: Vec<u32> = vec![u32::MAX; n];
+            let mut queue = std::collections::VecDeque::with_capacity(n);
+            if let Some(c) = self.raw.slot_of(self.center) {
+                depth[c] = 0;
+                queue.push_back((self.center, c));
+            }
+            while let Some((u, us)) = queue.pop_front() {
+                let du = depth[us];
+                for &w in self.raw.neighbors(u) {
+                    let Some(ws) = self.raw.slot_of(w) else {
+                        continue;
+                    };
+                    if depth[ws] == u32::MAX {
+                        depth[ws] = du + 1;
+                        queue.push_back((w, ws));
+                    }
+                    if depth[ws] == du + 1 {
+                        // First step this edge contributes: `w` itself
+                        // from the centre, else whatever reaches `u`.
+                        let cand = if u == self.center { Some(w) } else { step[us] };
+                        step[ws] = match (step[ws], cand) {
+                            (Some(a), Some(b)) => {
+                                Some(if self.label(b) < self.label(a) { b } else { a })
+                            }
+                            (a, b) => a.or(b),
+                        };
+                    }
+                }
+            }
+            step
+        })
     }
 
     /// The preprocessed routing structure `G'_k(u)`, computed on first
@@ -236,7 +301,7 @@ impl fmt::Debug for LocalView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use locality_graph::generators;
+    use locality_graph::{generators, traversal};
 
     #[test]
     fn extract_and_query() {
@@ -259,6 +324,34 @@ mod tests {
         let v = LocalView::extract(&g, NodeId(0), 4);
         assert_eq!(v.shortest_step_toward(NodeId(4)), Some(NodeId(1)));
         assert_eq!(v.shortest_step_toward(NodeId(0)), None);
+    }
+
+    #[test]
+    fn shortest_step_memo_is_stable_and_complete() {
+        // The one-BFS step table must agree, target for target, with
+        // the per-target reference computation it replaces — including
+        // repeated queries and invisible targets.
+        for seed in 0..8u64 {
+            let g = generators::random_connected(
+                24,
+                10,
+                &mut locality_graph::rng::DetRng::seed_from_u64(seed),
+            );
+            for &(center, k) in &[(NodeId(0), 3u32), (NodeId(7), 2), (NodeId(13), 5)] {
+                let view = LocalView::extract(&g, center, k);
+                for t in g.nodes() {
+                    let reference = traversal::shortest_path_steps(view.raw(), center, t)
+                        .into_iter()
+                        .min_by_key(|&x| view.label(x));
+                    assert_eq!(
+                        view.shortest_step_toward(t),
+                        reference,
+                        "seed {seed} target {t}"
+                    );
+                    assert_eq!(view.shortest_step_toward(t), reference, "memo hit differs");
+                }
+            }
+        }
     }
 
     #[test]

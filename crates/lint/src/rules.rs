@@ -10,11 +10,14 @@
 //!   `locality-adversary`) may not use hash-ordered collections, wall
 //!   clocks, the process environment, or NaN-unstable float
 //!   comparisons. A narrower randomness-source arm applies to the
-//!   fault-injection module and the chaos soak binary
+//!   fault-injection module and the chaos soak module
 //!   ([`R2_DETRNG_FILES`]) regardless of crate: their whole contract is
 //!   replayability from one seed, so every draw must come from the
 //!   in-repo `DetRng` — ambient RNGs, OS entropy, and clocks are
-//!   flagged even where full R2 does not apply.
+//!   flagged even where full R2 does not apply. The simulator's
+//!   scheduling/arena/driver files ([`R2_SIM_FILES`]) get the full R2
+//!   treatment for the same reason: they carry the
+//!   byte-identical-per-seed guarantee of `bin/chaos`.
 //! * **R3 panic policy** — library code may not `unwrap()`, `expect(`,
 //!   `panic!`, or (sub-rule `R3i`) index slices, except through the
 //!   blessed dense-slot idiom `container[node.index()]` or an
@@ -159,7 +162,19 @@ pub const R2_CRATES: &[&str] = &["graph", "core", "adversary"];
 /// promise byte-identical replays from a single `u64` seed, so any
 /// other entropy source — ambient RNGs, OS randomness, clocks — is a
 /// violation even though these files sit outside [`R2_CRATES`].
-pub const R2_DETRNG_FILES: &[&str] = &["crates/sim/src/fault.rs", "crates/bench/src/bin/chaos.rs"];
+pub const R2_DETRNG_FILES: &[&str] = &["crates/sim/src/fault.rs", "crates/bench/src/chaos.rs"];
+
+/// Simulator hot-path files held to full R2 determinism even though
+/// the `sim` crate as a whole sits outside [`R2_CRATES`]: the timing
+/// wheel, the arrival arena, and the parallel trial driver are the
+/// machinery behind the simulator's byte-identical-per-seed guarantee,
+/// so hash-ordered collections, wall clocks, and NaN-unstable floats
+/// are banned in them outright.
+pub const R2_SIM_FILES: &[&str] = &[
+    "crates/sim/src/sched.rs",
+    "crates/sim/src/slab.rs",
+    "crates/sim/src/driver.rs",
+];
 
 const R1_IDENTS: &[&str] = &["Graph", "GraphBuilder", "EmbeddedGraph"];
 const R2_IDENTS: &[(&str, &str)] = &[
@@ -219,8 +234,8 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
     };
     let pre = scan::preprocess(source);
     let r1 = R1_FILES.contains(&rel);
-    let r2 =
-        class != FileClass::TestBench && crate_dir(rel).is_some_and(|c| R2_CRATES.contains(&c));
+    let r2 = class != FileClass::TestBench
+        && (crate_dir(rel).is_some_and(|c| R2_CRATES.contains(&c)) || R2_SIM_FILES.contains(&rel));
     let r2_rng = R2_DETRNG_FILES.contains(&rel);
     let r3 = class == FileClass::Lib;
     if !(r1 || r2 || r2_rng || r3) {
@@ -508,13 +523,31 @@ mod tests {
         // randomness-source arm fires (plus nothing from full R2).
         let v = check_file("crates/sim/src/fault.rs", src);
         assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2]);
-        // The chaos binary is Bin class — normally lint-exempt — but
-        // the randomness arm still applies.
-        let v = check_file("crates/bench/src/bin/chaos.rs", src);
+        // The chaos soak lives in the bench crate — outside R2_CRATES —
+        // but the randomness arm still applies.
+        let v = check_file("crates/bench/src/chaos.rs", src);
         assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2]);
-        // Other sim files and other bench bins are untouched.
+        // Other sim files and bench bins are untouched.
         assert!(check_file("crates/sim/src/network.rs", src).is_empty());
         assert!(check_file("crates/bench/src/bin/perfsmoke.rs", src).is_empty());
+        assert!(check_file("crates/bench/src/bin/chaos.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_sim_arm_covers_scheduler_arena_and_driver() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let t = std::time::Instant::now(); }\n";
+        // The wheel, the slab, and the driver get full R2 despite the
+        // sim crate sitting outside R2_CRATES.
+        for rel in super::R2_SIM_FILES {
+            let v = check_file(rel, src);
+            assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2, Rule::R2], "{rel}");
+        }
+        // Deterministic ordered collections pass.
+        let ok = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u64, u32>) {}\n";
+        assert!(check_file("crates/sim/src/sched.rs", ok).is_empty());
+        // Other sim lib files still see only R3/R3i, not R2.
+        assert!(check_file("crates/sim/src/network.rs", src).is_empty());
     }
 
     #[test]
@@ -522,7 +555,7 @@ mod tests {
         let src = "use locality_graph::rng::DetRng;\n\
                    fn f() { let mut r = DetRng::seed_from_u64(7); let _ = r.gen_bool(0.5); }\n";
         assert!(check_file("crates/sim/src/fault.rs", src).is_empty());
-        assert!(check_file("crates/bench/src/bin/chaos.rs", src).is_empty());
+        assert!(check_file("crates/bench/src/chaos.rs", src).is_empty());
     }
 
     #[test]

@@ -35,12 +35,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod driver;
 mod error;
 pub mod fault;
 pub mod flood;
 mod metrics;
 mod network;
 mod node;
+pub mod sched;
+pub mod slab;
 
 pub use error::SimError;
 pub use fault::{

@@ -6,9 +6,9 @@
 //! [`FaultPlan`] handed to the builder) layers deterministic fault
 //! injection on top — see [`crate::fault`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use local_routing::LocalRouter;
+use local_routing::{LocalRouter, ViewStore};
 use locality_graph::rng::DetRng;
 use locality_graph::{traversal, Graph, GraphError, NodeId};
 
@@ -16,6 +16,8 @@ use crate::error::SimError;
 use crate::fault::{DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey};
 use crate::metrics::{MessageFate, MessageRecord, NetworkMetrics};
 use crate::node::SimNode;
+use crate::sched::Wheel;
+use crate::slab::{ArrivalData, ArrivalSlab, LoopTable, SeenSet};
 
 /// Handle to a message injected into a [`Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -73,17 +75,24 @@ impl NetworkBuilder {
     }
 
     /// Provisions every node and returns the network. All nodes share
-    /// one [`local_routing::ViewCache`] during provisioning, so any
-    /// view needed twice is extracted once.
+    /// one persistent [`ViewStore`], so any view needed twice is
+    /// extracted once — and the store stays with the network, serving
+    /// incremental invalidation when the topology later changes.
     pub fn build<R: LocalRouter + 'static>(self, router: R) -> Network {
         let n = self.graph.node_count();
-        let cache = local_routing::ViewCache::new(&self.graph, self.k);
+        let views = ViewStore::new(self.k);
         let nodes: Vec<SimNode> = self
             .graph
             .nodes()
-            .map(|u| SimNode::provision_from(&cache, u))
+            .map(|u| SimNode::provision_from(&views, &self.graph, u))
             .collect();
-        drop(cache);
+        let loop_table = LoopTable::new(&self.graph);
+        let mut fault_schedule = Wheel::new();
+        for (at, evs) in self.plan.into_schedule() {
+            for ev in evs {
+                fault_schedule.schedule(at, ev);
+            }
+        }
         let rng = DetRng::seed_from_u64(self.faults.seed);
         Network {
             k: self.k,
@@ -95,11 +104,14 @@ impl NetworkBuilder {
             graph: self.graph,
             crashed: vec![false; nodes.len()],
             nodes,
+            views,
             router: Box::new(router),
-            events: BTreeMap::new(),
-            fault_schedule: self.plan.into_schedule(),
-            reprovision_at: BTreeMap::new(),
-            timers: BTreeMap::new(),
+            events: Wheel::new(),
+            fault_schedule,
+            reprovision_at: Wheel::new(),
+            timers: Wheel::new(),
+            slab: ArrivalSlab::new(),
+            loop_table,
             parked: BTreeMap::new(),
             cfg: self.faults,
             rng,
@@ -115,20 +127,12 @@ impl NetworkBuilder {
     }
 }
 
-struct Arrival {
-    msg: usize,
-    at: NodeId,
-    from: Option<NodeId>,
-    /// Which source-side attempt this transmission belongs to. A retry
-    /// bumps the message's attempt counter, so copies of an abandoned
-    /// attempt still in flight (or parked on a dead link) are ignored
-    /// when they eventually surface.
-    attempt: u32,
-}
-
 /// Per-message simulator-side state that is not part of the observable
 /// record.
 struct MsgState {
+    /// Current source-side attempt. A retry bumps it, so copies of an
+    /// abandoned attempt still in flight (or parked on a dead link)
+    /// are ignored when they eventually surface.
     attempt: u32,
     retries: u32,
 }
@@ -142,21 +146,30 @@ pub struct Network {
     nodes: Vec<SimNode>,
     /// `crashed[u.index()]`: the node black-holes arrivals until restart.
     crashed: Vec<bool>,
+    /// Persistent per-node view cache; re-provision waves invalidate
+    /// only the dirty entries.
+    views: ViewStore,
     router: Box<dyn LocalRouter>,
-    events: BTreeMap<u64, VecDeque<Arrival>>,
-    fault_schedule: BTreeMap<u64, Vec<FaultEvent>>,
-    /// Stale-view wave: nodes due to re-provision at a tick.
-    reprovision_at: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// In-flight transmissions due at a tick, as [`ArrivalSlab`] handles.
+    events: Wheel<u32>,
+    fault_schedule: Wheel<FaultEvent>,
+    /// Stale-view wave: nodes due to re-provision at a tick (deduped
+    /// and sorted when the tick fires).
+    reprovision_at: Wheel<NodeId>,
     /// Source-side timeout checks (message indices) due at a tick.
-    timers: BTreeMap<u64, Vec<usize>>,
+    timers: Wheel<u32>,
+    /// Backing store for every in-flight transmission.
+    slab: ArrivalSlab,
+    /// Frozen dense layout for per-message loop-detection states.
+    loop_table: LoopTable,
     /// Messages parked on a down link under [`DeadLinkPolicy::Queue`],
     /// FIFO per link, released when the link comes back.
-    parked: BTreeMap<LinkKey, VecDeque<Arrival>>,
+    parked: BTreeMap<LinkKey, VecDeque<u32>>,
     cfg: FaultConfig,
     rng: DetRng,
     messages: Vec<MessageRecord>,
     states: Vec<MsgState>,
-    seen_states: Vec<BTreeSet<(NodeId, Option<NodeId>)>>,
+    seen_states: Vec<SeenSet>,
     retries_total: u64,
     faults_applied: usize,
     faults_skipped: usize,
@@ -249,21 +262,11 @@ impl Network {
             attempt: 0,
             retries: 0,
         });
-        self.seen_states.push(BTreeSet::new());
-        self.events
-            .entry(self.tick)
-            .or_default()
-            .push_back(Arrival {
-                msg: id as usize,
-                at: s,
-                from: None,
-                attempt: 0,
-            });
+        self.seen_states.push(SeenSet::new());
+        let h = self.slab.alloc(id as u32, s, None, 0);
+        self.events.schedule(self.tick, h);
         if let Some(timeout) = self.cfg.timeout {
-            self.timers
-                .entry(self.tick + timeout)
-                .or_default()
-                .push(id as usize);
+            self.timers.schedule(self.tick + timeout, id as u32);
         }
         Ok(MessageId(id))
     }
@@ -271,20 +274,19 @@ impl Network {
     /// Schedules a fault to fire at tick `at` (merged after any plan
     /// events already scheduled for that tick).
     pub fn schedule_fault(&mut self, at: u64, event: FaultEvent) {
-        self.fault_schedule.entry(at).or_default().push(event);
+        self.fault_schedule.schedule(at, event);
     }
 
     /// The earliest tick at which anything is scheduled.
     fn next_event_time(&self) -> Option<u64> {
         [
-            self.fault_schedule.keys().next(),
-            self.reprovision_at.keys().next(),
-            self.events.keys().next(),
-            self.timers.keys().next(),
+            self.fault_schedule.next_tick(),
+            self.reprovision_at.next_tick(),
+            self.events.next_tick(),
+            self.timers.next_tick(),
         ]
         .into_iter()
         .flatten()
-        .copied()
         .min()
     }
 
@@ -297,28 +299,37 @@ impl Network {
             return 0;
         };
         self.tick = self.tick.max(when);
+        // `when` is the global minimum, so every wheel may slide its
+        // window up to it (migrating far-future overflow on the way).
+        self.fault_schedule.advance_to(when);
+        self.reprovision_at.advance_to(when);
+        self.events.advance_to(when);
+        self.timers.advance_to(when);
         let mut count = 0;
-        if let Some(evs) = self.fault_schedule.remove(&when) {
-            count += evs.len();
-            for ev in evs {
-                self.apply_fault(ev);
-            }
+        let evs = self.fault_schedule.take(when);
+        count += evs.len();
+        for ev in evs {
+            self.apply_fault(ev);
         }
-        if let Some(due) = self.reprovision_at.remove(&when) {
+        let mut due = self.reprovision_at.take(when);
+        if !due.is_empty() {
+            // The wave accumulated per-node entries in schedule order;
+            // re-provision visits each node once, in id order (the
+            // iteration order of the ordered set this replaces).
+            due.sort_unstable();
+            due.dedup();
             count += due.len();
             self.reprovision(&due);
         }
-        if let Some(batch) = self.events.remove(&when) {
-            count += batch.len();
-            for arrival in batch {
-                self.process(arrival);
-            }
+        let batch = self.events.take(when);
+        count += batch.len();
+        for h in batch {
+            self.process(h);
         }
-        if let Some(msgs) = self.timers.remove(&when) {
-            count += msgs.len();
-            for msg in msgs {
-                self.check_timeout(msg);
-            }
+        let msgs = self.timers.take(when);
+        count += msgs.len();
+        for msg in msgs {
+            self.check_timeout(msg as usize);
         }
         self.tick += 1;
         count
@@ -358,9 +369,7 @@ impl Network {
                     self.crashed[u.index()] = false;
                     // A restarting node re-discovers its neighbourhood
                     // from the current topology as it boots.
-                    let mut due = BTreeSet::new();
-                    due.insert(u);
-                    self.reprovision(&due);
+                    self.reprovision(&[u]);
                 }
                 down
             }
@@ -372,14 +381,16 @@ impl Network {
         }
     }
 
-    fn process(&mut self, arrival: Arrival) {
-        let Arrival {
+    fn process(&mut self, h: u32) {
+        let ArrivalData {
             msg,
             at,
             from,
             attempt,
-        } = arrival;
+        } = self.slab.get(h);
+        let msg = msg as usize;
         if self.messages[msg].fate != MessageFate::InFlight || attempt != self.states[msg].attempt {
+            self.slab.free(h);
             return;
         }
         // A message mid-flight on a link that has since gone down.
@@ -388,24 +399,22 @@ impl Network {
                 match self.cfg.dead_link {
                     DeadLinkPolicy::Deliver => {}
                     DeadLinkPolicy::Drop => {
+                        self.slab.free(h);
                         self.lose(msg);
                         return;
                     }
                     DeadLinkPolicy::Queue => {
+                        // Parked transmissions keep their handle.
                         self.parked
                             .entry(LinkKey::new(f, at))
                             .or_default()
-                            .push_back(Arrival {
-                                msg,
-                                at,
-                                from,
-                                attempt,
-                            });
+                            .push_back(h);
                         return;
                     }
                 }
             }
         }
+        self.slab.free(h);
         // A crashed node black-holes everything, deliveries included.
         if self.crashed[at.index()] {
             self.lose(msg);
@@ -421,15 +430,12 @@ impl Network {
         // Exact loop detection (telemetry, not protocol state): a pure
         // stateless router revisiting (node, predecessor-it-can-see)
         // will repeat forever.
-        let state = (
-            at,
-            if self.router.awareness().predecessor {
-                from
-            } else {
-                None
-            },
-        );
-        if !self.seen_states[msg].insert(state) {
+        let pred = if self.router.awareness().predecessor {
+            from
+        } else {
+            None
+        };
+        if !self.loop_table.insert(&mut self.seen_states[msg], at, pred) {
             self.messages[msg].fate = MessageFate::Looped;
             return;
         }
@@ -463,15 +469,11 @@ impl Network {
                     match self.cfg.dead_link {
                         DeadLinkPolicy::Queue => {
                             self.messages[msg].path.push(next);
+                            let nh = self.slab.alloc(msg as u32, next, Some(at), attempt);
                             self.parked
                                 .entry(LinkKey::new(at, next))
                                 .or_default()
-                                .push_back(Arrival {
-                                    msg,
-                                    at: next,
-                                    from: Some(at),
-                                    attempt,
-                                });
+                                .push_back(nh);
                         }
                         DeadLinkPolicy::Deliver | DeadLinkPolicy::Drop => self.lose(msg),
                     }
@@ -496,15 +498,11 @@ impl Network {
             return;
         }
         self.messages[msg].path.push(next);
+        let h = self
+            .slab
+            .alloc(msg as u32, next, Some(at), self.states[msg].attempt);
         self.events
-            .entry(self.tick + 1 + profile.extra_latency)
-            .or_default()
-            .push_back(Arrival {
-                msg,
-                at: next,
-                from: Some(at),
-                attempt: self.states[msg].attempt,
-            });
+            .schedule(self.tick + 1 + profile.extra_latency, h);
     }
 
     /// The message vanished in transit. With reliability configured the
@@ -533,20 +531,12 @@ impl Network {
             self.messages[msg].retries += 1;
             self.messages[msg].path = vec![s];
             self.seen_states[msg].clear();
-            self.events
-                .entry(self.tick + 1)
-                .or_default()
-                .push_back(Arrival {
-                    msg,
-                    at: s,
-                    from: None,
-                    attempt: self.states[msg].attempt,
-                });
+            let h = self
+                .slab
+                .alloc(msg as u32, s, None, self.states[msg].attempt);
+            self.events.schedule(self.tick + 1, h);
             let wait = timeout + self.cfg.backoff * u64::from(self.states[msg].retries);
-            self.timers
-                .entry(self.tick + 1 + wait)
-                .or_default()
-                .push(msg);
+            self.timers.schedule(self.tick + 1 + wait, msg as u32);
         } else {
             self.messages[msg].fate = if self.cfg.max_retries > 0 {
                 MessageFate::GaveUp
@@ -639,7 +629,9 @@ impl Network {
             // A restored link delivers whatever was parked on it, in
             // FIFO order, starting next tick.
             if let Some(q) = self.parked.remove(&LinkKey::new(a, b)) {
-                self.events.entry(self.tick + 1).or_default().extend(q);
+                for h in q {
+                    self.events.schedule(self.tick + 1, h);
+                }
             }
         } else {
             self.graph.remove_edge(a, b)?;
@@ -650,12 +642,12 @@ impl Network {
         }
         self.collect_dirty(&mut dirty, a, b);
         if self.cfg.view_delay == 0 {
-            let due: BTreeSet<NodeId> = dirty.keys().copied().collect();
+            let due: Vec<NodeId> = dirty.keys().copied().collect();
             self.reprovision(&due);
         } else {
             for (&x, &d) in &dirty {
                 let when = self.tick + self.cfg.view_delay * (u64::from(d) + 1);
-                self.reprovision_at.entry(when).or_default().insert(x);
+                self.reprovision_at.schedule(when, x);
             }
         }
         Ok(true)
@@ -673,20 +665,24 @@ impl Network {
         }
     }
 
-    /// Re-extracts the views of `due` from the current topology through
-    /// one shared cache, preserving each node's traffic counters and
+    /// Re-extracts the views of `due` (sorted, deduped) from the
+    /// current topology, preserving each node's traffic counters and
     /// stamping [`SimNode::provisioned_at`].
-    fn reprovision(&mut self, due: &BTreeSet<NodeId>) {
-        if due.is_empty() {
-            return;
-        }
-        let cache = local_routing::ViewCache::new(&self.graph, self.k);
+    ///
+    /// Only the due entries of the persistent [`ViewStore`] are
+    /// invalidated and rebuilt — a wave touching three nodes costs
+    /// three view extractions, not a whole-graph cache construction.
+    /// Every other node keeps its `Arc` (and its lazily computed
+    /// routing structure), which is exactly the stale-view semantics:
+    /// a node that has not been told about a change keeps acting on
+    /// the world it last saw.
+    fn reprovision(&mut self, due: &[NodeId]) {
         for &u in due {
-            let mut fresh = SimNode::provision_from(&cache, u);
-            fresh.forwarded = self.nodes[u.index()].forwarded;
-            fresh.delivered = self.nodes[u.index()].delivered;
-            fresh.provisioned_at = self.tick;
-            self.nodes[u.index()] = fresh;
+            self.views.invalidate(u);
+        }
+        for &u in due {
+            let view = self.views.view(&self.graph, u);
+            self.nodes[u.index()].refresh(view, self.tick);
         }
     }
 }

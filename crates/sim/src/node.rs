@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use local_routing::{LocalRouter, LocalView, Packet, RoutingError, ViewCache};
+use local_routing::{LocalRouter, LocalView, Packet, RoutingError, ViewStore};
 use locality_graph::{Graph, Label, NodeId};
 
 /// One simulated network node: a label, a stored k-neighbourhood view,
@@ -29,22 +29,34 @@ impl SimNode {
     /// deployment is allowed to look outward, modelling neighbourhood
     /// discovery.
     pub fn provision(graph: &Graph, id: NodeId, k: u32) -> SimNode {
-        let cache = ViewCache::new(graph, k);
-        SimNode::provision_from(&cache, id)
+        let store = ViewStore::new(k);
+        SimNode::provision_from(&store, graph, id)
     }
 
-    /// Provisions the node through a shared [`ViewCache`], so a
+    /// Provisions the node through a shared [`ViewStore`], so a
     /// deployment provisioning every node (possibly from several
-    /// threads) extracts each view exactly once.
-    pub fn provision_from(cache: &ViewCache<'_>, id: NodeId) -> SimNode {
+    /// threads) extracts each view exactly once — and can later
+    /// [`refresh`](Self::refresh) selectively after topology changes.
+    pub fn provision_from(store: &ViewStore, graph: &Graph, id: NodeId) -> SimNode {
         SimNode {
             id,
-            label: cache.graph().label(id),
-            view: cache.view(id),
+            label: graph.label(id),
+            view: store.view(graph, id),
             forwarded: 0,
             delivered: 0,
             provisioned_at: 0,
         }
+    }
+
+    /// Swaps in a freshly extracted view, keeping the node's identity
+    /// and traffic counters, and stamps
+    /// [`provisioned_at`](Self::provisioned_at) with `now`. This is a
+    /// re-discovery of the neighbourhood, not a reboot: forwarded and
+    /// delivered counts survive, exactly as they did when re-provision
+    /// rebuilt the node wholesale.
+    pub fn refresh(&mut self, view: Arc<LocalView>, now: u64) {
+        self.view = view;
+        self.provisioned_at = now;
     }
 
     /// The node's id in the simulation.

@@ -19,6 +19,29 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> locality-lint"
 cargo run -q -p locality-lint
 
+echo "==> perfsmoke regression gate"
+# Compare the live run against the committed BENCH_perfsmoke.json
+# baseline: the n=128 delivery-matrix speedup and the simulator
+# speedup must each stay within 25% of the recorded values.
+perf_now="$(cargo run -q --release -p locality-bench --bin perfsmoke)"
+gate() { # gate <label> <current> <baseline>
+  awk -v cur="$2" -v base="$3" -v label="$1" 'BEGIN {
+    if (cur + 0 < 0.75 * base) {
+      printf "perfsmoke: %s regressed: %.2f < 0.75 * %.2f\n", label, cur, base > "/dev/stderr"
+      exit 1
+    }
+  }'
+}
+extract() { # extract <json> <key> -> last numeric value for key
+  printf '%s' "$1" | grep -o "\"$2\":[0-9.]*" | tail -n 1 | cut -d: -f2
+}
+gate delivery_matrix_speedup \
+  "$(extract "$perf_now" delivery_matrix_speedup)" \
+  "$(extract "$(cat BENCH_perfsmoke.json)" delivery_matrix_speedup)"
+gate sim_speedup \
+  "$(extract "$perf_now" sim_speedup)" \
+  "$(extract "$(cat BENCH_perfsmoke.json)" sim_speedup)"
+
 echo "==> chaos determinism smoke"
 out_a="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7)"
 out_b="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7)"
