@@ -4,16 +4,43 @@
 //! `--seed N` (default 7) and prints the one-line JSON report
 //! (redirect to `BENCH_chaos.json`). Two runs with the same seed print
 //! byte-identical JSON — `scripts/verify.sh` checks exactly that.
+//!
+//! With `--trace-out PATH` the soak also writes a deterministic JSONL
+//! trace of every storm (level set by `--trace-level
+//! off|metrics|hops|debug`, default `hops`) for `bin/tracecat` to
+//! summarise or diff. Same seed, same level → byte-identical trace,
+//! at any worker count.
+
+use locality_sim::Level;
 
 fn main() {
     let mut seed = 7u64;
+    let mut trace_out: Option<String> = None;
+    let mut level = Level::Hops;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--seed" {
-            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                seed = v;
+        match a.as_str() {
+            "--seed" => {
+                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
             }
+            "--trace-out" => trace_out = args.next(),
+            "--trace-level" => {
+                if let Some(l) = args.next().as_deref().and_then(Level::from_name) {
+                    level = l;
+                }
+            }
+            _ => {}
         }
     }
-    println!("{}", locality_bench::chaos::report(seed));
+    let (json, trace) =
+        locality_bench::chaos::report_with_trace(seed, trace_out.as_ref().map(|_| level));
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, &trace) {
+            eprintln!("chaos: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("{json}");
 }

@@ -5,15 +5,37 @@
 //! k = ⌈n/4⌉ (every target visible, every message delivered — the
 //! routed work is identical before and after any scheduler change).
 //! Feeds the before/after table in `EXPERIMENTS.md`.
+//!
+//! `--trace-out PATH` additionally re-runs each size with a recorder
+//! attached (level from `--trace-level`, default `metrics`) and writes
+//! the concatenated JSONL traces. The traced re-runs are separate so
+//! that the printed throughput numbers always time the untraced
+//! configuration.
 
 use local_routing::{Alg1, LocalRouter};
-use locality_bench::simbench::sim_throughput;
+use locality_bench::simbench::{sim_throughput, sim_throughput_traced};
+use locality_sim::{Level, Recorder};
 
 const MESSAGES: usize = 4096;
 const SEED: u64 = 42;
+const SIZES: [usize; 3] = [128, 512, 2048];
 
 fn main() {
-    let rows: Vec<String> = [128usize, 512, 2048]
+    let mut trace_out: Option<String> = None;
+    let mut level = Level::Metrics;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => trace_out = args.next(),
+            "--trace-level" => {
+                if let Some(l) = args.next().as_deref().and_then(Level::from_name) {
+                    level = l;
+                }
+            }
+            _ => {}
+        }
+    }
+    let rows: Vec<String> = SIZES
         .into_iter()
         .map(|n| {
             let r = sim_throughput(n, Alg1.min_locality(n), MESSAGES, SEED, Alg1);
@@ -32,6 +54,27 @@ fn main() {
             )
         })
         .collect();
+    if let Some(path) = trace_out {
+        let mut bytes = Vec::new();
+        for n in SIZES {
+            bytes.extend_from_slice(
+                format!("{{\"seq\":0,\"tick\":0,\"ev\":\"trial\",\"n\":{n}}}\n").as_bytes(),
+            );
+            let (_, trace) = sim_throughput_traced(
+                n,
+                Alg1.min_locality(n),
+                MESSAGES,
+                SEED,
+                Alg1,
+                Some(Recorder::new(level)),
+            );
+            bytes.extend_from_slice(&trace);
+        }
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("simbench: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
         "{{\"bench\":\"simbench\",\"seed\":{},\"rows\":[{}]}}",
         SEED,

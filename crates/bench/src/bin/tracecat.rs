@@ -1,0 +1,205 @@
+//! Trace inspector for the deterministic JSONL traces written by
+//! `bin/chaos`, `bin/simbench`, and `bin/perfsmoke` via `--trace-out`.
+//!
+//! Two modes:
+//!
+//! * `tracecat summary FILE [--top K]` — per-tick activity timeline,
+//!   fate breakdown, and the top-K slowest delivered routes, all
+//!   reconstructed from the event stream.
+//! * `tracecat diff A B` — byte-level comparison of two traces that
+//!   reports the **first diverging event** (line number plus both
+//!   lines) or certifies zero divergence. Because traces are pure
+//!   functions of the seed, two runs of the same seed must diff clean —
+//!   `scripts/verify.sh` checks exactly that.
+//!
+//! Exit status: 0 on success / identical traces, 1 on usage or I/O
+//! errors, 2 when `diff` finds a divergence.
+
+use locality_obs::{collect_witnesses, parse_trace, Json, RouteWitness};
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("tracecat: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse(path: &str, text: &str) -> Vec<Json> {
+    match parse_trace(text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("tracecat: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Counts per event kind on one tick, for the timeline.
+#[derive(Default)]
+struct TickRow {
+    sends: u64,
+    hops: u64,
+    delivers: u64,
+    losses: u64,
+    retries: u64,
+    faults: u64,
+}
+
+impl TickRow {
+    fn total(&self) -> u64 {
+        self.sends + self.hops + self.delivers + self.losses + self.retries + self.faults
+    }
+}
+
+fn summary(path: &str, top: usize) {
+    let text = read(path);
+    let events = parse(path, &text);
+    let witnesses = collect_witnesses(&events);
+
+    // Per-tick timeline. Ticks are dense and small, so a Vec indexed
+    // by tick keeps the pass deterministic and allocation-light.
+    let mut rows: Vec<(u64, TickRow)> = Vec::new();
+    let mut trials = 0u64;
+    for ev in &events {
+        let Some(kind) = ev.str_of("ev") else {
+            continue;
+        };
+        if kind == "trial" {
+            trials += 1;
+            continue;
+        }
+        let tick = ev.u64_of("tick").unwrap_or(0);
+        let row = match rows.last_mut() {
+            Some((t, row)) if *t == tick => row,
+            _ => {
+                rows.push((tick, TickRow::default()));
+                &mut rows.last_mut().expect("just pushed").1
+            }
+        };
+        match kind {
+            "send" => row.sends += 1,
+            "hop" => row.hops += 1,
+            "deliver" => row.delivers += 1,
+            "lost" => row.losses += 1,
+            "retry" => row.retries += 1,
+            "fault" => row.faults += 1,
+            _ => {}
+        }
+    }
+
+    println!("trace   {path}");
+    println!(
+        "events  {} ({} trial section(s), {} witnesses)",
+        events.len(),
+        trials.max(1),
+        witnesses.len()
+    );
+
+    // Fate breakdown.
+    let mut fates: Vec<(String, u64)> = Vec::new();
+    for w in &witnesses {
+        let tag = w.fate.clone().unwrap_or_else(|| "in_flight".to_string());
+        match fates.iter_mut().find(|(name, _)| *name == tag) {
+            Some((_, n)) => *n += 1,
+            None => fates.push((tag, 1)),
+        }
+    }
+    fates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("fates");
+    for (tag, n) in &fates {
+        println!("  {tag:<10} {n}");
+    }
+
+    // Timeline: the busiest ticks, in time order, capped so a long
+    // soak stays readable.
+    const TIMELINE_ROWS: usize = 20;
+    let mut busiest: Vec<usize> = (0..rows.len()).collect();
+    busiest.sort_by_key(|&i| std::cmp::Reverse(rows[i].1.total()));
+    busiest.truncate(TIMELINE_ROWS);
+    busiest.sort_unstable();
+    println!(
+        "timeline (top {} of {} active ticks)",
+        busiest.len(),
+        rows.len()
+    );
+    println!("  tick   sends  hops  deliv  lost  retry  fault");
+    for i in busiest {
+        let (tick, r) = &rows[i];
+        println!(
+            "  {tick:<6} {:<6} {:<5} {:<6} {:<5} {:<6} {}",
+            r.sends, r.hops, r.delivers, r.losses, r.retries, r.faults
+        );
+    }
+
+    // Top-K slowest delivered routes, by end-to-end latency.
+    let mut slow: Vec<&RouteWitness> = witnesses.iter().filter(|w| w.delivered()).collect();
+    slow.sort_by_key(|w| std::cmp::Reverse((w.latency().unwrap_or(0), w.msg)));
+    slow.truncate(top);
+    println!("slowest delivered routes (top {})", slow.len());
+    println!("  msg    s->t       hops  retries  latency");
+    for w in slow {
+        println!(
+            "  {:<6} {:>3}->{:<5} {:<5} {:<8} {}",
+            w.msg,
+            w.s,
+            w.t,
+            w.route().len().saturating_sub(1),
+            w.retries,
+            w.latency().unwrap_or(0)
+        );
+    }
+}
+
+fn diff(a_path: &str, b_path: &str) {
+    let (a, b) = (read(a_path), read(b_path));
+    if a == b {
+        println!(
+            "zero divergence: {} event(s), {} byte(s)",
+            a.lines().filter(|l| !l.trim().is_empty()).count(),
+            a.len()
+        );
+        return;
+    }
+    let mut b_lines = b.lines();
+    for (i, la) in a.lines().enumerate() {
+        let lb = b_lines.next();
+        if Some(la) != lb {
+            println!("first divergence at event {} :", i + 1);
+            println!("  {a_path}: {la}");
+            println!("  {b_path}: {}", lb.unwrap_or("<end of trace>"));
+            std::process::exit(2);
+        }
+    }
+    // A is a strict prefix of B.
+    let extra = b.lines().count() - a.lines().count();
+    println!("first divergence at event {} :", a.lines().count() + 1);
+    println!("  {a_path}: <end of trace>");
+    println!("  {b_path}: {extra} extra event(s)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summary") if args.len() >= 2 => {
+            let mut top = 5usize;
+            let mut it = args.iter().skip(2);
+            while let Some(a) = it.next() {
+                if a == "--top" {
+                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                        top = v;
+                    }
+                }
+            }
+            summary(&args[1], top);
+        }
+        Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
+        _ => {
+            eprintln!("usage: tracecat summary FILE [--top K] | tracecat diff A B");
+            std::process::exit(1);
+        }
+    }
+}

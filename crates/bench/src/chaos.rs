@@ -19,8 +19,8 @@ use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, Graph, NodeId};
 use locality_sim::{
-    driver, ChurnConfig, DeadLinkPolicy, FaultConfig, FaultPlan, LinkProfile, NetworkBuilder,
-    NetworkMetrics,
+    driver, ChurnConfig, DeadLinkPolicy, FaultConfig, FaultPlan, Level, LinkProfile,
+    NetworkBuilder, NetworkMetrics, Recorder,
 };
 
 const N: usize = 48;
@@ -61,6 +61,7 @@ struct SoakReport {
     m: NetworkMetrics,
     p50: u64,
     p99: u64,
+    trace: Vec<u8>,
 }
 
 impl SoakReport {
@@ -103,16 +104,20 @@ fn soak(
     router: Box<dyn LocalRouter>,
     name: &'static str,
     seed: u64,
+    trace: Option<Level>,
 ) -> SoakReport {
     let plan = FaultPlan::random_churn(
         g,
         &churn_config(),
         &mut DetRng::seed_from_u64(seed ^ 0xFA417),
     );
-    let mut net = NetworkBuilder::new(g, k)
+    let mut b = NetworkBuilder::new(g, k)
         .faults(fault_config(seed))
-        .fault_plan(plan)
-        .build(router);
+        .fault_plan(plan);
+    if let Some(level) = trace {
+        b = b.recorder(Recorder::new(level));
+    }
+    let mut net = b.build(router);
     let mut traffic = DetRng::seed_from_u64(seed ^ 0xC0FFEE);
     let n = g.node_count() as u32;
     for _ in 0..ROUNDS {
@@ -141,12 +146,14 @@ fn soak(
             lats.get((lats.len() - 1) * 99 / 100).copied().unwrap_or(0),
         )
     };
+    let trace = net.finish_trace();
     SoakReport {
         name,
         k,
         m,
         p50,
         p99,
+        trace,
     }
 }
 
@@ -171,6 +178,29 @@ fn router_by_name(name: &str) -> Box<dyn LocalRouter> {
 /// [`driver::run_trials`], whose in-order merge keeps the JSON
 /// byte-identical at any worker count.
 pub fn report(seed: u64) -> String {
+    report_with_trace(seed, None).0
+}
+
+/// [`report`] plus an optional JSONL trace of every storm.
+///
+/// When `trace` is set, each of the eleven trials runs with its own
+/// [`Recorder`]; the returned bytes are the per-trial traces in trial
+/// order, each preceded by a `{"ev":"trial",...}` header line. Because
+/// recorders are per-trial and [`driver::run_trials`] merges in trial
+/// order, the bytes are identical at any worker count — the trace
+/// determinism test pins exactly that.
+pub fn report_with_trace(seed: u64, trace: Option<Level>) -> (String, Vec<u8>) {
+    report_with_trace_threads(seed, trace, driver::default_threads())
+}
+
+/// [`report_with_trace`] at an explicit worker count. Output is a pure
+/// function of `(seed, trace)` — `threads` only changes wall-clock
+/// time, and the trace-determinism test pins 1 vs N byte-identical.
+pub fn report_with_trace_threads(
+    seed: u64,
+    trace: Option<Level>,
+    threads: usize,
+) -> (String, Vec<u8>) {
     let g = generators::random_connected(N, EXTRA_EDGES, &mut DetRng::seed_from_u64(seed));
 
     // (name, k, is_sweep_row): six routers at their own minimum
@@ -194,27 +224,37 @@ pub fn report(seed: u64) -> String {
             .map(|k| ("algorithm-3", k, true)),
     );
 
-    let rendered = driver::run_trials(
-        &trials,
-        driver::default_threads(),
-        |_, &(name, k, is_sweep)| {
-            let r = soak(&g, k, router_by_name(name), name, seed);
-            if is_sweep {
+    let rendered = driver::run_trials(&trials, threads, |_, &(name, k, is_sweep)| {
+        let r = soak(&g, k, router_by_name(name), name, seed, trace);
+        let json = if is_sweep {
+            format!(
+                "{{\"k\":{},\"delivery_ratio\":{:.4},\"delivered\":{},\"sent\":{},\"retries\":{}}}",
+                k,
+                r.m.delivery_ratio(),
+                r.m.delivered,
+                r.m.sent,
+                r.m.retries,
+            )
+        } else {
+            r.json()
+        };
+        (json, r.trace)
+    });
+    let mut bytes = Vec::new();
+    if trace.is_some() {
+        for ((name, k, _), (_, t)) in trials.iter().zip(&rendered) {
+            bytes.extend_from_slice(
                 format!(
-                    "{{\"k\":{},\"delivery_ratio\":{:.4},\"delivered\":{},\"sent\":{},\"retries\":{}}}",
-                    k,
-                    r.m.delivery_ratio(),
-                    r.m.delivered,
-                    r.m.sent,
-                    r.m.retries,
+                    "{{\"seq\":0,\"tick\":0,\"ev\":\"trial\",\"router\":\"{name}\",\"k\":{k}}}\n"
                 )
-            } else {
-                r.json()
-            }
-        },
-    );
+                .as_bytes(),
+            );
+            bytes.extend_from_slice(t);
+        }
+    }
+    let rendered: Vec<String> = rendered.into_iter().map(|(json, _)| json).collect();
     let (body, sweep) = rendered.split_at(6);
-    format!(
+    let json = format!(
         concat!(
             "{{\"bench\":\"chaos\",\"seed\":{},\"n\":{},\"graph\":\"random_connected\",",
             "\"loss\":0.03,\"view_delay\":2,\"timeout\":{},\"max_retries\":3,",
@@ -225,5 +265,6 @@ pub fn report(seed: u64) -> String {
         4 * N,
         body.join(","),
         sweep.join(","),
-    )
+    );
+    (json, bytes)
 }

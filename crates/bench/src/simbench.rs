@@ -21,7 +21,7 @@ use std::time::Instant;
 use local_routing::LocalRouter;
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, NodeId};
-use locality_sim::NetworkBuilder;
+use locality_sim::{NetworkBuilder, Recorder};
 
 /// Sends per round; a new round starts every four ticks.
 const BATCH: usize = 32;
@@ -67,8 +67,28 @@ pub fn sim_throughput(
     seed: u64,
     router: impl LocalRouter + 'static,
 ) -> SimThroughput {
+    sim_throughput_traced(n, k, messages, seed, router, None).0
+}
+
+/// [`sim_throughput`] with an optional recorder attached to the
+/// network. Returns the throughput plus the flushed trace bytes
+/// (empty when `recorder` is `None`). Passing `Recorder::off()`
+/// measures the cost of an *attached-but-disabled* recorder — the
+/// quantity `bin/perfsmoke` gates at ≤ 2% overhead.
+pub fn sim_throughput_traced(
+    n: usize,
+    k: u32,
+    messages: usize,
+    seed: u64,
+    router: impl LocalRouter + 'static,
+    recorder: Option<Recorder>,
+) -> (SimThroughput, Vec<u8>) {
     let g = generators::random_connected(n, n / 2, &mut DetRng::seed_from_u64(seed));
-    let mut net = NetworkBuilder::new(&g, k).build(router);
+    let mut b = NetworkBuilder::new(&g, k);
+    if let Some(rec) = recorder {
+        b = b.recorder(rec);
+    }
+    let mut net = b.build(router);
     let mut traffic = DetRng::seed_from_u64(seed ^ 0x7AFF1C);
     let start = Instant::now();
     let mut sent = 0usize;
@@ -87,14 +107,18 @@ pub fn sim_throughput(
     let elapsed_ns = start.elapsed().as_nanos() as u64;
     let hops: u64 = net.records().iter().map(|r| r.hops() as u64).sum();
     let delivered = net.records().iter().filter(|r| r.delivered()).count();
-    SimThroughput {
-        n,
-        k,
-        messages: net.records().len(),
-        delivered,
-        hops,
-        elapsed_ns,
-    }
+    let trace = net.finish_trace();
+    (
+        SimThroughput {
+            n,
+            k,
+            messages: net.records().len(),
+            delivered,
+            hops,
+            elapsed_ns,
+        },
+        trace,
+    )
 }
 
 /// Replays the exact workload of [`sim_throughput`] (same graph, same
@@ -141,5 +165,20 @@ mod tests {
         assert_eq!(r.delivered, r.messages);
         assert!(r.hops > 0);
         assert!(r.hops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn traced_probe_does_identical_work() {
+        use locality_sim::{Level, Recorder};
+        let k = Alg1.min_locality(32);
+        let plain = sim_throughput(32, k, 200, 7, Alg1);
+        let (traced, bytes) =
+            sim_throughput_traced(32, k, 200, 7, Alg1, Some(Recorder::new(Level::Hops)));
+        assert_eq!(plain.hops, traced.hops);
+        assert_eq!(plain.delivered, traced.delivered);
+        assert!(!bytes.is_empty());
+        // An attached-but-off recorder produces no bytes at all.
+        let (_, off) = sim_throughput_traced(32, k, 200, 7, Alg1, Some(Recorder::off()));
+        assert!(off.is_empty());
     }
 }

@@ -9,6 +9,7 @@
 #![allow(clippy::disallowed_types)]
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use locality_graph::{traversal, Graph, NodeId};
@@ -213,6 +214,25 @@ impl<'g> ViewCache<'g> {
 pub struct ViewStore {
     k: u32,
     shards: Vec<RwLock<HashMap<NodeId, Arc<LocalView>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Cumulative effectiveness counters of a [`ViewStore`]: how often a
+/// lookup was served from cache (`hits`) versus extracted (`misses`),
+/// and how many invalidations actually evicted an entry. Relaxed
+/// atomics — the counts are exact under the store's own locking (every
+/// miss holds the shard write lock), only their *reads* are racy, and
+/// the simulator reads them once, after a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStoreStats {
+    /// Lookups served from an existing entry.
+    pub hits: u64,
+    /// Lookups that extracted a fresh view.
+    pub misses: u64,
+    /// Invalidations that evicted a cached entry.
+    pub invalidations: u64,
 }
 
 impl ViewStore {
@@ -223,6 +243,18 @@ impl ViewStore {
             shards: (0..VIEW_CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the cumulative hit/miss/invalidation counters.
+    pub fn stats(&self) -> ViewStoreStats {
+        ViewStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -257,13 +289,20 @@ impl ViewStore {
     pub fn view(&self, graph: &Graph, u: NodeId) -> Arc<LocalView> {
         let shard = self.shard_of(u);
         if let Some(v) = shard.read().unwrap_or_else(PoisonError::into_inner).get(&u) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(v);
         }
         let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
-        Arc::clone(
-            map.entry(u)
-                .or_insert_with(|| Arc::new(LocalView::extract(graph, u, self.k))),
-        )
+        // Double-checked: a racing thread may have extracted while we
+        // waited for the write lock — that is a hit, not a miss.
+        if let Some(v) = map.get(&u) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(LocalView::extract(graph, u, self.k));
+        map.insert(u, Arc::clone(&v));
+        v
     }
 
     /// Drops the cached view at `u`, forcing re-extraction on the next
@@ -272,11 +311,16 @@ impl ViewStore {
     /// the simulator wants for nodes that have not yet been told about
     /// a topology change.
     pub fn invalidate(&self, u: NodeId) -> bool {
-        self.shard_of(u)
+        let evicted = self
+            .shard_of(u)
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .remove(&u)
-            .is_some()
+            .is_some();
+        if evicted {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        evicted
     }
 }
 

@@ -27,6 +27,11 @@
 //!   `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` (or a
 //!   documented opt-out), and the workspace `clippy.toml` co-enforces
 //!   R2/R3 natively.
+//! * **R5 silent libraries** — library code may not write to
+//!   stdout/stderr (`println!`, `eprintln!`, `print!`, `eprint!`):
+//!   observability goes through the `locality-obs` recorder, whose
+//!   output is deterministic and machine-readable. Binaries, tests,
+//!   benches, and examples are exempt.
 
 use crate::scan;
 
@@ -44,6 +49,8 @@ pub enum Rule {
     R3i,
     /// Missing crate-level lint hygiene.
     R4,
+    /// Direct stdout/stderr writes in library code.
+    R5,
 }
 
 impl Rule {
@@ -55,6 +62,7 @@ impl Rule {
             Rule::R3 => "R3",
             Rule::R3i => "R3i",
             Rule::R4 => "R4",
+            Rule::R5 => "R5",
         }
     }
 
@@ -66,6 +74,7 @@ impl Rule {
             "R3" => Some(Rule::R3),
             "R3i" => Some(Rule::R3i),
             "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
             _ => None,
         }
     }
@@ -154,8 +163,10 @@ pub const R1_FILES: &[&str] = &[
     "crates/core/src/position.rs",
 ];
 
-/// Crates whose outputs must be bit-reproducible (R2).
-pub const R2_CRATES: &[&str] = &["graph", "core", "adversary"];
+/// Crates whose outputs must be bit-reproducible (R2). The tracing
+/// layer (`obs`) is included: a trace is only useful as a golden or a
+/// diff target if the bytes are a pure function of the run.
+pub const R2_CRATES: &[&str] = &["graph", "core", "adversary", "obs"];
 
 /// Files whose randomness may come only from the in-repo `DetRng`
 /// (R2's randomness-source arm). Fault injection and the chaos soak
@@ -212,6 +223,7 @@ const R2_RNG_IDENTS: &[(&str, &str)] = &[
 
 const R3_CALLS: &[&str] = &["unwrap", "expect"];
 const R3_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const R5_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
 /// Keywords that may directly precede `[` without forming an index
 /// expression (`let [a, b] = ..`, `&mut [T]`, ..).
@@ -269,6 +281,9 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
         if r3 {
             check_r3(masked_line, &idents, &mut push);
             check_r3i(masked_line, &idents, &mut push);
+        }
+        if class == FileClass::Lib {
+            check_r5(masked_line, &idents, &mut push);
         }
     }
     out
@@ -339,6 +354,21 @@ fn check_r3(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(R
             push(
                 Rule::R3,
                 format!("`{tok}!` panics in library code; return a typed error or allowlist with a justification"),
+            );
+        }
+    }
+}
+
+fn check_r5(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+    for &(off, tok) in idents {
+        let next = scan::next_nonspace(masked_line, off + tok.len()).map(|(_, b)| b);
+        if R5_MACROS.contains(&tok) && next == Some(b'!') {
+            push(
+                Rule::R5,
+                format!(
+                    "`{tok}!` writes to stdout/stderr from library code; emit through the \
+                     locality-obs recorder or allowlist with a justification"
+                ),
             );
         }
     }
@@ -594,6 +624,22 @@ mod tests {
                    fn f(s: &S) -> Vec<u32> { let [x, y] = [1u32, 2]; vec![x, y] }\n\
                    fn g(v: &mut [u32]) {}\n";
         assert!(check_file("crates/sim/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r5_catches_stdout_writes_in_lib_code_only() {
+        let src = "fn f() { println!(\"hi\"); }\nfn g() { eprintln!(\"err\"); }\n\
+                   fn h() { print!(\"x\"); eprint!(\"y\"); }\n";
+        let v = check_file("crates/sim/src/foo.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::R5, Rule::R5, Rule::R5, Rule::R5]);
+        // Binaries, tests, and examples stay free to print.
+        assert!(check_file("crates/bench/src/bin/foo.rs", src).is_empty());
+        assert!(check_file("crates/lint/src/main.rs", src).is_empty());
+        assert!(check_file("tests/foo.rs", src).is_empty());
+        assert!(check_file("examples/foo.rs", src).is_empty());
+        // A `println` identifier without `!` (e.g. a doc mention) is fine.
+        let ok = "fn f() { let println = 3; let _ = println; }\n";
+        assert!(check_file("crates/sim/src/foo.rs", ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Fixed-footprint power-of-two-bucket histograms.
+//!
+//! A [`PowHistogram`] buckets a `u64` observation `v` by its bit
+//! length: bucket 0 holds exactly `0`, bucket `i ≥ 1` holds
+//! `2^(i-1) ..= 2^i - 1`. 65 buckets therefore cover the whole `u64`
+//! range in a flat 520-byte array — no allocation on the observe path,
+//! O(1) merge, and quantiles computed with integer arithmetic only
+//! (rule R2 bans NaN-unstable float comparisons from this crate, and a
+//! histogram that shows up in goldens must render identically on every
+//! platform).
+//!
+//! Quantiles are *bucket-resolution* upper bounds: `percentile(p)`
+//! finds the bucket containing the rank-`⌈count·p/100⌉` observation and
+//! reports that bucket's upper bound, clamped to the exact observed
+//! maximum. For hop counts and queue depths (small integers, exact max
+//! tracked separately) this is tight enough to gate on.
+
+use std::fmt;
+
+const BUCKETS: usize = 65;
+
+/// A power-of-two-bucket histogram over `u64` observations.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PowHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for PowHistogram {
+    fn default() -> Self {
+        PowHistogram::new()
+    }
+}
+
+impl PowHistogram {
+    /// An empty histogram.
+    pub fn new() -> PowHistogram {
+        PowHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `v`: its bit length.
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The upper bound of bucket `i` (inclusive).
+    fn bucket_hi(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The lower bound of bucket `i` (inclusive).
+    fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        if let Some(slot) = self.counts.get_mut(Self::bucket(v)) {
+            *slot += 1;
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Mean observation, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The bucket-resolution `p`-th percentile (`p` in `1..=100`):
+    /// the upper bound of the bucket holding the observation of rank
+    /// `⌈count·p/100⌉`, clamped to the observed maximum. `None` when
+    /// empty or `p` is out of range.
+    pub fn percentile(&self, p: u8) -> Option<u64> {
+        if self.total == 0 || p == 0 || p > 100 {
+            return None;
+        }
+        let rank = (self.total * u64::from(p)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_hi(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The median (bucket resolution).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50)
+    }
+
+    /// The 95th percentile (bucket resolution).
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(95)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &PowHistogram) {
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, in increasing order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lo(i), Self::bucket_hi(i), c))
+    }
+}
+
+impl fmt::Debug for PowHistogram {
+    /// Compact, golden-stable rendering:
+    /// `p2{n=12 sum=40 min=1 p50=3 p95=7 max=9}` (or `p2{empty}`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total == 0 {
+            return write!(f, "p2{{empty}}");
+        }
+        write!(
+            f,
+            "p2{{n={} sum={} min={} p50={} p95={} max={}}}",
+            self.total,
+            self.sum,
+            self.min,
+            self.p50().unwrap_or(0),
+            self.p95().unwrap_or(0),
+            self.max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = PowHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(format!("{h:?}"), "p2{empty}");
+    }
+
+    #[test]
+    fn buckets_are_bit_length() {
+        assert_eq!(PowHistogram::bucket(0), 0);
+        assert_eq!(PowHistogram::bucket(1), 1);
+        assert_eq!(PowHistogram::bucket(2), 2);
+        assert_eq!(PowHistogram::bucket(3), 2);
+        assert_eq!(PowHistogram::bucket(4), 3);
+        assert_eq!(PowHistogram::bucket(u64::MAX), 64);
+        assert_eq!(PowHistogram::bucket_hi(64), u64::MAX);
+        assert_eq!(PowHistogram::bucket_lo(64), 1 << 63);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds_clamped_to_max() {
+        let mut h = PowHistogram::new();
+        for v in [1u64, 2, 3, 5, 9] {
+            h.observe(v);
+        }
+        // Ranks: p50 -> rank 3 -> value 3 lives in bucket [2,3] -> 3.
+        assert_eq!(h.p50(), Some(3));
+        // p95 -> rank 5 -> bucket [8,15], clamped to max 9.
+        assert_eq!(h.p95(), Some(9));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(format!("{h:?}"), "p2{n=5 sum=20 min=1 p50=3 p95=9 max=9}");
+    }
+
+    #[test]
+    fn zeros_land_in_their_own_bucket() {
+        let mut h = PowHistogram::new();
+        h.observe(0);
+        h.observe(0);
+        h.observe(1);
+        assert_eq!(h.p50(), Some(0));
+        assert_eq!(h.percentile(100), Some(1));
+        let b: Vec<_> = h.buckets().collect();
+        assert_eq!(b, vec![(0, 0, 2), (1, 1, 1)]);
+    }
+
+    #[test]
+    fn merge_matches_joint_observation() {
+        let mut a = PowHistogram::new();
+        let mut b = PowHistogram::new();
+        let mut joint = PowHistogram::new();
+        for v in 0..100u64 {
+            if v % 3 == 0 {
+                a.observe(v * 7)
+            } else {
+                b.observe(v * 7)
+            }
+            joint.observe(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range() {
+        let mut h = PowHistogram::new();
+        h.observe(4);
+        assert_eq!(h.percentile(0), None);
+        assert_eq!(h.percentile(101), None);
+        assert_eq!(h.percentile(1), Some(4));
+        assert_eq!(h.percentile(100), Some(4));
+    }
+}

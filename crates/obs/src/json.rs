@@ -1,0 +1,495 @@
+//! Hand-rolled JSON: an escaping writer for deterministic JSONL
+//! emission and a minimal recursive-descent parser for reading traces
+//! back.
+//!
+//! Zero dependencies is a design constraint, not an accident: the
+//! observability layer must be importable from every crate in the
+//! workspace (including the bit-reproducible ones) without dragging in
+//! serde's proc-macro stack, and its output must be deterministic down
+//! to the byte. The writer therefore emits keys in exactly the order
+//! the caller pushes them, formats only integers and escaped strings
+//! (no floats on the emission path — float formatting is where
+//! cross-platform byte drift creeps in), and appends `\n`-terminated
+//! lines to a caller-owned buffer.
+//!
+//! The parser accepts general JSON (objects, arrays, strings, bools,
+//! null, and both integer and float numbers) because `tracecat` also
+//! digests the chaos soak's summary JSON, which contains ratios.
+
+use std::fmt;
+use std::io::Write as _;
+
+/// Appends the canonical decimal rendering of `v` to `buf`.
+#[inline]
+pub fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    // io::Write on Vec<u8> is infallible.
+    let _ = write!(buf, "{v}");
+}
+
+/// Appends the canonical decimal rendering of `v` to `buf`.
+#[inline]
+pub fn push_i64(buf: &mut Vec<u8>, v: i64) {
+    let _ = write!(buf, "{v}");
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `buf`.
+pub fn push_str(buf: &mut Vec<u8>, s: &str) {
+    buf.push(b'"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.extend_from_slice(b"\\\""),
+            '\\' => buf.extend_from_slice(b"\\\\"),
+            '\n' => buf.extend_from_slice(b"\\n"),
+            '\r' => buf.extend_from_slice(b"\\r"),
+            '\t' => buf.extend_from_slice(b"\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => {
+                let mut tmp = [0u8; 4];
+                buf.extend_from_slice(c.encode_utf8(&mut tmp).as_bytes());
+            }
+        }
+    }
+    buf.push(b'"');
+}
+
+/// A parsed JSON value. Integers that fit `i64` are kept exact in
+/// [`Json::Int`]; everything else numeric falls back to [`Json::Num`].
+/// Object keys keep their textual order (and duplicates), which makes
+/// a reparse of writer output structurally faithful.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fit `i64` exactly.
+    Int(i64),
+    /// Any other number (floats, and integers beyond `i64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order of appearance.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the byte offset of the first
+    /// problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(JsonError {
+                at: p.at,
+                what: "trailing garbage after the document",
+            });
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object (first match wins); `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Shorthand: `self.get(key).and_then(Json::as_u64)`.
+    pub fn u64_of(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+
+    /// Shorthand: `self.get(key).and_then(Json::as_str)`.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+}
+
+/// A parse failure at a byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What the parser expected or rejected.
+    pub what: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8, what: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(JsonError { at: self.at, what })
+        }
+    }
+
+    fn literal(&mut self, lit: &str, what: &'static str) -> Result<(), JsonError> {
+        let end = self.at + lit.len();
+        if self.bytes.get(self.at..end) == Some(lit.as_bytes()) {
+            self.at = end;
+            Ok(())
+        } else {
+            Err(JsonError { at: self.at, what })
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self
+                .literal("true", "expected `true`")
+                .map(|()| Json::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "expected `false`")
+                .map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null", "expected `null`").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError {
+                at: self.at,
+                what: "expected a JSON value",
+            }),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect_byte(b'{', "expected `{`")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => {
+                    return Err(JsonError {
+                        at: self.at,
+                        what: "expected `,` or `}` in object",
+                    })
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect_byte(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(JsonError {
+                        at: self.at,
+                        what: "expected `,` or `]` in array",
+                    })
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect_byte(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.at;
+            // Fast path: a run of plain bytes.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.at += 1;
+            }
+            if self.at > start {
+                let chunk = self
+                    .bytes
+                    .get(start..self.at)
+                    .and_then(|raw| std::str::from_utf8(raw).ok())
+                    .ok_or(JsonError {
+                        at: start,
+                        what: "invalid UTF-8 in string",
+                    })?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    self.escape(&mut out)?;
+                }
+                _ => {
+                    return Err(JsonError {
+                        at: self.at,
+                        what: "unterminated string",
+                    })
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let b = self.peek().ok_or(JsonError {
+            at: self.at,
+            what: "unterminated escape",
+        })?;
+        self.at += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let code = self.hex4()?;
+                // Surrogate pairs: a leading surrogate must be followed
+                // by `\u` + trailing surrogate.
+                let c = if (0xD800..0xDC00).contains(&code) {
+                    self.literal("\\u", "expected trailing surrogate")?;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(JsonError {
+                            at: self.at,
+                            what: "invalid trailing surrogate",
+                        });
+                    }
+                    let joined = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(joined)
+                } else {
+                    char::from_u32(code)
+                };
+                out.push(c.ok_or(JsonError {
+                    at: self.at,
+                    what: "escape is not a scalar value",
+                })?);
+            }
+            _ => {
+                return Err(JsonError {
+                    at: self.at.saturating_sub(1),
+                    what: "unknown escape",
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().and_then(|b| (b as char).to_digit(16));
+            match d {
+                Some(d) => {
+                    code = code * 16 + d;
+                    self.at += 1;
+                }
+                None => {
+                    return Err(JsonError {
+                        at: self.at,
+                        what: "expected 4 hex digits",
+                    })
+                }
+            }
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.at)
+            .and_then(|raw| std::str::from_utf8(raw).ok())
+            .unwrap_or("");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            at: start,
+            what: "malformed number",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_escapes_and_formats() {
+        let mut buf = Vec::new();
+        push_str(&mut buf, "a\"b\\c\nd\u{1}é");
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "\"a\\\"b\\\\c\\nd\\u0001é\""
+        );
+        let mut buf = Vec::new();
+        push_u64(&mut buf, 18446744073709551615);
+        push_i64(&mut buf, -42);
+        assert_eq!(String::from_utf8(buf).unwrap(), "18446744073709551615-42");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-17").unwrap(), Json::Int(-17));
+        assert_eq!(Json::parse("3.5").unwrap(), Json::Num(3.5));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_lookup() {
+        let v = Json::parse(r#"{"a":[1,2,{"b":"x"}],"n":null}"#).unwrap();
+        assert_eq!(v.u64_of("n"), None);
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].str_of("b"), Some("x"));
+    }
+
+    #[test]
+    fn round_trips_writer_output() {
+        let mut buf = Vec::new();
+        buf.push(b'{');
+        push_str(&mut buf, "ev");
+        buf.push(b':');
+        push_str(&mut buf, "hop\n\"quoted\"");
+        buf.extend_from_slice(b",\"n\":");
+        push_u64(&mut buf, 9000);
+        buf.push(b'}');
+        let text = String::from_utf8(buf).unwrap();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.str_of("ev"), Some("hop\n\"quoted\""));
+        assert_eq!(v.u64_of("n"), Some(9000));
+    }
+
+    #[test]
+    fn parses_escapes_and_surrogates() {
+        let v = Json::parse(r#""é😀\t""#).unwrap();
+        assert_eq!(v, Json::Str("é😀\t".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"abc").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! A deterministic registry of named counters, gauges, and histograms.
+//!
+//! Instrumented code updates metrics by `&'static str` name (every
+//! instrumentation point in the workspace uses a literal); the
+//! registry stores them in `BTreeMap`s so a dump walks names in sorted
+//! order — the iteration-order guarantee that makes a metrics flush
+//! byte-identical run to run. This is the "registry" half of the
+//! recorder: high-frequency facts (cache hits, wheel occupancy, queue
+//! depths) are aggregated here in O(log n) per update and emitted once
+//! per flush, while discrete facts (hops, faults, fates) go straight to
+//! the event stream.
+
+use std::collections::BTreeMap;
+
+use crate::hist::PowHistogram;
+use crate::json;
+
+/// Named counters, gauges, and [`PowHistogram`]s.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    hists: BTreeMap<&'static str, PowHistogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Adds `by` to the counter `name`.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &'static str, v: i64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Raises the gauge `name` to `v` if `v` is larger (high-water
+    /// marks).
+    pub fn gauge_max(&mut self, name: &'static str, v: i64) {
+        let slot = self.gauges.entry(name).or_insert(v);
+        *slot = (*slot).max(v);
+    }
+
+    /// Records `v` into the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().observe(v);
+    }
+
+    /// The current value of counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if observed.
+    pub fn hist(&self, name: &str) -> Option<&PowHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Folds another registry into this one (counters add, gauges take
+    /// the max — registries are merged across trials, where high-water
+    /// semantics are the useful ones — histograms merge bucketwise).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (&name, &v) in &other.counters {
+            self.inc(name, v);
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauge_max(name, v);
+        }
+        for (&name, h) in &other.hists {
+            self.hists.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Appends one JSONL event per metric to `buf`, in sorted name
+    /// order: `ctr` (counters), `gauge`, then `hist` events. `seq` is
+    /// the caller's running sequence counter; `tick` stamps every line.
+    pub fn dump_jsonl(&self, buf: &mut Vec<u8>, seq: &mut u64, tick: u64) {
+        let head = |buf: &mut Vec<u8>, seq: &mut u64, ev: &str| {
+            buf.extend_from_slice(b"{\"seq\":");
+            json::push_u64(buf, *seq);
+            *seq += 1;
+            buf.extend_from_slice(b",\"tick\":");
+            json::push_u64(buf, tick);
+            buf.extend_from_slice(b",\"ev\":");
+            json::push_str(buf, ev);
+        };
+        for (name, v) in &self.counters {
+            head(buf, seq, "ctr");
+            buf.extend_from_slice(b",\"name\":");
+            json::push_str(buf, name);
+            buf.extend_from_slice(b",\"v\":");
+            json::push_u64(buf, *v);
+            buf.extend_from_slice(b"}\n");
+        }
+        for (name, v) in &self.gauges {
+            head(buf, seq, "gauge");
+            buf.extend_from_slice(b",\"name\":");
+            json::push_str(buf, name);
+            buf.extend_from_slice(b",\"v\":");
+            json::push_i64(buf, *v);
+            buf.extend_from_slice(b"}\n");
+        }
+        for (name, h) in &self.hists {
+            head(buf, seq, "hist");
+            buf.extend_from_slice(b",\"name\":");
+            json::push_str(buf, name);
+            buf.extend_from_slice(b",\"n\":");
+            json::push_u64(buf, h.count());
+            buf.extend_from_slice(b",\"sum\":");
+            json::push_u64(buf, h.sum());
+            buf.extend_from_slice(b",\"min\":");
+            json::push_u64(buf, h.min().unwrap_or(0));
+            buf.extend_from_slice(b",\"p50\":");
+            json::push_u64(buf, h.p50().unwrap_or(0));
+            buf.extend_from_slice(b",\"p95\":");
+            json::push_u64(buf, h.p95().unwrap_or(0));
+            buf.extend_from_slice(b",\"max\":");
+            json::push_u64(buf, h.max().unwrap_or(0));
+            buf.extend_from_slice(b",\"buckets\":[");
+            for (i, (lo, _hi, c)) in h.buckets().enumerate() {
+                if i > 0 {
+                    buf.push(b',');
+                }
+                buf.push(b'[');
+                json::push_u64(buf, lo);
+                buf.push(b',');
+                json::push_u64(buf, c);
+                buf.push(b']');
+            }
+            buf.extend_from_slice(b"]}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_hists_record() {
+        let mut m = Metrics::new();
+        assert!(m.is_empty());
+        m.inc("a.hits", 2);
+        m.inc("a.hits", 3);
+        m.gauge_set("depth", 4);
+        m.gauge_max("depth", 2);
+        m.gauge_max("depth", 9);
+        m.observe("hops", 3);
+        m.observe("hops", 5);
+        assert_eq!(m.counter("a.hits"), 5);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("depth"), Some(9));
+        assert_eq!(m.hist("hops").map(|h| h.count()), Some(2));
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = Metrics::new();
+        a.inc("c", 1);
+        a.gauge_max("g", 5);
+        a.observe("h", 1);
+        let mut b = Metrics::new();
+        b.inc("c", 2);
+        b.inc("only_b", 7);
+        b.gauge_max("g", 3);
+        b.observe("h", 9);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.gauge("g"), Some(5));
+        assert_eq!(a.hist("h").map(|h| h.count()), Some(2));
+    }
+
+    #[test]
+    fn dump_is_sorted_and_parseable() {
+        let mut m = Metrics::new();
+        m.inc("z.last", 1);
+        m.inc("a.first", 2);
+        m.gauge_set("mid", -3);
+        m.observe("lat", 100);
+        let mut buf = Vec::new();
+        let mut seq = 10;
+        m.dump_jsonl(&mut buf, &mut seq, 42);
+        assert_eq!(seq, 14);
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Counters first, sorted by name.
+        let first = crate::Json::parse(lines[0]).unwrap();
+        assert_eq!(first.str_of("ev"), Some("ctr"));
+        assert_eq!(first.str_of("name"), Some("a.first"));
+        assert_eq!(first.u64_of("seq"), Some(10));
+        assert_eq!(first.u64_of("tick"), Some(42));
+        let gauge = crate::Json::parse(lines[2]).unwrap();
+        assert_eq!(gauge.get("v").and_then(crate::Json::as_i64), Some(-3));
+        let hist = crate::Json::parse(lines[3]).unwrap();
+        assert_eq!(hist.u64_of("n"), Some(1));
+        assert_eq!(hist.u64_of("max"), Some(100));
+    }
+}

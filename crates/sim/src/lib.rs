@@ -42,6 +42,7 @@ pub mod flood;
 mod metrics;
 mod network;
 mod node;
+pub mod replay;
 pub mod sched;
 pub mod slab;
 
@@ -52,3 +53,6 @@ pub use fault::{
 pub use metrics::{MessageFate, MessageRecord, NetworkMetrics};
 pub use network::{MessageId, Network, NetworkBuilder};
 pub use node::SimNode;
+// Re-exported so callers attaching a recorder need no direct
+// `locality_obs` dependency.
+pub use locality_obs::{Level, Recorder};

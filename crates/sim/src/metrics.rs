@@ -1,6 +1,7 @@
 //! Per-message records and aggregate network metrics.
 
 use locality_graph::NodeId;
+use locality_obs::PowHistogram;
 
 /// Why a message's journey ended (or has not).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +26,23 @@ pub enum MessageFate {
     /// A source-side timeout expired after every configured retry was
     /// spent.
     GaveUp,
+}
+
+impl MessageFate {
+    /// The stable snake_case tag used in trace `fate` events and by
+    /// the conservation checker — one tag per metrics bucket.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MessageFate::InFlight => "in_flight",
+            MessageFate::Delivered => "delivered",
+            MessageFate::Looped => "looped",
+            MessageFate::Errored(_) => "errored",
+            MessageFate::HopBudgetExhausted => "exhausted",
+            MessageFate::Dropped => "dropped",
+            MessageFate::TimedOut => "timed_out",
+            MessageFate::GaveUp => "gave_up",
+        }
+    }
 }
 
 /// The observable history of one message. The tracking lives in the
@@ -103,6 +121,11 @@ pub struct NetworkMetrics {
     pub faults_skipped: usize,
     /// Total hops of delivered messages (final attempts).
     pub delivered_hops: usize,
+    /// Route-length distribution of delivered messages (final
+    /// attempts): the histogram behind
+    /// [`hops_p50`](Self::hops_p50)/[`hops_p95`](Self::hops_p95)/
+    /// [`hops_max`](Self::hops_max).
+    pub hop_hist: PowHistogram,
     /// The highest per-node forwarding load.
     pub max_node_load: u64,
     /// Ticks the simulation ran.
@@ -113,6 +136,22 @@ impl NetworkMetrics {
     /// Mean route length of delivered messages.
     pub fn mean_hops(&self) -> Option<f64> {
         (self.delivered > 0).then(|| self.delivered_hops as f64 / self.delivered as f64)
+    }
+
+    /// Median route length of delivered messages (bucket resolution).
+    pub fn hops_p50(&self) -> Option<u64> {
+        self.hop_hist.p50()
+    }
+
+    /// 95th-percentile route length of delivered messages (bucket
+    /// resolution).
+    pub fn hops_p95(&self) -> Option<u64> {
+        self.hop_hist.p95()
+    }
+
+    /// Longest delivered route.
+    pub fn hops_max(&self) -> Option<u64> {
+        self.hop_hist.max()
     }
 
     /// Delivery ratio in `[0, 1]`.
@@ -162,15 +201,31 @@ mod tests {
 
     #[test]
     fn metrics_ratios() {
-        let m = NetworkMetrics {
+        let mut m = NetworkMetrics {
             sent: 4,
             delivered: 3,
             delivered_hops: 12,
             ..Default::default()
         };
+        for hops in [3u64, 4, 5] {
+            m.hop_hist.observe(hops);
+        }
         assert_eq!(m.mean_hops(), Some(4.0));
         assert_eq!(m.delivery_ratio(), 0.75);
+        // Rank-2 of {3,4,5} falls in bucket [4,7], whose upper bound
+        // is clamped to the observed max.
+        assert_eq!(m.hops_p50(), Some(5));
+        assert_eq!(m.hops_max(), Some(5));
         assert_eq!(NetworkMetrics::default().delivery_ratio(), 1.0);
+        assert_eq!(NetworkMetrics::default().hops_p50(), None);
+    }
+
+    #[test]
+    fn fate_tags_are_stable() {
+        assert_eq!(MessageFate::Delivered.tag(), "delivered");
+        assert_eq!(MessageFate::Errored("x".into()).tag(), "errored");
+        assert_eq!(MessageFate::HopBudgetExhausted.tag(), "exhausted");
+        assert_eq!(MessageFate::InFlight.tag(), "in_flight");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::{BTreeMap, VecDeque};
 use local_routing::{LocalRouter, ViewStore};
 use locality_graph::rng::DetRng;
 use locality_graph::{traversal, Graph, GraphError, NodeId};
+use locality_obs::{Level, Recorder};
 
 use crate::error::SimError;
 use crate::fault::{DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey};
@@ -40,6 +41,7 @@ pub struct NetworkBuilder {
     hop_budget: usize,
     faults: FaultConfig,
     plan: FaultPlan,
+    recorder: Option<Recorder>,
 }
 
 impl NetworkBuilder {
@@ -51,7 +53,21 @@ impl NetworkBuilder {
             hop_budget: 0,
             faults: FaultConfig::default(),
             plan: FaultPlan::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a trace [`Recorder`]. The default is none — the
+    /// tracing-off configuration, whose only hot-path cost is a
+    /// pointer test per instrumentation site. A recorder at
+    /// [`Level::Off`] is dropped at build time: level off *is* the
+    /// tracing-off configuration, so it must not cost even the
+    /// pointer tests. Events are stamped with the simulation tick, so
+    /// a trace is a pure function of the network's seed. Read it back
+    /// with [`Network::finish_trace`].
+    pub fn recorder(mut self, rec: Recorder) -> NetworkBuilder {
+        self.recorder = rec.enabled(Level::Metrics).then_some(rec);
+        self
     }
 
     /// Overrides the per-message hop budget (default `8 n² + 16`). With
@@ -123,6 +139,7 @@ impl NetworkBuilder {
             faults_skipped: 0,
             tick: 0,
             next_id: 0,
+            trace: self.recorder.map(Box::new),
         }
     }
 }
@@ -175,6 +192,9 @@ pub struct Network {
     faults_skipped: usize,
     tick: u64,
     next_id: u64,
+    /// Optional trace recorder. Boxed so the untraced hot path pays
+    /// one pointer test per instrumentation site and nothing else.
+    trace: Option<Box<Recorder>>,
 }
 
 impl Network {
@@ -263,6 +283,15 @@ impl Network {
             retries: 0,
         });
         self.seen_states.push(SeenSet::new());
+        if let Some(rec) = self.trace.as_deref_mut() {
+            rec.inc("sim.sent", 1);
+            if let Some(e) = rec.event(Level::Hops, self.tick, "send") {
+                e.u64("msg", id)
+                    .u64("s", u64::from(s.0))
+                    .u64("t", u64::from(t.0))
+                    .finish();
+            }
+        }
         let h = self.slab.alloc(id as u32, s, None, 0);
         self.events.schedule(self.tick, h);
         if let Some(timeout) = self.cfg.timeout {
@@ -307,29 +336,53 @@ impl Network {
         self.timers.advance_to(when);
         let mut count = 0;
         let evs = self.fault_schedule.take(when);
-        count += evs.len();
+        let n_faults = evs.len();
+        count += n_faults;
         for ev in evs {
             self.apply_fault(ev);
         }
         let mut due = self.reprovision_at.take(when);
+        let mut n_reprov = 0;
         if !due.is_empty() {
             // The wave accumulated per-node entries in schedule order;
             // re-provision visits each node once, in id order (the
             // iteration order of the ordered set this replaces).
             due.sort_unstable();
             due.dedup();
-            count += due.len();
+            n_reprov = due.len();
+            count += n_reprov;
             self.reprovision(&due);
         }
         let batch = self.events.take(when);
-        count += batch.len();
+        let n_arrivals = batch.len();
+        count += n_arrivals;
         for h in batch {
             self.process(h);
         }
         let msgs = self.timers.take(when);
-        count += msgs.len();
+        let n_timers = msgs.len();
+        count += n_timers;
         for msg in msgs {
             self.check_timeout(msg as usize);
+        }
+        // End-of-tick engine telemetry: per-phase activity counters and
+        // scheduler/arena occupancy samples, aggregated in the metrics
+        // registry (no event lines on the hot path).
+        let wheel_occupied = u64::from(self.events.occupied_slots());
+        let wheel_overflow = self.events.overflow_len() as i64;
+        let slab_live = self.slab.live() as i64;
+        if let Some(rec) = self.trace.as_deref_mut() {
+            if rec.enabled(Level::Metrics) {
+                rec.inc("sim.ticks", 1);
+                rec.inc("phase.faults", n_faults as u64);
+                rec.inc("phase.reprovision", n_reprov as u64);
+                rec.inc("phase.arrivals", n_arrivals as u64);
+                rec.inc("phase.timers", n_timers as u64);
+                rec.observe("tick.items", count as u64);
+                rec.observe("wheel.events.occupied", wheel_occupied);
+                rec.gauge_max("wheel.events.overflow", wheel_overflow);
+                rec.gauge_max("slab.live", slab_live);
+            }
         }
         self.tick += 1;
         count
@@ -353,6 +406,12 @@ impl Network {
     }
 
     fn apply_fault(&mut self, ev: FaultEvent) {
+        let (kind, a, b) = match ev {
+            FaultEvent::LinkDown(a, b) => ("link_down", a, Some(b)),
+            FaultEvent::LinkUp(a, b) => ("link_up", a, Some(b)),
+            FaultEvent::Crash(u) => ("crash", u, None),
+            FaultEvent::Restart(u) => ("restart", u, None),
+        };
         let applied = match ev {
             FaultEvent::LinkDown(a, b) => matches!(self.set_edge_inner(a, b, false), Ok(true)),
             FaultEvent::LinkUp(a, b) => matches!(self.set_edge_inner(a, b, true), Ok(true)),
@@ -379,6 +438,23 @@ impl Network {
         } else {
             self.faults_skipped += 1;
         }
+        if let Some(rec) = self.trace.as_deref_mut() {
+            rec.inc(
+                if applied {
+                    "sim.faults_applied"
+                } else {
+                    "sim.faults_skipped"
+                },
+                1,
+            );
+            if let Some(e) = rec.event(Level::Hops, self.tick, "fault") {
+                e.str("kind", kind)
+                    .u64("a", u64::from(a.0))
+                    .opt_u64("b", b.map(|x| u64::from(x.0)))
+                    .bool("applied", applied)
+                    .finish();
+            }
+        }
     }
 
     fn process(&mut self, h: u32) {
@@ -400,7 +476,7 @@ impl Network {
                     DeadLinkPolicy::Deliver => {}
                     DeadLinkPolicy::Drop => {
                         self.slab.free(h);
-                        self.lose(msg);
+                        self.lose(msg, "dead_link");
                         return;
                     }
                     DeadLinkPolicy::Queue => {
@@ -417,14 +493,24 @@ impl Network {
         self.slab.free(h);
         // A crashed node black-holes everything, deliveries included.
         if self.crashed[at.index()] {
-            self.lose(msg);
+            self.lose(msg, "crash");
             return;
         }
         let t = self.messages[msg].t;
         if at == t {
-            self.messages[msg].fate = MessageFate::Delivered;
             self.messages[msg].delivered_at = Some(self.tick);
             self.nodes[at.index()].delivered += 1;
+            let hops = self.messages[msg].hops() as u64;
+            if let Some(rec) = self.trace.as_deref_mut() {
+                rec.observe("sim.delivered_hops", hops);
+                if let Some(e) = rec.event(Level::Hops, self.tick, "deliver") {
+                    e.u64("msg", msg as u64)
+                        .u64("node", u64::from(at.0))
+                        .u64("hops", hops)
+                        .finish();
+                }
+            }
+            self.set_fate(msg, MessageFate::Delivered, None);
             return;
         }
         // Exact loop detection (telemetry, not protocol state): a pure
@@ -436,27 +522,44 @@ impl Network {
             None
         };
         if !self.loop_table.insert(&mut self.seen_states[msg], at, pred) {
-            self.messages[msg].fate = MessageFate::Looped;
+            self.set_fate(msg, MessageFate::Looped, None);
             return;
         }
         if self.messages[msg].hops() >= self.hop_budget {
-            self.messages[msg].fate = MessageFate::HopBudgetExhausted;
+            self.set_fate(msg, MessageFate::HopBudgetExhausted, None);
             return;
         }
         let origin_label = self.graph.label(self.messages[msg].s);
         let target_label = self.graph.label(t);
         let from_label = from.map(|f| self.graph.label(f));
-        let decision =
-            self.nodes[at.index()].forward(&*self.router, origin_label, target_label, from_label);
+        // The traced path asks the router to name its rule; the
+        // untraced path is the exact pre-tracing decision call.
+        let decision = if self
+            .trace
+            .as_deref()
+            .is_some_and(|r| r.enabled(Level::Hops))
+        {
+            self.nodes[at.index()].forward_explained(
+                &*self.router,
+                origin_label,
+                target_label,
+                from_label,
+            )
+        } else {
+            self.nodes[at.index()]
+                .forward(&*self.router, origin_label, target_label, from_label)
+                .map(|l| (l, "?"))
+        };
         match decision {
-            Err(e) => self.messages[msg].fate = MessageFate::Errored(e.to_string()),
-            Ok(next_label) => match self.graph.node_by_label(next_label) {
+            Err(e) => self.set_fate(msg, MessageFate::Errored(e.to_string()), None),
+            Ok((next_label, rule)) => match self.graph.node_by_label(next_label) {
                 None => {
-                    self.messages[msg].fate =
+                    let fate =
                         MessageFate::Errored(format!("router named non-neighbour {next_label}"));
+                    self.set_fate(msg, fate, None);
                 }
                 Some(next) if self.graph.has_edge(at, next) => {
-                    self.transmit(msg, at, next);
+                    self.transmit(msg, at, next, from, rule);
                 }
                 Some(next)
                     if self.nodes[at.index()]
@@ -469,35 +572,99 @@ impl Network {
                     match self.cfg.dead_link {
                         DeadLinkPolicy::Queue => {
                             self.messages[msg].path.push(next);
+                            self.emit_hop(msg, at, next, from, rule, true);
                             let nh = self.slab.alloc(msg as u32, next, Some(at), attempt);
                             self.parked
                                 .entry(LinkKey::new(at, next))
                                 .or_default()
                                 .push_back(nh);
                         }
-                        DeadLinkPolicy::Deliver | DeadLinkPolicy::Drop => self.lose(msg),
+                        DeadLinkPolicy::Deliver | DeadLinkPolicy::Drop => {
+                            self.lose(msg, "dead_link")
+                        }
                     }
                 }
                 Some(_) => {
                     // Not a neighbour in the topology *or* the view:
                     // a router bug, not a fault.
-                    self.messages[msg].fate =
+                    let fate =
                         MessageFate::Errored(format!("router named non-neighbour {next_label}"));
+                    self.set_fate(msg, fate, None);
                 }
             },
         }
     }
 
+    /// Emits one `hop` witness event: the deciding node, the chosen
+    /// edge, the rule that fired, the attempt, and the tick the
+    /// decider's view was provisioned (the staleness context).
+    fn emit_hop(
+        &mut self,
+        msg: usize,
+        at: NodeId,
+        next: NodeId,
+        from: Option<NodeId>,
+        rule: &'static str,
+        parked: bool,
+    ) {
+        let attempt = self.states.get(msg).map_or(0, |s| s.attempt);
+        let prov = self.nodes.get(at.index()).map_or(0, |n| n.provisioned_at);
+        if let Some(rec) = self.trace.as_deref_mut() {
+            rec.inc("sim.hops", 1);
+            if let Some(e) = rec.event(Level::Hops, self.tick, "hop") {
+                let e = e
+                    .u64("msg", msg as u64)
+                    .u64("att", u64::from(attempt))
+                    .u64("node", u64::from(at.0))
+                    .opt_u64("from", from.map(|f| u64::from(f.0)))
+                    .u64("to", u64::from(next.0))
+                    .str("rule", rule)
+                    .u64("prov", prov);
+                let e = if parked { e.bool("parked", true) } else { e };
+                e.finish();
+            }
+        }
+    }
+
+    /// Records a terminal fate and emits the matching `fate` event.
+    /// `why` carries loss context for drops; router errors carry their
+    /// message in `err`.
+    fn set_fate(&mut self, msg: usize, fate: MessageFate, why: Option<&'static str>) {
+        if let Some(rec) = self.trace.as_deref_mut() {
+            rec.inc(fate_counter(&fate), 1);
+            if let Some(e) = rec.event(Level::Hops, self.tick, "fate") {
+                let e = e.u64("msg", msg as u64).str("fate", fate.tag());
+                let e = match (&fate, why) {
+                    (MessageFate::Errored(err), _) => e.str("err", err),
+                    (_, Some(w)) => e.str("why", w),
+                    _ => e,
+                };
+                e.finish();
+            }
+        }
+        self.messages[msg].fate = fate;
+    }
+
     /// Puts `msg` on the wire from `at` to its live neighbour `next`:
     /// a loss draw if the link is lossy, then a scheduled arrival after
-    /// the link's latency.
-    fn transmit(&mut self, msg: usize, at: NodeId, next: NodeId) {
+    /// the link's latency. The hop witness is emitted only once the
+    /// loss draw has passed, so a trace's hop sequence always equals
+    /// the record's path.
+    fn transmit(
+        &mut self,
+        msg: usize,
+        at: NodeId,
+        next: NodeId,
+        from: Option<NodeId>,
+        rule: &'static str,
+    ) {
         let profile = self.cfg.link_profile(at, next);
         if profile.loss > 0.0 && self.rng.gen_bool(profile.loss) {
-            self.lose(msg);
+            self.lose(msg, "loss");
             return;
         }
         self.messages[msg].path.push(next);
+        self.emit_hop(msg, at, next, from, rule, false);
         let h = self
             .slab
             .alloc(msg as u32, next, Some(at), self.states[msg].attempt);
@@ -505,12 +672,18 @@ impl Network {
             .schedule(self.tick + 1 + profile.extra_latency, h);
     }
 
-    /// The message vanished in transit. With reliability configured the
-    /// source's timeout will notice; otherwise it is terminally
-    /// [`MessageFate::Dropped`].
-    fn lose(&mut self, msg: usize) {
+    /// The message vanished in transit (`why` ∈ `loss` / `dead_link` /
+    /// `crash`). With reliability configured the source's timeout will
+    /// notice; otherwise it is terminally [`MessageFate::Dropped`].
+    fn lose(&mut self, msg: usize, why: &'static str) {
+        if let Some(rec) = self.trace.as_deref_mut() {
+            rec.inc("sim.lost", 1);
+            if let Some(e) = rec.event(Level::Hops, self.tick, "lost") {
+                e.u64("msg", msg as u64).str("why", why).finish();
+            }
+        }
         if self.cfg.timeout.is_none() {
-            self.messages[msg].fate = MessageFate::Dropped;
+            self.set_fate(msg, MessageFate::Dropped, Some(why));
         }
     }
 
@@ -531,18 +704,26 @@ impl Network {
             self.messages[msg].retries += 1;
             self.messages[msg].path = vec![s];
             self.seen_states[msg].clear();
-            let h = self
-                .slab
-                .alloc(msg as u32, s, None, self.states[msg].attempt);
+            let attempt = self.states[msg].attempt;
+            if let Some(rec) = self.trace.as_deref_mut() {
+                rec.inc("sim.retries", 1);
+                if let Some(e) = rec.event(Level::Hops, self.tick, "retry") {
+                    e.u64("msg", msg as u64)
+                        .u64("att", u64::from(attempt))
+                        .finish();
+                }
+            }
+            let h = self.slab.alloc(msg as u32, s, None, attempt);
             self.events.schedule(self.tick + 1, h);
             let wait = timeout + self.cfg.backoff * u64::from(self.states[msg].retries);
             self.timers.schedule(self.tick + 1 + wait, msg as u32);
         } else {
-            self.messages[msg].fate = if self.cfg.max_retries > 0 {
+            let fate = if self.cfg.max_retries > 0 {
                 MessageFate::GaveUp
             } else {
                 MessageFate::TimedOut
             };
+            self.set_fate(msg, fate, None);
         }
     }
 
@@ -573,6 +754,7 @@ impl Network {
                 MessageFate::Delivered => {
                     m.delivered += 1;
                     m.delivered_hops += r.hops();
+                    m.hop_hist.observe(r.hops() as u64);
                 }
                 MessageFate::Looped => m.looped += 1,
                 MessageFate::Errored(_) => m.errored += 1,
@@ -677,6 +859,14 @@ impl Network {
     /// a node that has not been told about a change keeps acting on
     /// the world it last saw.
     fn reprovision(&mut self, due: &[NodeId]) {
+        if let Some(rec) = self.trace.as_deref_mut() {
+            rec.inc("sim.reprovisions", due.len() as u64);
+            for &u in due {
+                if let Some(e) = rec.event(Level::Debug, self.tick, "reprov") {
+                    e.u64("node", u64::from(u.0)).finish();
+                }
+            }
+        }
         for &u in due {
             self.views.invalidate(u);
         }
@@ -684,6 +874,47 @@ impl Network {
             let view = self.views.view(&self.graph, u);
             self.nodes[u.index()].refresh(view, self.tick);
         }
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.trace.as_deref()
+    }
+
+    /// Folds end-of-run engine statistics — view-store effectiveness
+    /// and the arrival arena's high-water mark — into the recorder's
+    /// registry, flushes the registry into the event stream (stamped
+    /// with the current tick), and returns the buffered JSONL.
+    ///
+    /// The recorder stays attached and keeps its sequence counter, so
+    /// a workload may flush at checkpoints and concatenate the chunks.
+    /// Returns empty bytes when no recorder is attached.
+    pub fn finish_trace(&mut self) -> Vec<u8> {
+        let vs = self.views.stats();
+        let slab_hw = self.slab.high_water() as i64;
+        let Some(rec) = self.trace.as_deref_mut() else {
+            return Vec::new();
+        };
+        rec.gauge_set("views.hits", vs.hits as i64);
+        rec.gauge_set("views.misses", vs.misses as i64);
+        rec.gauge_set("views.invalidations", vs.invalidations as i64);
+        rec.gauge_set("slab.high_water", slab_hw);
+        rec.flush_metrics(self.tick);
+        rec.take_bytes()
+    }
+}
+
+/// The registry counter a terminal fate bumps (`fate.<tag>`).
+fn fate_counter(fate: &MessageFate) -> &'static str {
+    match fate {
+        MessageFate::InFlight => "fate.in_flight",
+        MessageFate::Delivered => "fate.delivered",
+        MessageFate::Looped => "fate.looped",
+        MessageFate::Errored(_) => "fate.errored",
+        MessageFate::HopBudgetExhausted => "fate.exhausted",
+        MessageFate::Dropped => "fate.dropped",
+        MessageFate::TimedOut => "fate.timed_out",
+        MessageFate::GaveUp => "fate.gave_up",
     }
 }
 
@@ -1052,6 +1283,109 @@ mod tests {
         }
         for u in g.nodes() {
             assert!(!net.is_crashed(u));
+        }
+    }
+
+    /// A churny configuration exercising loss, dead links, crashes,
+    /// retries, and stale views all at once.
+    fn churny(g: &Graph, traced: bool) -> Network {
+        let cfg = FaultConfig {
+            dead_link: DeadLinkPolicy::Drop,
+            view_delay: 2,
+            default_link: LinkProfile {
+                loss: 0.05,
+                extra_latency: 0,
+            },
+            timeout: Some(64),
+            max_retries: 3,
+            backoff: 16,
+            seed: 11,
+            ..Default::default()
+        };
+        let plan =
+            FaultPlan::random_churn(g, &ChurnConfig::default(), &mut DetRng::seed_from_u64(9));
+        let mut b = NetworkBuilder::new(g, 3).faults(cfg).fault_plan(plan);
+        if traced {
+            b = b.recorder(Recorder::new(Level::Debug));
+        }
+        b.build(Alg3)
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let g = generators::random_connected(20, 10, &mut DetRng::seed_from_u64(7));
+        let mut plain = churny(&g, false);
+        let mut traced = churny(&g, true);
+        for net in [&mut plain, &mut traced] {
+            for s in g.nodes() {
+                net.send(s, NodeId((s.0 + 7) % 20));
+            }
+            net.run_until_quiet();
+        }
+        assert_eq!(plain.metrics(), traced.metrics());
+        for id in (0..20).map(MessageId) {
+            let (a, b) = (plain.record(id).unwrap(), traced.record(id).unwrap());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        assert!(!traced.finish_trace().is_empty());
+        assert!(plain.finish_trace().is_empty());
+    }
+
+    #[test]
+    fn churn_trace_records_faults_retries_and_conserves() {
+        let g = generators::random_connected(20, 10, &mut DetRng::seed_from_u64(7));
+        let mut net = churny(&g, true);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s != t {
+                    net.send(s, t);
+                }
+            }
+        }
+        net.run_until_quiet();
+        let m = net.metrics();
+        assert!(m.accounted());
+        assert!(m.faults_applied > 0, "churn plan should bite");
+        let text = String::from_utf8(net.finish_trace()).unwrap();
+        let events = locality_obs::parse_trace(&text).unwrap();
+        assert!(events.iter().any(|e| e.str_of("ev") == Some("fault")));
+        if m.retries > 0 {
+            assert!(events.iter().any(|e| e.str_of("ev") == Some("retry")));
+        }
+        let witnesses = locality_obs::collect_witnesses(&events);
+        crate::replay::check_conservation(&witnesses, &m).unwrap();
+        // The registry dump carries the PR-4 machinery gauges.
+        for key in ["views.hits", "slab.high_water"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.str_of("ev") == Some("gauge") && e.str_of("name") == Some(key)),
+                "missing gauge {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_routes_match_message_records() {
+        let g = generators::grid(4, 4);
+        let k = Alg1.min_locality(16);
+        let mut net = NetworkBuilder::new(&g, k)
+            .recorder(Recorder::new(Level::Hops))
+            .build(Alg1);
+        let ids: Vec<MessageId> = (0..16u32)
+            .filter(|&t| t != 0)
+            .map(|t| net.send(NodeId(0), NodeId(t)))
+            .collect();
+        net.run_until_quiet();
+        let text = String::from_utf8(net.finish_trace()).unwrap();
+        let events = locality_obs::parse_trace(&text).unwrap();
+        let witnesses = locality_obs::collect_witnesses(&events);
+        assert_eq!(witnesses.len(), ids.len());
+        for (w, id) in witnesses.iter().zip(&ids) {
+            let r = net.record(*id).unwrap();
+            let path: Vec<u32> = r.path.iter().map(|n| n.0).collect();
+            assert_eq!(w.route(), path);
+            assert_eq!(w.fate.as_deref(), Some(r.fate.tag()));
         }
     }
 }

@@ -91,6 +91,26 @@ impl SimNode {
         self.forwarded += 1;
         Ok(next)
     }
+
+    /// Like [`forward`](Self::forward), but also names the router rule
+    /// that fired — the traced path. Kept separate so an untraced
+    /// simulation runs the exact pre-tracing decision call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the router's error.
+    pub fn forward_explained<R: LocalRouter + ?Sized>(
+        &mut self,
+        router: &R,
+        origin: Label,
+        target: Label,
+        from: Option<Label>,
+    ) -> Result<(Label, &'static str), RoutingError> {
+        let packet = Packet::new(origin, target, from).masked(router.awareness());
+        let next = router.decide_explained(&packet, &self.view)?;
+        self.forwarded += 1;
+        Ok(next)
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +129,22 @@ mod tests {
             .unwrap();
         assert_eq!(next, Label(5));
         assert_eq!(node.forwarded, 1);
+    }
+
+    #[test]
+    fn forward_explained_agrees_with_forward() {
+        let g = generators::path(9);
+        let mut plain = SimNode::provision(&g, NodeId(4), 4);
+        let mut traced = SimNode::provision(&g, NodeId(4), 4);
+        let next = plain
+            .forward(&Alg3, Label(0), Label(8), Some(Label(3)))
+            .unwrap();
+        let (next_t, rule) = traced
+            .forward_explained(&Alg3, Label(0), Label(8), Some(Label(3)))
+            .unwrap();
+        assert_eq!(next, next_t, "tracing must not change the decision");
+        assert!(!rule.is_empty());
+        assert_eq!(traced.forwarded, 1);
     }
 
     #[test]

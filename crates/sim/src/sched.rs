@@ -65,6 +65,18 @@ impl<T> Wheel<T> {
         self.occ == 0 && self.overflow.is_empty()
     }
 
+    /// Number of occupied window slots — a popcount of the occupancy
+    /// word, sampled by the tracer as `wheel.*.occupied`.
+    pub fn occupied_slots(&self) -> u32 {
+        self.occ.count_ones()
+    }
+
+    /// Number of distinct far-future ticks currently parked in the
+    /// overflow band (the tracer's `wheel.*.overflow` gauge).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
     /// Schedules `item` at `tick`. A tick before the window (already
     /// drained) is clamped to the window start, preserving the old
     /// tick map's "late events fire on the next step" behaviour.
@@ -155,6 +167,25 @@ mod tests {
         assert!(w.is_empty());
         assert_eq!(w.next_tick(), None);
         assert!(w.take(0).is_empty());
+        assert_eq!(w.occupied_slots(), 0);
+        assert_eq!(w.overflow_len(), 0);
+    }
+
+    #[test]
+    fn occupancy_accessors_track_window_and_overflow() {
+        let mut w = Wheel::new();
+        w.schedule(1, 10);
+        w.schedule(1, 11);
+        w.schedule(3, 12);
+        w.schedule(500, 13);
+        assert_eq!(w.occupied_slots(), 2, "two distinct in-window ticks");
+        assert_eq!(w.overflow_len(), 1);
+        w.advance_to(1);
+        w.take(1);
+        assert_eq!(w.occupied_slots(), 1);
+        w.advance_to(460);
+        assert_eq!(w.overflow_len(), 0, "migration drains the overflow band");
+        assert_eq!(w.occupied_slots(), 2);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub struct ArrivalSlab {
     from: Vec<u32>,
     attempt: Vec<u32>,
     free: Vec<u32>,
+    high_water: usize,
 }
 
 impl ArrivalSlab {
@@ -61,10 +62,16 @@ impl ArrivalSlab {
         self.msg.len() - self.free.len()
     }
 
+    /// The most transmissions ever live at once — the arena's peak
+    /// working set, reported by the tracer as `slab.high_water`.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Stores one transmission and returns its handle.
     pub fn alloc(&mut self, msg: u32, at: NodeId, from: Option<NodeId>, attempt: u32) -> u32 {
         let from = from.map_or(NO_FROM, |f| f.0);
-        if let Some(h) = self.free.pop() {
+        let h = if let Some(h) = self.free.pop() {
             let i = h as usize;
             if let (Some(m), Some(a), Some(f), Some(att)) = (
                 self.msg.get_mut(i),
@@ -74,13 +81,16 @@ impl ArrivalSlab {
             ) {
                 (*m, *a, *f, *att) = (msg, at.0, from, attempt);
             }
-            return h;
-        }
-        let h = self.msg.len() as u32;
-        self.msg.push(msg);
-        self.at.push(at.0);
-        self.from.push(from);
-        self.attempt.push(attempt);
+            h
+        } else {
+            let h = self.msg.len() as u32;
+            self.msg.push(msg);
+            self.at.push(at.0);
+            self.from.push(from);
+            self.attempt.push(attempt);
+            h
+        };
+        self.high_water = self.high_water.max(self.live());
         h
     }
 
@@ -282,6 +292,11 @@ mod tests {
         assert_eq!(c, a, "freed handles are recycled LIFO");
         assert_eq!(slab.get(c).msg, 9);
         assert_eq!(slab.live(), 2);
+        assert_eq!(slab.high_water(), 2, "peak live count, not allocations");
+        let d = slab.alloc(10, NodeId(4), None, 0);
+        assert_eq!(slab.high_water(), 3);
+        slab.free(d);
+        assert_eq!(slab.high_water(), 3, "high-water never recedes");
     }
 
     #[test]

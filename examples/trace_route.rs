@@ -1,51 +1,94 @@
-//! Replay the paper's worst-case route narrations rule by rule: the
-//! executable version of "Rule S2 is applied at s, Rule U3 at c, …".
+//! Replay the paper's worst-case route narrations rule by rule — now
+//! through the observability stack: each instance runs in the
+//! distributed simulator with a recorder attached, the JSONL trace is
+//! folded into a route witness, the witness narrates every forwarding
+//! decision, and the replay checker re-derives each decision from
+//! `G_k(u)` to certify the trace.
 //!
 //! ```sh
 //! cargo run --example trace_route
 //! ```
 
-use local_routing::{engine, Alg1, Alg1B};
+use local_routing::{Alg1, Alg1B, LocalRouter};
 use locality_adversary::tight;
+use locality_graph::{traversal, Graph, NodeId};
+use locality_obs::{collect_witnesses, parse_trace, Level, Recorder, RouteWitness};
+use locality_sim::{replay, NetworkBuilder};
 
-fn show(trace: &engine::TracedRun, g: &locality_graph::Graph) {
-    let mut last_rule = "";
-    let mut run_start = 0usize;
-    let flush = |rule: &str, from: usize, to: usize, route: &[locality_graph::NodeId]| {
-        if rule.is_empty() {
-            return;
+/// Runs one (s, t) route through a traced simulator and returns the
+/// witness plus the raw trace text it was folded from.
+fn witness_route(
+    g: &Graph,
+    k: u32,
+    router: impl LocalRouter + 'static,
+    s: NodeId,
+    t: NodeId,
+) -> (RouteWitness, String) {
+    let mut net = NetworkBuilder::new(g, k)
+        .recorder(Recorder::new(Level::Hops))
+        .build(router);
+    net.send(s, t);
+    net.run_until_quiet();
+    let text = String::from_utf8(net.finish_trace()).expect("trace is ASCII JSONL");
+    let events = parse_trace(&text).expect("recorder emits well-formed lines");
+    let w = collect_witnesses(&events)
+        .into_iter()
+        .next()
+        .expect("one send, one witness");
+    (w, text)
+}
+
+/// Narrates a witness's hops, collapsing runs of the same rule.
+fn show(g: &Graph, w: &RouteWitness) {
+    let label = |raw: u32| g.label(NodeId(raw));
+    let mut i = 0usize;
+    while i < w.hops.len() {
+        let rule = &w.hops[i].rule;
+        let mut j = i;
+        while j + 1 < w.hops.len() && w.hops[j + 1].rule == *rule {
+            j += 1;
         }
-        if to - from == 1 {
+        if i == j {
             println!(
                 "  {:>7}  {} -> {}",
                 rule,
-                g.label(route[from]),
-                g.label(route[from + 1])
+                label(w.hops[i].node),
+                label(w.hops[i].to)
             );
         } else {
             println!(
                 "  {:>7}  {} -> … -> {}   ({} hops)",
                 rule,
-                g.label(route[from]),
-                g.label(route[to]),
-                to - from
+                label(w.hops[i].node),
+                label(w.hops[j].to),
+                j - i + 1
             );
         }
-    };
-    for (i, rule) in trace.rules.iter().enumerate() {
-        if *rule != last_rule {
-            flush(last_rule, run_start, i, &trace.report.route);
-            last_rule = rule;
-            run_start = i;
-        }
+        i = j + 1;
     }
-    flush(last_rule, run_start, trace.rules.len(), &trace.report.route);
+    let hops = w.route().len().saturating_sub(1);
+    let shortest = traversal::distance(g, NodeId(w.s), NodeId(w.t)).unwrap_or(0);
     println!(
-        "  => {} hops, shortest {}, dilation {:.3}\n",
-        trace.report.hops(),
-        trace.report.shortest,
-        trace.report.dilation().unwrap_or(f64::NAN)
+        "  => {} hops, shortest {}, dilation {:.3}",
+        hops,
+        shortest,
+        if shortest == 0 {
+            f64::NAN
+        } else {
+            hops as f64 / f64::from(shortest)
+        }
     );
+}
+
+/// Replay-certifies the witness and reports what was re-derived.
+fn certify(g: &Graph, k: u32, router: &impl LocalRouter, w: &RouteWitness) {
+    match replay::verify_witnesses(g, k, router, std::slice::from_ref(w)) {
+        Ok(report) => println!(
+            "  replay: {} decision(s) re-derived from G_k(u), dilation bound holds\n",
+            report.hops_checked
+        ),
+        Err(e) => println!("  replay: REFUTED — {e}\n"),
+    }
 }
 
 fn main() {
@@ -54,39 +97,24 @@ fn main() {
         "Fig. 13 (n = 32, k = {}): Algorithm 1 versus its nemesis —",
         inst.k
     );
-    let trace = engine::route_traced(
-        &inst.graph,
-        inst.k,
-        &Alg1,
-        inst.s,
-        inst.t,
-        &Default::default(),
-    );
-    show(&trace, &inst.graph);
+    let (w, text) = witness_route(&inst.graph, inst.k, Alg1, inst.s, inst.t);
+    if let Some(line) = text.lines().find(|l| l.contains("\"ev\":\"hop\"")) {
+        println!("  (a raw witness line: {line})");
+    }
+    show(&inst.graph, &w);
+    certify(&inst.graph, inst.k, &Alg1, &w);
 
     println!("…and Algorithm 1B on the same graph (pre-emptive reversal):");
-    let trace = engine::route_traced(
-        &inst.graph,
-        inst.k,
-        &Alg1B,
-        inst.s,
-        inst.t,
-        &Default::default(),
-    );
-    show(&trace, &inst.graph);
+    let (w, _) = witness_route(&inst.graph, inst.k, Alg1B, inst.s, inst.t);
+    show(&inst.graph, &w);
+    certify(&inst.graph, inst.k, &Alg1B, &w);
 
     let inst = tight::fig17(40);
     println!(
         "Fig. 17 (n = 40, k = {}): Algorithm 1B versus its own nemesis —",
         inst.k
     );
-    let trace = engine::route_traced(
-        &inst.graph,
-        inst.k,
-        &Alg1B,
-        inst.s,
-        inst.t,
-        &Default::default(),
-    );
-    show(&trace, &inst.graph);
+    let (w, _) = witness_route(&inst.graph, inst.k, Alg1B, inst.s, inst.t);
+    show(&inst.graph, &w);
+    certify(&inst.graph, inst.k, &Alg1B, &w);
 }

@@ -42,12 +42,26 @@ gate sim_speedup \
   "$(extract "$perf_now" sim_speedup)" \
   "$(extract "$(cat BENCH_perfsmoke.json)" sim_speedup)"
 
-echo "==> chaos determinism smoke"
-out_a="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7)"
-out_b="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7)"
+echo "==> tracing-off overhead gate"
+# A recorder at Level::Off must cost nothing measurable: perfsmoke
+# reports the traced-but-off simulator vs the bare one as a percent.
+awk -v pct="$(extract "$perf_now" sim_trace_overhead_pct)" 'BEGIN {
+  if (pct + 0 > 2.0) {
+    printf "perfsmoke: tracing-off overhead %.2f%% exceeds 2%%\n", pct > "/dev/stderr"
+    exit 1
+  }
+}'
+
+echo "==> chaos determinism smoke (traced, tracecat diff)"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+out_a="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7 --trace-out "$trace_dir/a.jsonl")"
+out_b="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7 --trace-out "$trace_dir/b.jsonl")"
 if [ "$out_a" != "$out_b" ]; then
   echo "chaos: seed 7 replay is not byte-identical" >&2
   exit 1
 fi
+cargo run -q --release -p locality-bench --bin tracecat -- \
+  diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
 
 echo "verify: OK"

@@ -1,0 +1,154 @@
+//! Witness replay across the paper's adversarial families: every hop
+//! in a recorded trace is re-derived from `G_k(u)` by the replay
+//! checker, every delivered route is held to its theorem's dilation
+//! bound, and the trace's own metric dumps must agree with the
+//! witnesses folded from its events.
+//!
+//! The Theorem 1/2 families are the graphs *designed* to break
+//! sub-threshold routers, so they are the sharpest place to certify
+//! that at `k = min_locality(n)` the four positive algorithms deliver
+//! everywhere — and that the trace proves it hop by hop.
+
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
+use locality_adversary::{thm1, thm2};
+use locality_graph::rng::DetRng;
+use locality_graph::{generators, Graph};
+use locality_obs::{collect_witnesses, parse_trace, Level, Recorder, RouteWitness};
+use locality_sim::replay::{self, ReplayReport};
+use locality_sim::{NetworkBuilder, NetworkMetrics};
+
+/// All-pairs traced run folded into witnesses + metrics.
+fn traced_all_pairs<R: LocalRouter + Clone + 'static>(
+    g: &Graph,
+    k: u32,
+    router: R,
+) -> (Vec<RouteWitness>, NetworkMetrics) {
+    let mut net = NetworkBuilder::new(g, k)
+        .recorder(Recorder::new(Level::Hops))
+        .build(router);
+    for s in g.nodes() {
+        for t in g.nodes() {
+            if s != t {
+                net.send(s, t);
+            }
+        }
+    }
+    net.run_until_quiet();
+    let text = String::from_utf8(net.finish_trace()).expect("trace is ASCII JSONL");
+    let events = parse_trace(&text).expect("recorder emits well-formed lines");
+    (collect_witnesses(&events), net.metrics())
+}
+
+/// Runs `router` all-pairs on `g` at its own threshold, replays the
+/// trace, and demands total delivery, verified hops, and conservation.
+fn certify_all_pairs<R: LocalRouter + Clone + 'static>(g: &Graph, router: R) -> ReplayReport {
+    let n = g.node_count();
+    let k = router.min_locality(n);
+    let (ws, m) = traced_all_pairs(g, k, router.clone());
+    let report = replay::verify_witnesses(g, k, &router, &ws)
+        .unwrap_or_else(|e| panic!("{} refuted on n={n}: {e}", router.name()));
+    assert_eq!(report.messages as usize, n * (n - 1));
+    assert_eq!(
+        report.delivered,
+        m.delivered,
+        "{}: replay and metrics disagree on deliveries",
+        router.name()
+    );
+    assert_eq!(
+        report.delivered as usize,
+        n * (n - 1),
+        "{} must deliver everywhere at k = min_locality({n})",
+        router.name()
+    );
+    replay::check_conservation(&ws, &m)
+        .unwrap_or_else(|e| panic!("{} conservation: {e}", router.name()));
+    report
+}
+
+fn certify_family_graph(g: &Graph) {
+    certify_all_pairs(g, Alg1);
+    certify_all_pairs(g, Alg1B);
+    certify_all_pairs(g, Alg2);
+    let report = certify_all_pairs(g, Alg3);
+    let (wh, wd) = report.worst_stretch;
+    assert_eq!(wh, wd, "algorithm-3 must be shortest-path on the family");
+}
+
+#[test]
+fn thm1_family_replay_verifies_all_four_algorithms() {
+    for inst in thm1::family(13) {
+        certify_family_graph(&inst.graph);
+    }
+}
+
+#[test]
+fn thm2_family_replay_verifies_all_four_algorithms() {
+    for inst in thm2::family(14) {
+        certify_family_graph(&inst.graph);
+    }
+}
+
+#[test]
+fn generator_graphs_replay_verify() {
+    let mut rng = DetRng::seed_from_u64(41);
+    for g in [
+        generators::cycle(16),
+        generators::grid(4, 5),
+        generators::random_connected(20, 9, &mut rng),
+    ] {
+        certify_all_pairs(&g, Alg1);
+        certify_all_pairs(&g, Alg3);
+    }
+}
+
+/// Conservation against the trace itself on a chaos seed: each trial
+/// section's final counter/histogram dump must equal what the
+/// witnesses folded from that same section's events add up to.
+#[test]
+fn chaos_trace_sections_conserve() {
+    let (_, bytes) = locality_bench::chaos::report_with_trace(7, Some(Level::Hops));
+    let text = String::from_utf8(bytes).expect("trace is ASCII JSONL");
+    let mut sections: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.contains("\"ev\":\"trial\"") {
+            sections.push(String::new());
+        } else if let Some(cur) = sections.last_mut() {
+            cur.push_str(line);
+            cur.push('\n');
+        }
+    }
+    assert_eq!(sections.len(), 11, "one trace section per chaos trial");
+    for (i, sec) in sections.iter().enumerate() {
+        let events = parse_trace(sec).expect("chaos trace parses");
+        let ws = collect_witnesses(&events);
+        // The final flush wins if the registry was dumped mid-run too.
+        let last = |ev: &str, name: &str, field: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.str_of("ev") == Some(ev) && e.str_of("name") == Some(name))
+                .filter_map(|e| e.u64_of(field))
+                .next_back()
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            last("ctr", "sim.sent", "v"),
+            ws.len() as u64,
+            "trial {i}: sent counter vs witnesses"
+        );
+        let delivered: Vec<&RouteWitness> = ws.iter().filter(|w| w.delivered()).collect();
+        assert_eq!(
+            last("ctr", "fate.delivered", "v"),
+            delivered.len() as u64,
+            "trial {i}: delivered counter vs witness fates"
+        );
+        let hop_sum: u64 = delivered
+            .iter()
+            .map(|w| (w.route().len().saturating_sub(1)) as u64)
+            .sum();
+        assert_eq!(
+            last("hist", "sim.delivered_hops", "sum"),
+            hop_sum,
+            "trial {i}: delivered-hops histogram vs summed witness routes"
+        );
+    }
+}
