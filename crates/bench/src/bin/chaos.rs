@@ -10,13 +10,32 @@
 //! off|metrics|hops|debug`, default `hops`) for `bin/tracecat` to
 //! summarise or diff. Same seed, same level → byte-identical trace,
 //! at any worker count.
+//!
+//! With `--provisioner oracle --artifact-dir DIR` every trial network
+//! is provisioned from the precomputed view artifacts `DIR/k<K>.lrvo`
+//! (written by `bin/oracle build --chaos-seed`). The directory must
+//! cover every trial `k` — a missing or mismatched artifact is a hard
+//! error, so the verify gate's BFS-vs-oracle stdout diff genuinely
+//! exercises the oracle path.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use local_routing::ViewArtifact;
+use locality_bench::chaos;
 use locality_sim::Level;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
     let mut seed = 7u64;
     let mut trace_out: Option<String> = None;
     let mut level = Level::Hops;
+    let mut oracle = false;
+    let mut artifact_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,15 +50,44 @@ fn main() {
                     level = l;
                 }
             }
+            "--provisioner" => match args.next().as_deref() {
+                Some("bfs") => oracle = false,
+                Some("oracle") => oracle = true,
+                other => fail(&format!("--provisioner takes bfs|oracle, got {other:?}")),
+            },
+            "--artifact-dir" => artifact_dir = args.next(),
             _ => {}
         }
     }
-    let (json, trace) =
-        locality_bench::chaos::report_with_trace(seed, trace_out.as_ref().map(|_| level));
+    if oracle {
+        let Some(dir) = artifact_dir else {
+            fail("--provisioner oracle requires --artifact-dir DIR");
+        };
+        if trace_out.is_some() {
+            fail("--trace-out is not supported with --provisioner oracle");
+        }
+        let mut artifacts: BTreeMap<u32, Arc<ViewArtifact>> = BTreeMap::new();
+        for k in chaos::trial_ks() {
+            let path = format!("{dir}/k{k}.lrvo");
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => fail(&format!("cannot read artifact {path}: {e}")),
+            };
+            match ViewArtifact::from_bytes(bytes) {
+                Ok(a) => artifacts.insert(k, Arc::new(a)),
+                Err(e) => fail(&format!("artifact {path} rejected: {e}")),
+            };
+        }
+        match chaos::report_with_artifacts(seed, &artifacts) {
+            Ok(json) => println!("{json}"),
+            Err(e) => fail(&format!("artifacts do not match seed {seed}: {e}")),
+        }
+        return;
+    }
+    let (json, trace) = chaos::report_with_trace(seed, trace_out.as_ref().map(|_| level));
     if let Some(path) = trace_out {
         if let Err(e) = std::fs::write(&path, &trace) {
-            eprintln!("chaos: cannot write trace to {path}: {e}");
-            std::process::exit(1);
+            fail(&format!("cannot write trace to {path}: {e}"));
         }
     }
     println!("{json}");

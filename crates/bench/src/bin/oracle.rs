@@ -1,0 +1,200 @@
+//! Routing-oracle artifact tool: precompute once, serve forever.
+//!
+//! Builds, inspects, and verifies the versioned, checksummed view
+//! artifacts (`*.lrvo`) that [`local_routing::ViewArtifact`] defines:
+//! every node's k-neighbourhood view — subgraph, labels, distances,
+//! and the min-label first-step table — extracted offline so a
+//! simulator boot decodes blobs instead of running n BFS traversals.
+//!
+//! ```text
+//! oracle build --graph FILE --k K --out FILE.lrvo
+//! oracle build --chaos-seed N --out-dir DIR
+//! oracle inspect FILE.lrvo
+//! oracle verify FILE.lrvo [--graph FILE --k K]
+//! ```
+//!
+//! Graph files are autodetected: the native `n`/`l`/`e` format or a
+//! plain `u v` edgelist. Every subcommand prints one line of JSON on
+//! success; errors go to stderr with exit status 1.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use local_routing::ViewArtifact;
+use locality_bench::chaos;
+use locality_graph::{io, Graph, NodeId};
+
+const USAGE: &str = "usage: oracle build --graph FILE --k K --out FILE.lrvo | \
+oracle build --chaos-seed N --out-dir DIR | oracle inspect FILE.lrvo | \
+oracle verify FILE.lrvo [--graph FILE --k K]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("oracle: {msg}");
+    eprintln!("{USAGE}");
+    exit(1);
+}
+
+/// Reads a graph file, autodetecting the native format (tagged `n`/
+/// `l`/`e` lines) versus a plain edgelist (`u v` lines).
+fn read_graph(path: &str) -> Graph {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read graph {path}: {e}")),
+    };
+    let native = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .is_some_and(|l| matches!(l.split_whitespace().next(), Some("n" | "l" | "e")));
+    let parsed = if native {
+        io::from_str(&text)
+    } else {
+        io::from_edgelist(&text)
+    };
+    match parsed {
+        Ok(g) => g,
+        Err(e) => fail(&format!("cannot parse graph {path}: {e}")),
+    }
+}
+
+fn read_artifact(path: &str) -> ViewArtifact {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => fail(&format!("cannot read artifact {path}: {e}")),
+    };
+    match ViewArtifact::from_bytes(bytes) {
+        Ok(a) => a,
+        Err(e) => fail(&format!("artifact {path} rejected: {e}")),
+    }
+}
+
+fn header_json(a: &ViewArtifact) -> String {
+    format!(
+        "\"k\":{},\"n\":{},\"graph_edges\":{},\"bytes\":{},\"checksum\":\"{:016x}\"",
+        a.k(),
+        a.node_count(),
+        a.graph_edge_count(),
+        a.as_bytes().len(),
+        a.checksum(),
+    )
+}
+
+fn write_artifact(a: &ViewArtifact, path: &str) {
+    if let Err(e) = std::fs::write(path, a.as_bytes()) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+}
+
+/// `build --graph FILE --k K --out FILE.lrvo`, or `build
+/// --chaos-seed N --out-dir DIR` for the full chaos trial-k set.
+fn build(args: &[String]) {
+    let mut graph: Option<String> = None;
+    let mut k: Option<u32> = None;
+    let mut out: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--graph" => graph = it.next().cloned(),
+            "--k" => k = it.next().and_then(|v| v.parse().ok()),
+            "--out" => out = it.next().cloned(),
+            "--chaos-seed" => chaos_seed = it.next().and_then(|v| v.parse().ok()),
+            "--out-dir" => out_dir = it.next().cloned(),
+            other => fail(&format!("unknown build flag {other}")),
+        }
+    }
+    if let Some(seed) = chaos_seed {
+        let Some(dir) = out_dir else {
+            fail("build --chaos-seed requires --out-dir DIR");
+        };
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            fail(&format!("cannot create {dir}: {e}"));
+        }
+        let g = chaos::topology(seed);
+        let ks = chaos::trial_ks();
+        let mut total = 0usize;
+        for &k in &ks {
+            let a = ViewArtifact::build(&g, k);
+            total += a.as_bytes().len();
+            write_artifact(&a, &format!("{dir}/k{k}.lrvo"));
+        }
+        println!(
+            "{{\"bench\":\"oracle-build\",\"chaos_seed\":{},\"n\":{},\"ks\":{:?},\"artifacts\":{},\"total_bytes\":{}}}",
+            seed,
+            g.node_count(),
+            ks,
+            ks.len(),
+            total,
+        );
+        return;
+    }
+    let (Some(graph), Some(k), Some(out)) = (graph, k, out) else {
+        fail("build requires --graph FILE --k K --out FILE (or --chaos-seed N --out-dir DIR)");
+    };
+    let g = read_graph(&graph);
+    let a = ViewArtifact::build(&g, k);
+    write_artifact(&a, &out);
+    println!("{{\"bench\":\"oracle-build\",{}}}", header_json(&a));
+}
+
+fn inspect(args: &[String]) {
+    let [path] = args else {
+        fail("inspect takes exactly one artifact path");
+    };
+    let a = read_artifact(path);
+    println!("{{\"bench\":\"oracle-inspect\",{}}}", header_json(&a));
+}
+
+/// Decodes every view in the artifact (the checksum already passed in
+/// `from_bytes`), and with `--graph`/`--k` also checks the artifact
+/// matches that topology.
+fn verify(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut graph: Option<String> = None;
+    let mut k: Option<u32> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--graph" => graph = it.next().cloned(),
+            "--k" => k = it.next().and_then(|v| v.parse().ok()),
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => fail(&format!("unknown verify argument {other}")),
+        }
+    }
+    let Some(path) = path else {
+        fail("verify takes an artifact path");
+    };
+    let a = Arc::new(read_artifact(&path));
+    let mut matched = false;
+    if let Some(gpath) = graph {
+        let g = read_graph(&gpath);
+        let k = k.unwrap_or_else(|| a.k());
+        if let Err(e) = a.ensure_matches(&g, k) {
+            fail(&format!("artifact {path} does not match {gpath}: {e}"));
+        }
+        matched = true;
+    }
+    for u in 0..a.node_count() {
+        if let Err(e) = a.decode_view(NodeId(u)) {
+            fail(&format!("artifact {path}: view of node {u} corrupt: {e}"));
+        }
+    }
+    println!(
+        "{{\"bench\":\"oracle-verify\",\"ok\":true,\"views_decoded\":{},\"topology_checked\":{},{}}}",
+        a.node_count(),
+        matched,
+        header_json(&a),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "build" => build(rest),
+        Some((cmd, rest)) if cmd == "inspect" => inspect(rest),
+        Some((cmd, rest)) if cmd == "verify" => verify(rest),
+        Some((cmd, _)) => fail(&format!("unknown subcommand {cmd}")),
+        None => fail("missing subcommand"),
+    }
+}

@@ -14,13 +14,16 @@
 //! exactly that via `bin/chaos`, and `tests/sim_scheduler_parity.rs`
 //! pins the seed-7 output to a committed golden.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use local_routing::baselines::{LowestRankForward, RightHandRule};
-use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter};
+use local_routing::{Alg1, Alg1B, Alg2, Alg3, LocalRouter, ViewArtifact};
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, Graph, NodeId};
 use locality_sim::{
     driver, ChurnConfig, DeadLinkPolicy, FaultConfig, FaultPlan, Level, LinkProfile,
-    NetworkBuilder, NetworkMetrics, Recorder,
+    NetworkBuilder, NetworkMetrics, Provisioner, Recorder, SimError,
 };
 
 const N: usize = 48;
@@ -105,6 +108,7 @@ fn soak(
     name: &'static str,
     seed: u64,
     trace: Option<Level>,
+    artifact: Option<Arc<ViewArtifact>>,
 ) -> SoakReport {
     let plan = FaultPlan::random_churn(
         g,
@@ -116,6 +120,11 @@ fn soak(
         .fault_plan(plan);
     if let Some(level) = trace {
         b = b.recorder(Recorder::new(level));
+    }
+    if let Some(a) = artifact {
+        // The entry points validated the artifact against (g, k), so
+        // sim's panicking build is unreachable-on-error here.
+        b = b.provisioner(Provisioner::Oracle(a));
     }
     let mut net = b.build(router);
     let mut traffic = DetRng::seed_from_u64(seed ^ 0xC0FFEE);
@@ -201,11 +210,50 @@ pub fn report_with_trace_threads(
     trace: Option<Level>,
     threads: usize,
 ) -> (String, Vec<u8>) {
-    let g = generators::random_connected(N, EXTRA_EDGES, &mut DetRng::seed_from_u64(seed));
+    run(seed, trace, threads, None)
+}
 
-    // (name, k, is_sweep_row): six routers at their own minimum
-    // locality, then Algorithm 3 below, at, and above its threshold
-    // k = n/2.
+/// The seed's soak topology — the graph `bin/oracle build
+/// --chaos-seed` precomputes view artifacts for.
+pub fn topology(seed: u64) -> Graph {
+    generators::random_connected(N, EXTRA_EDGES, &mut DetRng::seed_from_u64(seed))
+}
+
+/// Every locality parameter the soak's eleven trials use, sorted and
+/// deduped — the artifact set a fully oracle-provisioned soak needs.
+pub fn trial_ks() -> Vec<u32> {
+    let mut ks: Vec<u32> = trials().iter().map(|&(_, k, _)| k).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    ks
+}
+
+/// [`report`] with the networks provisioned from precomputed view
+/// artifacts, keyed by `k`. A trial whose `k` has no artifact falls
+/// back to BFS provisioning (`bin/chaos` refuses an incomplete
+/// directory instead, so the verify gate always exercises the oracle
+/// path). The output is byte-identical to [`report`] — that is the
+/// whole point, and `scripts/verify.sh` diffs exactly that.
+///
+/// # Errors
+///
+/// Returns [`SimError::Oracle`] when any artifact does not match the
+/// seed's topology, before any trial runs.
+pub fn report_with_artifacts(
+    seed: u64,
+    artifacts: &BTreeMap<u32, Arc<ViewArtifact>>,
+) -> Result<String, SimError> {
+    let g = topology(seed);
+    for a in artifacts.values() {
+        a.ensure_matches(&g, a.k())?;
+    }
+    Ok(run(seed, None, driver::default_threads(), Some(artifacts)).0)
+}
+
+/// The eleven (name, k, is_sweep_row) trials: six routers at their own
+/// minimum locality, then Algorithm 3 below, at, and above its
+/// threshold k = n/2.
+fn trials() -> Vec<(&'static str, u32, bool)> {
     let mut trials: Vec<(&'static str, u32, bool)> = vec![
         ("algorithm-1", Alg1.min_locality(N), false),
         ("algorithm-1b", Alg1B.min_locality(N), false),
@@ -223,9 +271,21 @@ pub fn report_with_trace_threads(
             .into_iter()
             .map(|k| ("algorithm-3", k, true)),
     );
+    trials
+}
+
+fn run(
+    seed: u64,
+    trace: Option<Level>,
+    threads: usize,
+    artifacts: Option<&BTreeMap<u32, Arc<ViewArtifact>>>,
+) -> (String, Vec<u8>) {
+    let g = topology(seed);
+    let trials = trials();
 
     let rendered = driver::run_trials(&trials, threads, |_, &(name, k, is_sweep)| {
-        let r = soak(&g, k, router_by_name(name), name, seed, trace);
+        let artifact = artifacts.and_then(|m| m.get(&k)).cloned();
+        let r = soak(&g, k, router_by_name(name), name, seed, trace, artifact);
         let json = if is_sweep {
             format!(
                 "{{\"k\":{},\"delivery_ratio\":{:.4},\"delivered\":{},\"sent\":{},\"retries\":{}}}",

@@ -1,0 +1,60 @@
+//! CLI smoke tests for `bin/tracecat`: the exit-status contract that
+//! `scripts/verify.sh` leans on (0 = success / identical traces, 1 =
+//! usage or I/O error, 2 = divergence) must not drift.
+
+use std::process::Command;
+
+fn tracecat(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tracecat"))
+        .args(args)
+        .output()
+        .expect("spawn tracecat")
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = tracecat(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = tracecat(&["frobnicate", "x"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unreadable_path_is_an_io_error() {
+    let out = tracecat(&["summary", "/nonexistent/trace.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn diff_exits_zero_on_identical_and_two_on_divergent() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let a = dir.join(format!("tracecat-smoke-{pid}-a.jsonl"));
+    let b = dir.join(format!("tracecat-smoke-{pid}-b.jsonl"));
+    let c = dir.join(format!("tracecat-smoke-{pid}-c.jsonl"));
+    std::fs::write(&a, "{\"ev\":\"send\",\"tick\":0}\n").expect("write a");
+    std::fs::write(&b, "{\"ev\":\"send\",\"tick\":0}\n").expect("write b");
+    std::fs::write(&c, "{\"ev\":\"send\",\"tick\":1}\n").expect("write c");
+    let (a_s, b_s, c_s) = (
+        a.to_str().expect("utf8 path"),
+        b.to_str().expect("utf8 path"),
+        c.to_str().expect("utf8 path"),
+    );
+    let same = tracecat(&["diff", a_s, b_s]);
+    assert_eq!(same.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&same.stdout).contains("zero divergence"));
+    let diverged = tracecat(&["diff", a_s, c_s]);
+    assert_eq!(diverged.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&diverged.stdout).contains("first divergence"));
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+    let _ = std::fs::remove_file(&c);
+}

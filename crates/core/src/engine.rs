@@ -9,13 +9,14 @@
 #![allow(clippy::disallowed_types)]
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use locality_graph::{traversal, Graph, NodeId};
 
 use crate::error::RoutingError;
 use crate::model::Packet;
+use crate::oracle::ViewArtifact;
 use crate::traits::LocalRouter;
 use crate::view::LocalView;
 
@@ -214,9 +215,24 @@ impl<'g> ViewCache<'g> {
 pub struct ViewStore {
     k: u32,
     shards: Vec<RwLock<HashMap<NodeId, Arc<LocalView>>>>,
+    /// Precomputed payloads to materialize misses from, when the store
+    /// was opened over an artifact ([`from_artifact`](Self::from_artifact)).
+    backing: Option<ArtifactBacking>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    artifact_loads: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+/// The oracle side of a [`ViewStore`]: the artifact misses are decoded
+/// from, plus a per-node staleness flag. Invalidation marks a node
+/// stale instead of merely evicting it, so the next lookup re-extracts
+/// from the *live* graph rather than serving a payload the topology
+/// has moved past.
+struct ArtifactBacking {
+    artifact: Arc<ViewArtifact>,
+    stale: Vec<AtomicBool>,
 }
 
 /// Cumulative effectiveness counters of a [`ViewStore`]: how often a
@@ -229,10 +245,19 @@ pub struct ViewStore {
 pub struct ViewStoreStats {
     /// Lookups served from an existing entry.
     pub hits: u64,
-    /// Lookups that extracted a fresh view.
+    /// Lookups that materialized a fresh view (by extraction, or by
+    /// artifact decode on a backed store).
     pub misses: u64,
     /// Invalidations that evicted a cached entry.
     pub invalidations: u64,
+    /// Misses served by decoding the backing artifact (lazy
+    /// materialization; zero on unbacked stores).
+    pub artifact_loads: u64,
+    /// Misses on a **backed** store that had to fall back to BFS
+    /// extraction because the entry was stale — the churn conservation
+    /// counter: after a wave, this grows by exactly the dirty-radius
+    /// node count, proving untouched entries were never rebuilt.
+    pub rebuilds: u64,
 }
 
 impl ViewStore {
@@ -243,10 +268,32 @@ impl ViewStore {
             shards: (0..VIEW_CACHE_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            backing: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            artifact_loads: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
         }
+    }
+
+    /// Opens a store over a prebuilt [`ViewArtifact`]: lookups decode
+    /// the node's payload from the arena instead of running extraction
+    /// BFS, until [`invalidate`](Self::invalidate) marks a node stale —
+    /// from then on that node (and only that node) re-extracts from the
+    /// live graph, exactly like an unbacked store.
+    pub fn from_artifact(artifact: Arc<ViewArtifact>) -> ViewStore {
+        let mut store = ViewStore::new(artifact.k());
+        let stale = (0..artifact.node_count())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        store.backing = Some(ArtifactBacking { artifact, stale });
+        store
+    }
+
+    /// Whether misses are served from an artifact.
+    pub fn is_artifact_backed(&self) -> bool {
+        self.backing.is_some()
     }
 
     /// Snapshot of the cumulative hit/miss/invalidation counters.
@@ -255,6 +302,8 @@ impl ViewStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            artifact_loads: self.artifact_loads.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
         }
     }
 
@@ -300,9 +349,32 @@ impl ViewStore {
             return Arc::clone(v);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = Arc::new(LocalView::extract(graph, u, self.k));
+        let v = Arc::new(self.materialize(graph, u));
         map.insert(u, Arc::clone(&v));
         v
+    }
+
+    /// Produces the view for a miss: decoded from the artifact when the
+    /// store is backed and `u` is not stale, else extracted from the
+    /// live graph. A decode failure also falls back to extraction — the
+    /// decoded and extracted views are behaviourally identical by the
+    /// artifact contract, so degrading is always safe — but counts as a
+    /// rebuild, so the conservation counter exposes it.
+    fn materialize(&self, graph: &Graph, u: NodeId) -> LocalView {
+        if let Some(b) = &self.backing {
+            let fresh = b
+                .stale
+                .get(u.index())
+                .is_some_and(|s| !s.load(Ordering::Relaxed));
+            if fresh {
+                if let Ok(view) = b.artifact.decode_view(u) {
+                    self.artifact_loads.fetch_add(1, Ordering::Relaxed);
+                    return view;
+                }
+            }
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        LocalView::extract(graph, u, self.k)
     }
 
     /// Drops the cached view at `u`, forcing re-extraction on the next
@@ -310,7 +382,17 @@ impl ViewStore {
     /// out keep the old view alive — exactly the stale-view semantics
     /// the simulator wants for nodes that have not yet been told about
     /// a topology change.
+    ///
+    /// On an artifact-backed store this also marks `u` **stale**: its
+    /// payload describes a topology that no longer exists, so every
+    /// later miss at `u` re-extracts from the live graph instead of
+    /// decoding.
     pub fn invalidate(&self, u: NodeId) -> bool {
+        if let Some(b) = &self.backing {
+            if let Some(s) = b.stale.get(u.index()) {
+                s.store(true, Ordering::Relaxed);
+            }
+        }
         let evicted = self
             .shard_of(u)
             .write()

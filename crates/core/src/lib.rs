@@ -61,6 +61,7 @@ pub mod baselines;
 pub mod engine;
 mod error;
 mod model;
+pub mod oracle;
 pub mod position;
 pub mod preprocess;
 pub mod stateful;
@@ -74,5 +75,6 @@ pub use alg3::{Alg3, Alg3OriginAware};
 pub use engine::{ViewCache, ViewStore, ViewStoreStats};
 pub use error::RoutingError;
 pub use model::{Awareness, Packet};
+pub use oracle::{OracleError, ViewArtifact};
 pub use traits::LocalRouter;
 pub use view::{LocalView, RoutingView};

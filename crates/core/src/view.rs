@@ -17,25 +17,35 @@ use crate::preprocess::{self, EdgeKey, Preprocessed};
 /// graph, so a router holding one *cannot* observe anything beyond `k`
 /// hops — locality is a type-level guarantee, not a convention.
 ///
-/// Internally the view is flat: labels live in a `Vec` aligned with the
-/// raw subgraph's slot order, distances in a [`DistMap`], and the
+/// Internally the view is flat: labels and centre distances live in
+/// `Vec`s aligned with the raw subgraph's slot order, and the
 /// label→node lookup in a sorted vector searched by binary search. No
-/// per-query allocation or tree traversal happens on the hot path.
+/// per-query allocation or tree traversal happens on the hot path, and
+/// every per-node array is sized to the view's member count — not the
+/// parent graph — so thousands of resident views (the oracle
+/// cold-start case) cost memory proportional to what they can see.
 pub struct LocalView {
     center: NodeId,
     k: u32,
     raw: Subgraph,
-    raw_dist: DistMap,
+    /// `dists[raw.slot_of(x)]` is the distance from the centre to `x`;
+    /// every member of `G_k(u)` is reached, so the vec is total.
+    dists: Vec<u32>,
     /// `labels[raw.slot_of(x)]` is the label of visible node `x`.
     labels: Vec<Label>,
     /// Sorted by label; binary-searched by [`node_by_label`](Self::node_by_label).
-    by_label: Vec<(Label, NodeId)>,
+    /// Built on first query: cold provisioning (BFS and artifact paths
+    /// alike) never asks for it, so the sort and the allocation stay
+    /// off the materialisation path entirely.
+    by_label: OnceLock<Vec<(Label, NodeId)>>,
     routing: OnceLock<RoutingView>,
     raw_analysis: OnceLock<ComponentAnalysis>,
     /// All-targets memo for [`shortest_step_toward`](Self::shortest_step_toward),
-    /// indexed by the target's raw slot. Built by a single BFS on first
-    /// use (see [`step_table`](Self::step_table)).
-    steps: OnceLock<Vec<Option<NodeId>>>,
+    /// indexed by the target's raw slot and packed as the step's slot
+    /// plus one (`0` = no step) — the artifact wire encoding, so
+    /// decoded payloads seed it verbatim. Built by a single BFS on
+    /// first use (see [`step_table`](Self::step_table)).
+    steps: OnceLock<Vec<u32>>,
 }
 
 /// The preprocessed routing structure `G'_k(u)` (§5.1) with its
@@ -60,24 +70,56 @@ impl LocalView {
     /// Panics if `u` is not a node of `graph`.
     pub fn extract(graph: &Graph, u: NodeId, k: u32) -> LocalView {
         let (raw, raw_dist) = neighborhood::k_neighborhood_with_distances(graph, u, k);
-        let labels: Vec<Label> = raw.node_slice().iter().map(|&x| graph.label(x)).collect();
-        let mut by_label: Vec<(Label, NodeId)> = raw
+        // Re-pack the BFS distances slot-aligned; members are exactly
+        // the reached set, so the fallback is unreachable.
+        let dists: Vec<u32> = raw
             .node_slice()
             .iter()
-            .zip(&labels)
-            .map(|(&x, &l)| (l, x))
+            .map(|&x| raw_dist.get(x).unwrap_or(0))
             .collect();
-        by_label.sort_unstable();
+        let labels: Vec<Label> = raw.node_slice().iter().map(|&x| graph.label(x)).collect();
         LocalView {
             center: u,
             k,
             raw,
-            raw_dist,
+            dists,
             labels,
-            by_label,
+            by_label: OnceLock::new(),
             routing: OnceLock::new(),
             raw_analysis: OnceLock::new(),
             steps: OnceLock::new(),
+        }
+    }
+
+    /// Reassembles a view from decoded artifact parts (the oracle's
+    /// load path). `steps` is the precomputed min-label first-step
+    /// table in raw slot order; it seeds the [`step_table`] memo so a
+    /// decoded view never re-runs that BFS. The caller
+    /// ([`crate::oracle`]) has validated that the parts are mutually
+    /// consistent — slot-aligned `labels` and `dists` covering
+    /// exactly the members — before constructing.
+    ///
+    /// [`step_table`]: Self::step_table
+    pub(crate) fn from_parts(
+        center: NodeId,
+        k: u32,
+        raw: Subgraph,
+        dists: Vec<u32>,
+        labels: Vec<Label>,
+        steps: Vec<u32>,
+    ) -> LocalView {
+        let seeded = OnceLock::new();
+        let _ = seeded.set(steps);
+        LocalView {
+            center,
+            k,
+            raw,
+            dists,
+            labels,
+            by_label: OnceLock::new(),
+            routing: OnceLock::new(),
+            raw_analysis: OnceLock::new(),
+            steps: seeded,
         }
     }
 
@@ -130,12 +172,28 @@ impl LocalView {
         self.labels[slot]
     }
 
+    /// The label-sorted lookup table, built on first use.
+    fn by_label(&self) -> &[(Label, NodeId)] {
+        self.by_label.get_or_init(|| {
+            let mut v: Vec<(Label, NodeId)> = self
+                .raw
+                .node_slice()
+                .iter()
+                .zip(&self.labels)
+                .map(|(&x, &l)| (l, x))
+                .collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
     /// Finds a visible node by label.
     pub fn node_by_label(&self, l: Label) -> Option<NodeId> {
-        self.by_label
+        let table = self.by_label();
+        table
             .binary_search_by_key(&l, |&(lbl, _)| lbl)
             .ok()
-            .map(|i| self.by_label[i].1)
+            .map(|i| table[i].1)
     }
 
     /// Whether any visible node carries label `l`.
@@ -145,7 +203,8 @@ impl LocalView {
 
     /// Distance from the centre within the view, if `x` is visible.
     pub fn dist_from_center(&self, x: NodeId) -> Option<u32> {
-        self.raw_dist.get(x)
+        let slot = self.raw.slot_of(x)?;
+        self.dists.get(slot).copied()
     }
 
     /// Neighbours of the centre in `G_k(u)`, sorted by node id.
@@ -166,7 +225,10 @@ impl LocalView {
     /// into one traversal is what makes this call cheap.
     pub fn shortest_step_toward(&self, target: NodeId) -> Option<NodeId> {
         let slot = self.raw.slot_of(target)?;
-        self.step_table().get(slot).copied().flatten()
+        match self.step_table().get(slot) {
+            Some(&s) if s != 0 => Some(self.raw.id_of(s as usize - 1)),
+            _ => None,
+        }
     }
 
     /// Slot-indexed table of lowest-label shortest first steps, for
@@ -184,10 +246,20 @@ impl LocalView {
     /// are their own unique first step. Processing the queue in BFS
     /// order finalizes every depth-`(d-1)` entry before any depth-`d`
     /// node is dequeued.
-    fn step_table(&self) -> &[Option<NodeId>] {
+    pub(crate) fn step_table(&self) -> &[u32] {
         self.steps.get_or_init(|| {
             let n = self.raw.node_count();
-            let mut step: Vec<Option<NodeId>> = vec![None; n];
+            // Transient id → slot scratch: the wavefront resolves a
+            // slot per edge end, which must stay O(1) even when the
+            // view's IndexMap chose its sparse representation. The
+            // scratch is freed on return, so it never joins the
+            // resident footprint of a cached view.
+            let bound = self.raw.node_slice().last().map_or(0, |m| m.index() + 1);
+            let mut slot_by_id = vec![u32::MAX; bound];
+            for (s, &x) in self.raw.node_slice().iter().enumerate() {
+                slot_by_id[x.index()] = s as u32;
+            }
+            let mut step: Vec<u32> = vec![0; n];
             let mut depth: Vec<u32> = vec![u32::MAX; n];
             let mut queue = std::collections::VecDeque::with_capacity(n);
             if let Some(c) = self.raw.slot_of(self.center) {
@@ -196,10 +268,10 @@ impl LocalView {
             }
             while let Some((u, us)) = queue.pop_front() {
                 let du = depth[us];
-                for &w in self.raw.neighbors(u) {
-                    let Some(ws) = self.raw.slot_of(w) else {
-                        continue;
-                    };
+                for &w in self.raw.neighbors_of_slot(us) {
+                    // CSR targets are members, so the scratch lookup
+                    // cannot miss.
+                    let ws = slot_by_id[w.index()] as usize;
                     if depth[ws] == u32::MAX {
                         depth[ws] = du + 1;
                         queue.push_back((w, ws));
@@ -207,13 +279,25 @@ impl LocalView {
                     if depth[ws] == du + 1 {
                         // First step this edge contributes: `w` itself
                         // from the centre, else whatever reaches `u`.
-                        let cand = if u == self.center { Some(w) } else { step[us] };
-                        step[ws] = match (step[ws], cand) {
-                            (Some(a), Some(b)) => {
-                                Some(if self.label(b) < self.label(a) { b } else { a })
-                            }
-                            (a, b) => a.or(b),
+                        // Entries are step slots plus one, so label
+                        // comparison is two direct loads.
+                        let cand = if u == self.center {
+                            ws as u32 + 1
+                        } else {
+                            step[us]
                         };
+                        if cand != 0 {
+                            step[ws] = if step[ws] == 0 {
+                                cand
+                            } else {
+                                let (a, b) = (step[ws] as usize - 1, cand as usize - 1);
+                                if self.labels[b] < self.labels[a] {
+                                    cand
+                                } else {
+                                    step[ws]
+                                }
+                            };
+                        }
                     }
                 }
             }

@@ -3,13 +3,21 @@
 //! A [`Subgraph`](crate::Subgraph) holds a sparse subset of a parent
 //! graph's nodes. [`IndexMap`] gives that subset dense, contiguous slot
 //! numbers so per-node side data (labels, distances, CSR offsets) can
-//! live in flat `Vec`s instead of tree maps. Lookups in both directions
-//! are O(1): parent → slot is an array index, slot → parent reads the
-//! sorted member list.
+//! live in flat `Vec`s instead of tree maps. Slot → parent reads the
+//! sorted member list; parent → slot is an array index for dense
+//! subsets and a binary search over the member list for sparse ones
+//! (the representation is picked automatically by density).
 
 use crate::labels::NodeId;
 
 const ABSENT: u32 = u32::MAX;
+
+/// Above this many table entries per member the dense id → slot table
+/// is dropped in favour of binary search: a `G_k(u)` view holds a few
+/// hundred members of a many-thousand-id parent, and materialising
+/// thousands of such views makes the per-view zero fill and cache
+/// footprint of the table cost far more than O(log members) lookups.
+const DENSE_FACTOR: usize = 4;
 
 /// Bidirectional map between sparse parent [`NodeId`]s and dense slots.
 ///
@@ -28,10 +36,16 @@ const ABSENT: u32 = u32::MAX;
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IndexMap {
-    /// parent id → slot, `ABSENT` when the id is not a member.
+    /// parent id → slot, `ABSENT` when the id is not a member. Left
+    /// empty when the map is sparse (see [`DENSE_FACTOR`]); lookups
+    /// then binary-search `members`. The choice is a pure function of
+    /// `(members, id_bound)`, so equal inputs stay `==`.
     slots: Vec<u32>,
     /// slot → parent id, ascending.
     members: Vec<NodeId>,
+    /// Exclusive upper bound on parent ids, independent of whether the
+    /// dense table is materialised.
+    id_bound: usize,
 }
 
 impl IndexMap {
@@ -43,19 +57,29 @@ impl IndexMap {
     /// Panics if `members` is not strictly ascending or contains an id
     /// at or above `id_bound`.
     pub fn from_sorted_ids(members: Vec<NodeId>, id_bound: usize) -> Self {
-        let mut slots = vec![ABSENT; id_bound];
-        for (i, w) in members.windows(2).enumerate() {
+        for w in members.windows(2) {
             assert!(w[0] < w[1], "IndexMap members must be strictly ascending");
-            let _ = i;
         }
-        for (slot, &u) in members.iter().enumerate() {
+        if let Some(&last) = members.last() {
+            // Ascending order makes the last member the maximum, so
+            // one comparison bounds them all.
             assert!(
-                u.index() < id_bound,
-                "member {u} outside id_bound {id_bound}"
+                last.index() < id_bound,
+                "member {last} outside id_bound {id_bound}"
             );
-            slots[u.index()] = slot as u32;
         }
-        IndexMap { slots, members }
+        let mut slots = Vec::new();
+        if id_bound <= members.len().saturating_mul(DENSE_FACTOR) {
+            slots = vec![ABSENT; id_bound];
+            for (slot, &u) in members.iter().enumerate() {
+                slots[u.index()] = slot as u32;
+            }
+        }
+        IndexMap {
+            slots,
+            members,
+            id_bound,
+        }
     }
 
     /// Number of members.
@@ -73,12 +97,18 @@ impl IndexMap {
     /// Exclusive upper bound on parent ids this map can answer for.
     #[inline]
     pub fn id_bound(&self) -> usize {
-        self.slots.len()
+        self.id_bound
     }
 
     /// The dense slot of parent id `u`, or `None` if `u` is not a member.
     #[inline]
     pub fn slot_of(&self, u: NodeId) -> Option<usize> {
+        if self.slots.is_empty() {
+            // Sparse representation: members are sorted ascending and
+            // slot order equals id order, so the found position *is*
+            // the slot.
+            return self.members.binary_search(&u).ok();
+        }
         match self.slots.get(u.index()) {
             Some(&s) if s != ABSENT => Some(s as usize),
             _ => None,
@@ -142,5 +172,26 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_members_panic() {
         IndexMap::from_sorted_ids(vec![NodeId(2), NodeId(1)], 4);
+    }
+
+    #[test]
+    fn sparse_and_dense_representations_agree() {
+        // Same member set indexed under a tight bound (dense table)
+        // and a loose bound (binary search): every lookup must agree,
+        // and id_bound must report what the caller passed either way.
+        let packed = IndexMap::from_sorted_ids(vec![NodeId(0), NodeId(1), NodeId(2)], 3);
+        assert_eq!(packed.slot_of(NodeId(1)), Some(1));
+        assert_eq!(packed.id_bound(), 3);
+
+        let ids = vec![NodeId(2), NodeId(40), NodeId(41), NodeId(900)];
+        let sparse = IndexMap::from_sorted_ids(ids.clone(), 2048);
+        assert_eq!(sparse.id_bound(), 2048);
+        for (slot, &u) in ids.iter().enumerate() {
+            assert_eq!(sparse.slot_of(u), Some(slot), "member {u}");
+            assert_eq!(sparse.id_of(slot), u);
+        }
+        for probe in [0u32, 3, 39, 42, 899, 901, 2047, 100_000] {
+            assert_eq!(sparse.slot_of(NodeId(probe)), None, "non-member {probe}");
+        }
     }
 }

@@ -1,10 +1,19 @@
 //! Minimal text serialisation for graphs.
 //!
-//! Format: first line `n <node-count>`, then one line per node
-//! `l <node-index> <label>` (omitted when the labelling is the identity),
-//! then one line per edge `e <u> <v>` (node indices). Lines beginning
-//! with `#` are comments. This keeps fixtures diff-able without pulling
-//! in a serialisation framework.
+//! Two formats:
+//!
+//! * the **native** format ([`to_string`] / [`from_str`]): first line
+//!   `n <node-count>`, then one line per node `l <node-index> <label>`
+//!   (omitted when the labelling is the identity), then one line per
+//!   edge `e <u> <v>` (node indices);
+//! * the **plain edgelist** format ([`to_edgelist`] /
+//!   [`from_edgelist`]): one `u v` pair per line, the de-facto exchange
+//!   format of public topology datasets, so real networks can be
+//!   ingested without conversion.
+//!
+//! In both, lines beginning with `#` are comments and blank lines are
+//! ignored. This keeps fixtures diff-able without pulling in a
+//! serialisation framework.
 
 use crate::error::GraphError;
 use crate::graph::{Graph, GraphBuilder};
@@ -96,11 +105,80 @@ pub fn from_str(s: &str) -> Result<Graph, GraphError> {
     Ok(b.build())
 }
 
+/// Serialises a graph as a plain edgelist: one `u v` line per edge.
+///
+/// The edgelist format records topology only: labels are dropped
+/// (parsing yields the identity labelling) and isolated nodes — which
+/// cannot occur in the paper's connected model with `n >= 2` — are not
+/// representable. Each edge appears once as `min max`.
+pub fn to_edgelist(g: &Graph) -> String {
+    let mut out = String::new();
+    for (u, v) in g.edges() {
+        out.push_str(&format!("{} {}\n", u.0, v.0));
+    }
+    out
+}
+
+/// Parses a plain edgelist: one `u v` pair per line, `#` comments and
+/// blank lines tolerated anywhere. The node count is inferred as the
+/// largest endpoint plus one, labels are the identity, and duplicate
+/// edges (common in datasets that list both directions) are deduped
+/// silently.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] (with the offending line number) on
+/// non-integer fields, a missing second field, or trailing tokens, and
+/// [`GraphError::SelfLoop`] on a `u u` line.
+pub fn from_edgelist(s: &str) -> Result<Graph, GraphError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: Option<u32> = None;
+    for (idx, raw) in s.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parse_err = |message: &str| GraphError::Parse {
+            line: line_no,
+            message: message.to_string(),
+        };
+        let mut parts = line.split_whitespace();
+        let u = parts
+            .next()
+            .ok_or_else(|| parse_err("missing first endpoint"))?
+            .parse::<u32>()
+            .map_err(|_| parse_err("first endpoint is not an integer"))?;
+        let v = parts
+            .next()
+            .ok_or_else(|| parse_err("missing second endpoint"))?
+            .parse::<u32>()
+            .map_err(|_| parse_err("second endpoint is not an integer"))?;
+        if parts.next().is_some() {
+            return Err(parse_err("trailing tokens after edge"));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(NodeId(u)));
+        }
+        max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+        edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let n = max_id.map_or(0, |m| m as usize + 1);
+    let mut b = GraphBuilder::with_identity_labels(n);
+    for (u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v))?;
+    }
+    Ok(b.build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators;
     use crate::permute;
+    use crate::rng::DetRng;
 
     #[test]
     fn round_trip_identity_labels() {
@@ -138,5 +216,53 @@ mod tests {
     #[test]
     fn missing_header_is_an_error() {
         assert!(matches!(from_str("e 0 1\n"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn edgelist_round_trips_connected_graphs() {
+        let mut rng = DetRng::seed_from_u64(0xED9E);
+        for n in [2usize, 5, 17, 40] {
+            let g = generators::random_connected(n, n / 3, &mut rng);
+            let s = to_edgelist(&g);
+            let h = from_edgelist(&s).unwrap();
+            assert_eq!(g, h, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn edgelist_tolerates_comments_blanks_and_duplicates() {
+        let s = "# AS-level topology excerpt\n\n0 1\n1 0\n\n  2 1 \n# trailing comment\n";
+        let g = from_edgelist(s).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn edgelist_errors_are_typed() {
+        assert!(matches!(
+            from_edgelist("0 x\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_edgelist("0 1 2\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            from_edgelist("0 1\n3\n"),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+        assert_eq!(
+            from_edgelist("4 4\n").unwrap_err(),
+            GraphError::SelfLoop(NodeId(4))
+        );
+    }
+
+    #[test]
+    fn empty_edgelist_is_the_empty_graph() {
+        let g = from_edgelist("# nothing here\n").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
     }
 }

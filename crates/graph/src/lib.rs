@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod codec;
 pub mod components;
 pub mod cycles;
 pub mod dist;
@@ -55,6 +56,7 @@ pub mod rng;
 mod subgraph;
 pub mod traversal;
 
+pub use codec::CodecError;
 pub use dist::DistMap;
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder};

@@ -92,6 +92,18 @@ impl Subgraph {
         self.neighbors(u).len()
     }
 
+    /// Neighbours of the member occupying `slot` — the slot-addressed
+    /// twin of [`neighbors`](Self::neighbors), for wavefronts that
+    /// already track slots and must not pay a per-call id lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= node_count()`.
+    #[inline]
+    pub fn neighbors_of_slot(&self, slot: usize) -> &[NodeId] {
+        &self.targets[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+
     /// Iterator over nodes in ascending `NodeId` order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.index.members().iter().copied()
@@ -112,6 +124,26 @@ impl Subgraph {
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
         })
+    }
+
+    /// Reassembles a subgraph from pre-validated CSR parts (the codec's
+    /// decode path). The caller must guarantee the CSR invariants:
+    /// `offsets` has `index.len() + 1` monotone entries cutting
+    /// `targets` into sorted runs of members, and `edge_count` is half
+    /// the directed edge ends. [`crate::codec::decode_subgraph`]
+    /// validates all of this before calling.
+    pub(crate) fn from_csr_parts(
+        index: IndexMap,
+        offsets: Vec<u32>,
+        targets: Vec<NodeId>,
+        edge_count: usize,
+    ) -> Subgraph {
+        Subgraph {
+            index,
+            offsets,
+            targets,
+            edge_count,
+        }
     }
 
     /// Returns a copy of the subgraph with node `u` (and its incident
@@ -256,13 +288,23 @@ impl SubgraphBuilder {
         let id_bound = self.nodes.last().map_or(0, |u| u.index() + 1);
         let index = IndexMap::from_sorted_ids(self.nodes, id_bound);
         let n = index.len();
+        // Transient id → slot scratch: the counting sort below resolves
+        // four endpoint lookups per edge, which must stay O(1) even
+        // when the finished IndexMap chose its sparse representation.
+        // Every endpoint was registered by insert_edge, so the lookups
+        // cannot miss.
+        let mut slot_by_id = vec![u32::MAX; id_bound];
+        for (s, &u) in index.members().iter().enumerate() {
+            slot_by_id[u.index()] = s as u32;
+        }
+        let slot = |u: NodeId| slot_by_id[u.index()] as usize;
         // Counting sort of edge endpoints into CSR runs. Edges are
         // sorted by (min, max), and each is emitted in both directions;
         // sorting each run once at the end keeps runs ascending.
         let mut degree = vec![0u32; n];
         for &(u, v) in &self.edges {
-            degree[index.slot_of(u).expect("endpoint registered")] += 1;
-            degree[index.slot_of(v).expect("endpoint registered")] += 1;
+            degree[slot(u)] += 1;
+            degree[slot(v)] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
@@ -272,8 +314,7 @@ impl SubgraphBuilder {
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         let mut targets = vec![NodeId(0); offsets[n] as usize];
         for &(u, v) in &self.edges {
-            let su = index.slot_of(u).expect("endpoint registered");
-            let sv = index.slot_of(v).expect("endpoint registered");
+            let (su, sv) = (slot(u), slot(v));
             targets[cursor[su] as usize] = v;
             cursor[su] += 1;
             targets[cursor[sv] as usize] = u;

@@ -589,6 +589,27 @@ mod tests {
     }
 
     #[test]
+    fn artifact_tier_modules_get_determinism_and_panic_coverage() {
+        // The codec and the oracle produce byte-identical artifacts,
+        // so both must sit inside the R2 determinism net and the R3
+        // panic-policy net; a rename or reclassification that dropped
+        // them out of coverage would go unnoticed without this pin.
+        let src = "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        for rel in ["crates/graph/src/codec.rs", "crates/core/src/oracle.rs"] {
+            let v = check_file(rel, src);
+            assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R3], "{rel}");
+        }
+        // Codec-style clean code — bounds-checked reads, typed errors —
+        // passes untouched.
+        let ok = "fn f(v: &[u8], i: usize) -> Option<u8> { v.get(i).copied() }\n";
+        for rel in ["crates/graph/src/codec.rs", "crates/core/src/oracle.rs"] {
+            assert!(check_file(rel, ok).is_empty(), "{rel}");
+        }
+        // The artifact CLI is a bench bin: neither net reaches it.
+        assert!(check_file("crates/bench/src/bin/oracle.rs", src).is_empty());
+    }
+
+    #[test]
     fn r3_catches_panicking_calls_in_lib_code_only() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
                    fn g(x: Option<u32>) -> u32 { x.expect(\"present\") }\n\

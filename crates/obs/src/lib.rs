@@ -56,6 +56,7 @@
 
 pub mod hist;
 pub mod json;
+pub mod names;
 pub mod record;
 pub mod registry;
 pub mod witness;

@@ -1,0 +1,19 @@
+//! Canonical metric names shared across the stack.
+//!
+//! The simulator emits these into its end-of-run registry flush and
+//! trace tooling greps for them, so the strings live here — below both
+//! in the dependency order — to keep producers and consumers from
+//! drifting. Only names consumed by more than one crate belong here;
+//! purely local counters stay as string literals at their single use
+//! site.
+
+/// Gauge: views served by decoding a precomputed oracle artifact
+/// (emitted only on artifact-backed runs).
+pub const ORACLE_LOADS: &str = "oracle.loads";
+
+/// Gauge: views re-extracted with a k-bounded BFS because a churn wave
+/// marked the artifact entry stale (emitted only on artifact-backed
+/// runs). Together with [`ORACLE_LOADS`] this is the conservation
+/// pair: loads + rebuilds = cold misses, and rebuilds counts exactly
+/// the nodes inside some wave's dirty radius.
+pub const ORACLE_REBUILDS: &str = "oracle.rebuilds";

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use local_routing::OracleError;
 use locality_graph::{GraphError, NodeId};
 
 /// Why a [`crate::Network`] operation was rejected.
@@ -27,6 +28,11 @@ pub enum SimError {
     /// A [`NodeId`] handed to the network does not name a provisioned
     /// node.
     UnknownNode(NodeId),
+    /// The view artifact handed to
+    /// [`crate::Provisioner::Oracle`] does not match the
+    /// topology/locality the network is being built for, or failed to
+    /// decode.
+    Oracle(OracleError),
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +45,7 @@ impl fmt::Display for SimError {
             SimError::UnknownNode(u) => {
                 write!(f, "node {u} is not provisioned in this network")
             }
+            SimError::Oracle(e) => write!(f, "oracle artifact rejected: {e}"),
         }
     }
 }
@@ -47,6 +54,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Topology(e) => Some(e),
+            SimError::Oracle(e) => Some(e),
             SimError::WouldDisconnect(..) | SimError::UnknownNode(..) => None,
         }
     }
@@ -55,5 +63,11 @@ impl std::error::Error for SimError {
 impl From<GraphError> for SimError {
     fn from(e: GraphError) -> SimError {
         SimError::Topology(e)
+    }
+}
+
+impl From<OracleError> for SimError {
+    fn from(e: OracleError) -> SimError {
+        SimError::Oracle(e)
     }
 }

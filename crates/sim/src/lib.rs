@@ -51,7 +51,7 @@ pub use fault::{
     ChurnConfig, DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey, LinkProfile,
 };
 pub use metrics::{MessageFate, MessageRecord, NetworkMetrics};
-pub use network::{MessageId, Network, NetworkBuilder};
+pub use network::{MessageId, Network, NetworkBuilder, Provisioner};
 pub use node::SimNode;
 // Re-exported so callers attaching a recorder need no direct
 // `locality_obs` dependency.

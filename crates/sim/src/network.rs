@@ -7,8 +7,9 @@
 //! injection on top — see [`crate::fault`].
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
-use local_routing::{LocalRouter, ViewStore};
+use local_routing::{LocalRouter, ViewArtifact, ViewStore, ViewStoreStats};
 use locality_graph::rng::DetRng;
 use locality_graph::{traversal, Graph, GraphError, NodeId};
 use locality_obs::{Level, Recorder};
@@ -23,6 +24,26 @@ use crate::slab::{ArrivalData, ArrivalSlab, LoopTable, SeenSet};
 /// Handle to a message injected into a [`Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MessageId(pub u64);
+
+/// How a [`NetworkBuilder`] sources the per-node local views.
+///
+/// Both provisioners yield byte-identical routing behaviour — an
+/// artifact stores exactly what BFS extraction would compute — so the
+/// choice is purely a cost model: `Bfs` pays a k-bounded BFS per node
+/// at build time, `Oracle` pays a decode of a precomputed blob and
+/// falls back to BFS only for nodes a churn wave has dirtied.
+#[derive(Clone, Default)]
+pub enum Provisioner {
+    /// Extract every view with a k-bounded BFS at build time (the
+    /// historical behaviour, and the default).
+    #[default]
+    Bfs,
+    /// Serve views from a precomputed [`ViewArtifact`]. The artifact
+    /// must match the network's topology and `k`;
+    /// [`NetworkBuilder::try_build`] rejects a mismatch with
+    /// [`SimError::Oracle`] before provisioning anything.
+    Oracle(Arc<ViewArtifact>),
+}
 
 /// Builder for a [`Network`].
 ///
@@ -42,6 +63,7 @@ pub struct NetworkBuilder {
     faults: FaultConfig,
     plan: FaultPlan,
     recorder: Option<Recorder>,
+    provisioner: Provisioner,
 }
 
 impl NetworkBuilder {
@@ -54,7 +76,14 @@ impl NetworkBuilder {
             faults: FaultConfig::default(),
             plan: FaultPlan::new(),
             recorder: None,
+            provisioner: Provisioner::Bfs,
         }
+    }
+
+    /// Chooses how views are sourced (default: [`Provisioner::Bfs`]).
+    pub fn provisioner(mut self, p: Provisioner) -> NetworkBuilder {
+        self.provisioner = p;
+        self
     }
 
     /// Attaches a trace [`Recorder`]. The default is none — the
@@ -94,9 +123,29 @@ impl NetworkBuilder {
     /// one persistent [`ViewStore`], so any view needed twice is
     /// extracted once — and the store stays with the network, serving
     /// incremental invalidation when the topology later changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured [`Provisioner::Oracle`] artifact does
+    /// not match the topology; [`try_build`](Self::try_build) is the
+    /// non-panicking form.
     pub fn build<R: LocalRouter + 'static>(self, router: R) -> Network {
+        self.try_build(router)
+            .expect("provisioner artifact matches the topology")
+    }
+
+    /// Like [`build`](Self::build), but rejects a mismatched or
+    /// corrupt oracle artifact with [`SimError::Oracle`] instead of
+    /// panicking. With [`Provisioner::Bfs`] this never fails.
+    pub fn try_build<R: LocalRouter + 'static>(self, router: R) -> Result<Network, SimError> {
         let n = self.graph.node_count();
-        let views = ViewStore::new(self.k);
+        let views = match self.provisioner {
+            Provisioner::Bfs => ViewStore::new(self.k),
+            Provisioner::Oracle(artifact) => {
+                artifact.ensure_matches(&self.graph, self.k)?;
+                ViewStore::from_artifact(artifact)
+            }
+        };
         let nodes: Vec<SimNode> = self
             .graph
             .nodes()
@@ -110,7 +159,7 @@ impl NetworkBuilder {
             }
         }
         let rng = DetRng::seed_from_u64(self.faults.seed);
-        Network {
+        Ok(Network {
             k: self.k,
             hop_budget: if self.hop_budget == 0 {
                 8 * n * n + 16
@@ -140,7 +189,7 @@ impl NetworkBuilder {
             tick: 0,
             next_id: 0,
             trace: self.recorder.map(Box::new),
-        }
+        })
     }
 }
 
@@ -891,6 +940,7 @@ impl Network {
     /// Returns empty bytes when no recorder is attached.
     pub fn finish_trace(&mut self) -> Vec<u8> {
         let vs = self.views.stats();
+        let backed = self.views.is_artifact_backed();
         let slab_hw = self.slab.high_water() as i64;
         let Some(rec) = self.trace.as_deref_mut() else {
             return Vec::new();
@@ -899,8 +949,28 @@ impl Network {
         rec.gauge_set("views.misses", vs.misses as i64);
         rec.gauge_set("views.invalidations", vs.invalidations as i64);
         rec.gauge_set("slab.high_water", slab_hw);
+        if backed {
+            rec.gauge_set(locality_obs::names::ORACLE_LOADS, vs.artifact_loads as i64);
+            rec.gauge_set(locality_obs::names::ORACLE_REBUILDS, vs.rebuilds as i64);
+        }
         rec.flush_metrics(self.tick);
         rec.take_bytes()
+    }
+
+    /// Whether the view store serves from a precomputed oracle
+    /// artifact ([`Provisioner::Oracle`]) rather than extracting on
+    /// demand.
+    pub fn is_artifact_backed(&self) -> bool {
+        self.views.is_artifact_backed()
+    }
+
+    /// View-store effectiveness counters. On an artifact-backed
+    /// network, `artifact_loads` / `rebuilds` split the misses into
+    /// decoded-from-artifact and re-extracted-after-churn — the
+    /// conservation pair proving a churn wave rebuilt only its dirty
+    /// radius.
+    pub fn view_stats(&self) -> ViewStoreStats {
+        self.views.stats()
     }
 }
 
@@ -1387,5 +1457,114 @@ mod tests {
             assert_eq!(w.route(), path);
             assert_eq!(w.fate.as_deref(), Some(r.fate.tag()));
         }
+    }
+
+    #[test]
+    fn oracle_provisioner_matches_bfs_byte_for_byte() {
+        let g = generators::random_connected(24, 10, &mut DetRng::seed_from_u64(21));
+        let k = Alg3.min_locality(24);
+        let artifact = Arc::new(ViewArtifact::build(&g, k));
+        let mut bfs = NetworkBuilder::new(&g, k).build(Alg3);
+        let mut oracle = NetworkBuilder::new(&g, k)
+            .provisioner(Provisioner::Oracle(artifact))
+            .try_build(Alg3)
+            .expect("artifact was built for this graph and k");
+        assert!(!bfs.is_artifact_backed());
+        assert!(oracle.is_artifact_backed());
+        for net in [&mut bfs, &mut oracle] {
+            for s in g.nodes() {
+                net.send(s, NodeId((s.0 + 11) % 24));
+            }
+            net.run_until_quiet();
+        }
+        assert_eq!(bfs.metrics(), oracle.metrics());
+        for id in (0..24).map(MessageId) {
+            let (a, b) = (bfs.record(id).unwrap(), oracle.record(id).unwrap());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        // Every view came off the artifact; BFS extraction never ran.
+        let vs = oracle.view_stats();
+        assert_eq!(vs.artifact_loads, 24);
+        assert_eq!(vs.rebuilds, 0);
+    }
+
+    #[test]
+    fn oracle_try_build_rejects_mismatched_artifact() {
+        let g = generators::cycle(10);
+        let wrong_k = Arc::new(ViewArtifact::build(&g, 3));
+        let err = NetworkBuilder::new(&g, 5)
+            .provisioner(Provisioner::Oracle(wrong_k))
+            .try_build(Alg3)
+            .err()
+            .expect("k mismatch must be rejected");
+        assert!(matches!(err, SimError::Oracle(_)), "got {err:?}");
+        let other = generators::cycle(11);
+        let wrong_graph = Arc::new(ViewArtifact::build(&other, 5));
+        assert!(matches!(
+            NetworkBuilder::new(&g, 5)
+                .provisioner(Provisioner::Oracle(wrong_graph))
+                .try_build(Alg3),
+            Err(SimError::Oracle(_))
+        ));
+    }
+
+    #[test]
+    fn churn_wave_rebuilds_only_dirty_radius() {
+        let g = generators::cycle(12);
+        let artifact = Arc::new(ViewArtifact::build(&g, 2));
+        let mut net = NetworkBuilder::new(&g, 2)
+            .recorder(Recorder::new(Level::Metrics))
+            .provisioner(Provisioner::Oracle(artifact))
+            .build(Alg3);
+        let vs = net.view_stats();
+        assert_eq!((vs.artifact_loads, vs.rebuilds), (12, 0));
+        // Removing (0, 11) dirties the nodes within k = 2 of either
+        // endpoint (old or new topology): {9, 10, 11, 0, 1, 2}.
+        net.set_edge(NodeId(0), NodeId(11), false)
+            .expect("removing one cycle edge keeps it connected");
+        let vs = net.view_stats();
+        assert_eq!(vs.rebuilds, 6, "exactly the dirty radius re-extracts");
+        assert_eq!(vs.artifact_loads, 12, "no extra artifact decodes");
+        // Conservation: every miss is either an artifact decode or a
+        // churn rebuild — untouched entries were never rebuilt.
+        assert_eq!(vs.misses, vs.artifact_loads + vs.rebuilds);
+        // The rebuilt views reflect the new topology: node 0 no longer
+        // sees its removed neighbour, and short routes still deliver.
+        assert!(!net.node(NodeId(0)).view().contains_label(Label(11)));
+        let id = net.send(NodeId(1), NodeId(3));
+        net.run_until_quiet();
+        let r = net.record(id).expect("id was returned by send");
+        assert!(r.delivered());
+        assert_eq!(r.hops(), 2);
+        // Artifact-backed runs flush the oracle gauges.
+        let text = String::from_utf8(net.finish_trace()).unwrap();
+        let events = locality_obs::parse_trace(&text).unwrap();
+        for key in [
+            locality_obs::names::ORACLE_LOADS,
+            locality_obs::names::ORACLE_REBUILDS,
+        ] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.str_of("ev") == Some("gauge") && e.str_of("name") == Some(key)),
+                "missing gauge {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_traces_omit_oracle_gauges() {
+        let g = generators::cycle(8);
+        let mut net = NetworkBuilder::new(&g, 4)
+            .recorder(Recorder::new(Level::Metrics))
+            .build(Alg3);
+        let id = net.send(NodeId(0), NodeId(4));
+        net.run_until_quiet();
+        assert!(net.record(id).unwrap().delivered());
+        let text = String::from_utf8(net.finish_trace()).unwrap();
+        assert!(
+            !text.contains(locality_obs::names::ORACLE_LOADS),
+            "BFS-provisioned traces must stay byte-identical to PR-5"
+        );
     }
 }

@@ -41,6 +41,9 @@ gate delivery_matrix_speedup \
 gate sim_speedup \
   "$(extract "$perf_now" sim_speedup)" \
   "$(extract "$(cat BENCH_perfsmoke.json)" sim_speedup)"
+gate oracle_cold_start_speedup \
+  "$(extract "$perf_now" oracle_cold_start_speedup)" \
+  "$(extract "$(cat BENCH_perfsmoke.json)" oracle_cold_start_speedup)"
 
 echo "==> tracing-off overhead gate"
 # A recorder at Level::Off must cost nothing measurable: perfsmoke
@@ -63,5 +66,19 @@ if [ "$out_a" != "$out_b" ]; then
 fi
 cargo run -q --release -p locality-bench --bin tracecat -- \
   diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+
+echo "==> oracle artifact tier: chaos routing byte-identity"
+# Precompute view artifacts for the chaos seed-7 topology, rerun the
+# soak with provisioning served from the artifacts, and demand a
+# report byte-identical to the BFS-provisioned run above — the whole
+# chaos machinery certifies the oracle tier for free.
+cargo run -q --release -p locality-bench --bin oracle -- \
+  build --chaos-seed 7 --out-dir "$trace_dir/artifacts"
+out_oracle="$(cargo run -q --release -p locality-bench --bin chaos -- \
+  --seed 7 --provisioner oracle --artifact-dir "$trace_dir/artifacts")"
+if [ "$out_a" != "$out_oracle" ]; then
+  echo "chaos: oracle-provisioned seed 7 run differs from the BFS path" >&2
+  exit 1
+fi
 
 echo "verify: OK"
