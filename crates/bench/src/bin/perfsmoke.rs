@@ -29,6 +29,7 @@ use std::sync::Arc;
 use local_routing::engine::{self, RunOptions, ViewCache};
 use local_routing::{preprocess, Alg1, LocalView, ViewArtifact, ViewStore};
 use locality_bench::simbench;
+use locality_bench::timing;
 use locality_bench::timing::{black_box, measure_ns};
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, traversal, Graph, Label, NodeId};
@@ -772,17 +773,20 @@ fn chaos_delivery_ratio() -> f64 {
     m.delivery_ratio()
 }
 
-/// Unsuppressed `locality-lint` violations in the workspace, so the
-/// perf-smoke JSON also records static-invariant health (-1 when the
+/// Unsuppressed `locality-lint` violations in the workspace plus the
+/// wall-clock cost of the full lint pass in milliseconds, so the
+/// perf-smoke JSON also records static-invariant health and keeps the
+/// analyzer honest about its own latency budget ((-1, 0) when the
 /// source tree is not available, e.g. an installed binary).
-fn lint_violations() -> i64 {
+fn lint_violations() -> (i64, u64) {
     let start = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
     let Some(root) = locality_lint::walk::find_workspace_root(start) else {
-        return -1;
+        return (-1, 0);
     };
-    match locality_lint::lint_workspace(&root) {
-        Ok(report) => report.violations.len() as i64,
-        Err(_) => -1,
+    let (result, wall_ms) = timing::time_once_ms(|| locality_lint::lint_workspace(&root));
+    match result {
+        Ok(report) => (report.violations.len() as i64, wall_ms),
+        Err(_) => (-1, 0),
     }
 }
 
@@ -815,12 +819,12 @@ fn main() {
     let body: Vec<String> = sizes.iter().map(SizeReport::json).collect();
     let sim = bench_sim();
     let oracle = bench_oracle();
-    let lint = lint_violations();
+    let (lint, lint_wall_ms) = lint_violations();
     let chaos_ratio = chaos_delivery_ratio();
     println!(
         concat!(
             "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
-            "\"sizes\":[{}],\"sim\":{},\"oracle\":{},\"lint_violations\":{},\"chaos_delivery_ratio\":{:.4},",
+            "\"sizes\":[{}],\"sim\":{},\"oracle\":{},\"lint_violations\":{},\"lint_wall_ms\":{},\"chaos_delivery_ratio\":{:.4},",
             "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
             "legacy delivery matrix replays the engine's exact routes on the old ",
             "structures and omits passive-case lookups, so speedups are lower bounds; ",
@@ -831,11 +835,16 @@ fn main() {
         sim.json(),
         oracle.json(),
         lint,
+        lint_wall_ms,
         chaos_ratio,
     );
     assert!(
         lint == 0,
         "locality-lint reports {lint} unsuppressed violation(s); run `cargo run -p locality-lint`"
+    );
+    assert!(
+        lint_wall_ms < 2000,
+        "locality-lint took {lint_wall_ms} ms; the whole-workspace pass must stay under 2000 ms"
     );
     let last = sizes.last().expect("three sizes");
     assert!(

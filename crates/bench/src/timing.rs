@@ -46,6 +46,15 @@ pub fn measure_ns<T>(mut f: impl FnMut() -> T) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Wall-clock milliseconds for a single call of `f`, returned with its
+/// result — for one-shot passes too expensive to batch-calibrate (e.g.
+/// the whole-workspace lint pass timed by `perfsmoke`).
+pub fn time_once_ms<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_millis() as u64)
+}
+
 /// Formats nanoseconds with a human-readable unit.
 pub fn human(ns: f64) -> String {
     if ns < 1_000.0 {

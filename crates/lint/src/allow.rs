@@ -4,28 +4,37 @@
 //! greppable and diffable:
 //!
 //! ```text
-//! # rule | file | needle | justification
-//! R3 | crates/graph/src/permute.rs | .expect( | construction invariants of relabelling
-//! R3i | crates/adversary/src/thm1.rs | * | hand-built family graphs index fixed-layout vectors
+//! # rule | file | sym=<symbol> | justification
+//! R3 | crates/graph/src/permute.rs | sym=expect | construction invariants of relabelling
+//! R3i | crates/adversary/src/thm1.rs | sym=* | hand-built family graphs index fixed-layout vectors
 //! ```
 //!
-//! An entry suppresses violations of `rule` in `file` whose raw source
-//! line contains `needle` (`*` matches every line). The justification
-//! is mandatory — an allowlisted violation without a reason is itself a
-//! lint error. Entries that suppress nothing are reported as *stale* so
-//! the allowlist cannot rot.
+//! An entry suppresses violations of `rule` in `file` whose bound
+//! *symbol* (the identifier, function name, or module path the finding
+//! attaches to) equals the entry's symbol; `sym=*` matches every
+//! symbol in the file. Binding to symbols instead of line contents
+//! means entries survive line churn but die with the code they excuse.
+//! The justification is mandatory — an allowlisted violation without a
+//! reason is itself a lint error. Entries that suppress nothing are
+//! reported as *stale* so the allowlist cannot rot.
+//!
+//! Pre-v2 entries bound to a raw-line substring (third field without
+//! the `sym=` prefix) are recognized as **legacy**: they never
+//! suppress anything and each produces a re-justify diagnostic, so a
+//! format migration can't silently widen or silently drop a
+//! suppression.
 
 use crate::rules::{Rule, Violation};
 
-/// One parsed allowlist entry.
+/// One parsed, symbol-bound allowlist entry.
 #[derive(Clone, Debug)]
 pub struct AllowEntry {
     /// Rule the entry applies to.
     pub rule: Rule,
     /// Workspace-relative file the entry applies to.
     pub file: String,
-    /// Substring of the raw source line, or `*` for the whole file.
-    pub needle: String,
+    /// Symbol the entry binds to, or `*` for the whole file.
+    pub sym: String,
     /// Why the violation is acceptable.
     pub justification: String,
     /// 1-indexed line in `lint.allow` (for stale reporting).
@@ -35,21 +44,59 @@ pub struct AllowEntry {
 impl AllowEntry {
     /// Whether this entry suppresses `v`.
     pub fn matches(&self, v: &Violation) -> bool {
-        self.rule == v.rule
-            && self.file == v.file
-            && (self.needle == "*" || v.raw_line.contains(&self.needle))
+        self.rule == v.rule && self.file == v.file && (self.sym == "*" || self.sym == v.symbol)
     }
 
     /// Compact rendering for stale-entry reports.
     pub fn render(&self) -> String {
         format!(
-            "lint.allow:{}: {} | {} | {}",
+            "lint.allow:{}: {} | {} | sym={}",
             self.line,
             self.rule.id(),
             self.file,
-            self.needle
+            self.sym
         )
     }
+}
+
+/// A well-formed v1 entry whose third field is a raw-line substring
+/// rather than a `sym=` binding. Never suppresses anything.
+#[derive(Clone, Debug)]
+pub struct LegacyEntry {
+    /// Rule id of the old entry.
+    pub rule: Rule,
+    /// File of the old entry.
+    pub file: String,
+    /// The old line-content needle.
+    pub needle: String,
+    /// 1-indexed line in `lint.allow`.
+    pub line: usize,
+}
+
+impl LegacyEntry {
+    /// The re-justify diagnostic shown for this entry.
+    pub fn render(&self) -> String {
+        format!(
+            "lint.allow:{}: legacy line-bound entry `{} | {} | {}` predates symbol-bound \
+             entries and suppresses nothing; re-justify it as \
+             `{} | {} | sym=<symbol> | <why>`",
+            self.line,
+            self.rule.id(),
+            self.file,
+            self.needle,
+            self.rule.id(),
+            self.file,
+        )
+    }
+}
+
+/// The parsed allowlist: active entries plus recognized legacy lines.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Symbol-bound entries that participate in suppression.
+    pub entries: Vec<AllowEntry>,
+    /// Legacy line-bound entries awaiting re-justification.
+    pub legacy: Vec<LegacyEntry>,
 }
 
 /// Parses the allowlist text.
@@ -57,9 +104,11 @@ impl AllowEntry {
 /// # Errors
 ///
 /// Returns a message naming the offending line on malformed entries
-/// (wrong field count, unknown rule id, empty justification).
-pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
-    let mut out = Vec::new();
+/// (wrong field count, unknown rule id, empty symbol or justification).
+/// A well-formed entry whose third field lacks the `sym=` prefix is
+/// not an error: it lands in [`Allowlist::legacy`].
+pub fn parse(text: &str) -> Result<Allowlist, String> {
+    let mut out = Allowlist::default();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
@@ -67,32 +116,44 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
             continue;
         }
         let mut parts = line.splitn(4, '|').map(str::trim);
-        let (rule, file, needle, justification) =
+        let (rule, file, sym, justification) =
             match (parts.next(), parts.next(), parts.next(), parts.next()) {
                 (Some(r), Some(f), Some(n), Some(j)) => (r, f, n, j),
                 _ => {
                     return Err(format!(
-                        "lint.allow:{line_no}: expected `rule | file | needle | justification`"
-                    ))
+                    "lint.allow:{line_no}: expected `rule | file | sym=<symbol> | justification`"
+                ))
                 }
             };
         let Some(rule) = Rule::from_id(rule) else {
             return Err(format!(
-                "lint.allow:{line_no}: unknown rule id `{rule}` (use R1/R2/R3/R3i/R4)"
+                "lint.allow:{line_no}: unknown rule id `{rule}` (use R1/R2/R3/R3i/R4/R5/R6/R7)"
             ));
         };
-        if file.is_empty() || needle.is_empty() {
-            return Err(format!("lint.allow:{line_no}: empty file or needle field"));
+        if file.is_empty() || sym.is_empty() {
+            return Err(format!("lint.allow:{line_no}: empty file or symbol field"));
         }
         if justification.is_empty() {
             return Err(format!(
                 "lint.allow:{line_no}: a justification is mandatory"
             ));
         }
-        out.push(AllowEntry {
+        let Some(sym) = sym.strip_prefix("sym=") else {
+            out.legacy.push(LegacyEntry {
+                rule,
+                file: file.to_string(),
+                needle: sym.to_string(),
+                line: line_no,
+            });
+            continue;
+        };
+        if sym.is_empty() {
+            return Err(format!("lint.allow:{line_no}: empty symbol after `sym=`"));
+        }
+        out.entries.push(AllowEntry {
             rule,
             file: file.to_string(),
-            needle: needle.to_string(),
+            sym: sym.to_string(),
             justification: justification.to_string(),
             line: line_no,
         });
@@ -140,48 +201,87 @@ mod tests {
     use crate::rules::check_file;
 
     #[test]
-    fn entries_suppress_matching_violations() {
+    fn entries_suppress_matching_violations_by_symbol() {
         let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"fine\") }\n";
         let violations = check_file("crates/sim/src/foo.rs", src);
         assert_eq!(violations.len(), 1);
-        let entries =
-            parse("# comment\n\nR3 | crates/sim/src/foo.rs | .expect( | provably present\n")
+        assert_eq!(
+            violations.first().map(|v| v.symbol.as_str()),
+            Some("expect")
+        );
+        let allow =
+            parse("# comment\n\nR3 | crates/sim/src/foo.rs | sym=expect | provably present\n")
                 .expect("parses");
-        let (kept, suppressed, stale) = apply(&entries, violations);
+        let (kept, suppressed, stale) = apply(&allow.entries, violations);
         assert!(kept.is_empty());
         assert_eq!(suppressed, 1);
         assert!(stale.is_empty());
+        assert!(allow.legacy.is_empty());
     }
 
     #[test]
-    fn wildcard_needle_covers_the_file() {
+    fn wildcard_symbol_covers_the_file() {
         let src = "fn f(v: &[u32]) -> u32 { v[0] + v[1] }\n";
         let violations = check_file("crates/sim/src/foo.rs", src);
         assert_eq!(violations.len(), 2);
-        let entries =
-            parse("R3i | crates/sim/src/foo.rs | * | fixed-layout vector\n").expect("parses");
-        let (kept, suppressed, stale) = apply(&entries, violations);
+        let allow =
+            parse("R3i | crates/sim/src/foo.rs | sym=* | fixed-layout vector\n").expect("parses");
+        let (kept, suppressed, stale) = apply(&allow.entries, violations);
         assert!(kept.is_empty());
         assert_eq!(suppressed, 2);
         assert!(stale.is_empty());
     }
 
     #[test]
-    fn unused_entries_are_stale_and_wrong_rule_does_not_match() {
+    fn a_different_symbol_does_not_match_and_goes_stale() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         let violations = check_file("crates/sim/src/foo.rs", src);
-        let entries = parse("R3i | crates/sim/src/foo.rs | unwrap | wrong family on purpose\n")
+        let allow = parse("R3 | crates/sim/src/foo.rs | sym=expect | wrong symbol on purpose\n")
             .expect("parses");
-        let (kept, suppressed, stale) = apply(&entries, violations);
+        let (kept, suppressed, stale) = apply(&allow.entries, violations);
         assert_eq!(kept.len(), 1);
         assert_eq!(suppressed, 0);
         assert_eq!(stale.len(), 1);
     }
 
     #[test]
+    fn unused_entries_are_stale_and_wrong_rule_does_not_match() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let violations = check_file("crates/sim/src/foo.rs", src);
+        let allow = parse("R3i | crates/sim/src/foo.rs | sym=unwrap | wrong family on purpose\n")
+            .expect("parses");
+        let (kept, suppressed, stale) = apply(&allow.entries, violations);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(suppressed, 0);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn legacy_line_bound_entries_never_suppress_and_demand_re_justification() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"fine\") }\n";
+        let violations = check_file("crates/sim/src/foo.rs", src);
+        // A v1 entry that *would* have matched this line.
+        let allow = parse("R3 | crates/sim/src/foo.rs | .expect( | provably present\n")
+            .expect("legacy entries parse");
+        assert!(allow.entries.is_empty());
+        assert_eq!(allow.legacy.len(), 1);
+        let (kept, suppressed, _) = apply(&allow.entries, violations);
+        assert_eq!(kept.len(), 1, "legacy entry must not suppress");
+        assert_eq!(suppressed, 0);
+        let msg = allow
+            .legacy
+            .first()
+            .map(LegacyEntry::render)
+            .unwrap_or_default();
+        assert!(msg.contains("re-justify"), "{msg}");
+        assert!(msg.contains("sym=<symbol>"), "{msg}");
+    }
+
+    #[test]
     fn malformed_entries_are_rejected() {
         assert!(parse("R3 | too | few\n").is_err());
         assert!(parse("R9 | a | b | c\n").is_err());
-        assert!(parse("R3 | a | b | \n").is_err());
+        assert!(parse("R3 | a | sym=b | \n").is_err());
+        assert!(parse("R3 | a | sym= | why\n").is_err());
     }
 }

@@ -3,56 +3,77 @@
 //! A hermetic (zero-dependency) static-analysis pass that proves, at
 //! the source level, the model invariants the paper's `k`-local routing
 //! results rest on — so they are machine-checked on every verify run
-//! instead of being a code-review convention:
+//! instead of being a code-review convention.
 //!
-//! * **R1 locality** — router implementation modules cannot name a
-//!   whole-graph API. The `LocalRouter` trait already enforces at the
-//!   type level that a routing *decision* sees only `G_k(u)`; R1
-//!   enforces that the *modules implementing deciders* cannot even
-//!   import the global [`Graph`] type, closing the loophole of a future
-//!   helper that peeks.
+//! The analyzer is a three-layer pipeline, still with no syn, no rustc
+//! internals, and no network-fetched dependencies:
+//!
+//! 1. [`lexer`] — masks comments/strings, tracks `#[cfg(test)]`
+//!    regions, and produces a token stream with byte spans and line
+//!    numbers.
+//! 2. [`symbols`] — per file: the module path, `use`/`pub use`/alias
+//!    declarations, item definitions, function bodies with their call
+//!    sites, and struct field types.
+//! 3. [`usegraph`] — the whole-workspace graph: module → imported
+//!    symbol → defining module (following re-exports and aliases
+//!    across all eight crates) plus a conservative call graph.
+//!
+//! The rule families:
+//!
+//! * **R1 locality** — router implementation modules cannot *reach* a
+//!   whole-graph API. The textual arm bans the names; the transitive
+//!   arm resolves every import through the use-graph, so an alias
+//!   (`use ..::Graph as G`) or a chain of re-exports is caught and the
+//!   full offending chain is printed in the diagnostic. The
+//!   `LocalRouter` trait already enforces at the type level that a
+//!   routing *decision* sees only `G_k(u)`; R1 enforces that the
+//!   modules implementing deciders cannot even import `G`.
 //! * **R2 determinism** — the crates whose outputs must be
-//!   bit-reproducible (graph substrate, routing core, adversary
-//!   machinery) cannot iterate hash-ordered collections, read clocks or
-//!   the environment, or compare floats NaN-unstably. The adversarial
-//!   families of Theorems 1–4 are replayed byte-for-byte in goldens;
-//!   any hidden iteration-order dependence would rot them.
+//!   bit-reproducible cannot iterate hash-ordered collections, read
+//!   clocks or the environment, or compare floats NaN-unstably. The
+//!   taint arm propagates over the call graph: a helper *outside* the
+//!   scoped files that touches a nondeterminism source poisons every
+//!   scoped caller, across file and crate boundaries.
 //! * **R3 panic policy** — library code cannot `unwrap()`, `expect(`,
-//!   `panic!`, or raw-index slices (`R3i`): the theorem families are
-//!   *designed* to be pathological inputs, so a reachable panic is a
-//!   denial-of-service bug, not a style nit. The dense-slot idiom
-//!   `container[node.index()]` is blessed (bounds-correct by
-//!   construction of the compact-index layer).
-//! * **R4 lint hygiene** — every library crate root forbids unsafe
-//!   code and denies missing docs, and the workspace `clippy.toml`
-//!   co-enforces R2/R3 with clippy's native
-//!   `disallowed-types`/`disallowed-methods`.
+//!   `panic!`, or raw-index slices (`R3i`); the dense-slot idiom
+//!   `container[node.index()]` is blessed.
+//! * **R4 lint hygiene** — crate roots forbid unsafe code and deny
+//!   missing docs; `clippy.toml` co-enforces R2/R3 natively.
+//! * **R5 silent libraries** — no stdout/stderr writes from library
+//!   code; output goes through the `locality-obs` recorder.
+//! * **R6 hot-path allocation** — no `Vec::new`/`Box::new`/`format!`/
+//!   `collect`/`to_vec` inside the designated hot-path functions
+//!   (`sim::sched`, `sim::slab`, `sim::driver`, the `core::view` step
+//!   tables, `graph::codec` decode) outside setup constructors.
+//! * **R7 lock discipline** — no `Mutex`/`RwLock` acquisition or
+//!   blocking I/O reachable from the simulator's per-tick step path —
+//!   the precondition for sharding the simulator.
 //!
 //! Known-good exceptions live in the checked-in [`allow`]list
-//! (`lint.allow`), one justified entry per site, and stale entries are
-//! reported so the list cannot rot. See DESIGN.md, "Model invariants &
-//! static analysis".
-//!
-//! The scanner is deliberately token/line-level (in the spirit of the
-//! in-repo `DetRng`): no syn, no rustc internals, no network-fetched
-//! dependencies — it masks comments/strings, tracks `#[cfg(test)]`
-//! regions, and matches identifier tokens.
-//!
-//! [`Graph`]: https://docs.rs/ (the `locality_graph::Graph` type)
+//! (`lint.allow`), one justified `rule | file | sym=<symbol> | why`
+//! entry per site; stale entries are reported so the list cannot rot,
+//! and pre-v2 line-bound entries produce a re-justify diagnostic
+//! instead of silently matching. Reports render as text or as stable,
+//! sorted, one-finding-per-line JSON (`--format json`) for CI
+//! consumption. See DESIGN.md, "Model invariants & static analysis".
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod allow;
+pub mod lexer;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
+pub mod usegraph;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
-pub use allow::AllowEntry;
+pub use allow::{AllowEntry, LegacyEntry};
 pub use rules::{FileClass, Rule, Violation};
 
 /// Outcome of linting a workspace.
@@ -64,15 +85,19 @@ pub struct Report {
     pub suppressed: usize,
     /// Allowlist entries that matched nothing (the list is rotting).
     pub stale_allows: Vec<AllowEntry>,
+    /// Legacy line-bound allowlist entries that must be re-justified
+    /// in the symbol-bound format. Their presence fails the lint.
+    pub legacy_allows: Vec<LegacyEntry>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
     /// Whether the workspace is clean (stale entries are warnings, not
-    /// failures).
+    /// failures; legacy entries are failures — they look like
+    /// suppressions but suppress nothing).
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.legacy_allows.is_empty()
     }
 
     /// Human-readable multi-line rendering.
@@ -82,18 +107,85 @@ impl Report {
             out.push_str(&v.render());
             out.push('\n');
         }
+        for e in &self.legacy_allows {
+            out.push_str(&format!("error: {}\n", e.render()));
+        }
         for e in &self.stale_allows {
             out.push_str(&format!("warning: stale allowlist entry {}\n", e.render()));
         }
         out.push_str(&format!(
-            "locality-lint: {} file(s), {} violation(s), {} suppressed by lint.allow, {} stale allow entrie(s)",
+            "locality-lint: {} file(s), {} violation(s), {} suppressed by lint.allow, {} stale allow entrie(s), {} legacy allow entrie(s)",
             self.files_scanned,
             self.violations.len(),
             self.suppressed,
             self.stale_allows.len(),
+            self.legacy_allows.len(),
         ));
         out
     }
+
+    /// Machine-readable rendering: one JSON object per line, sorted,
+    /// stable across runs (byte-identical on an unchanged workspace).
+    /// Empty when the report [is clean](Self::is_clean) and no allow
+    /// entry is stale.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str("{\"type\":\"violation\",\"rule\":\"");
+            out.push_str(v.rule.id());
+            out.push_str("\",\"file\":\"");
+            out.push_str(&json_escape(&v.file));
+            out.push_str("\",\"line\":");
+            out.push_str(&v.line.to_string());
+            out.push_str(",\"symbol\":\"");
+            out.push_str(&json_escape(&v.symbol));
+            out.push_str("\",\"message\":\"");
+            out.push_str(&json_escape(&v.message));
+            out.push_str("\",\"chain\":[");
+            for (i, hop) in v.chain.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(hop));
+                out.push('"');
+            }
+            out.push_str("]}\n");
+        }
+        for e in &self.legacy_allows {
+            out.push_str("{\"type\":\"legacy_allow\",\"file\":\"lint.allow\",\"line\":");
+            out.push_str(&e.line.to_string());
+            out.push_str(",\"message\":\"");
+            out.push_str(&json_escape(&e.render()));
+            out.push_str("\"}\n");
+        }
+        for e in &self.stale_allows {
+            out.push_str("{\"type\":\"stale_allow\",\"file\":\"lint.allow\",\"line\":");
+            out.push_str(&e.line.to_string());
+            out.push_str(",\"entry\":\"");
+            out.push_str(&json_escape(&e.render()));
+            out.push_str("\"}\n");
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Errors raised by [`lint_workspace`] itself (as opposed to findings).
@@ -132,7 +224,9 @@ fn read(root: &Path, rel: &str) -> Result<String, LintError> {
 }
 
 /// Lints the workspace rooted at `root`: walks the source tree, runs
-/// R1–R4, and applies the `lint.allow` allowlist.
+/// the per-file textual arms of R1–R5, builds the workspace use-graph,
+/// runs the transitive arms (R1 reachability, R2 taint, R6, R7), and
+/// applies the `lint.allow` allowlist.
 ///
 /// # Errors
 ///
@@ -143,28 +237,67 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
         path: root.display().to_string(),
         message: e.to_string(),
     })?;
+
+    let allow_text = fs::read_to_string(root.join("lint.allow")).ok();
+    let allowlist = match allow_text {
+        Some(text) => allow::parse(&text).map_err(LintError::Allowlist)?,
+        None => allow::Allowlist::default(),
+    };
+
     let mut violations: Vec<Violation> = Vec::new();
+    let mut entries = Vec::with_capacity(files.len());
     for rel in &files {
         let source = read(root, rel)?;
         violations.extend(rules::check_file(rel, &source));
         if !walk::crate_roots(std::slice::from_ref(rel)).is_empty() {
             violations.extend(rules::check_crate_root(rel, &source));
         }
+        let lx = lexer::lex(&source);
+        let sym = symbols::parse(rel, &lx);
+        entries.push(usegraph::FileEntry {
+            rel: rel.clone(),
+            lx,
+            sym,
+        });
     }
     let clippy = fs::read_to_string(root.join("clippy.toml")).ok();
     violations.extend(rules::check_clippy_toml(clippy.as_deref()));
-    violations.sort_by(|a, b| (&a.file, a.line, a.rule.id()).cmp(&(&b.file, b.line, b.rule.id())));
 
-    let allow_text = fs::read_to_string(root.join("lint.allow")).ok();
-    let entries = match allow_text {
-        Some(text) => allow::parse(&text).map_err(LintError::Allowlist)?,
-        None => Vec::new(),
-    };
-    let (kept, suppressed, stale_allows) = allow::apply(&entries, violations);
+    let ws = usegraph::Workspace::build(entries);
+    violations.extend(ws.check_r1());
+    violations.extend(ws.check_r2_taint(&allowlist.entries));
+    violations.extend(ws.check_r6());
+    violations.extend(ws.check_r7());
+
+    // The textual and transitive arms can flag the same site (e.g. a
+    // direct `use locality_graph::Graph`): dedupe on (rule, file,
+    // line, symbol), preferring the finding that carries a chain.
+    let mut dedup: BTreeMap<(String, String, usize, String), Violation> = BTreeMap::new();
+    for v in violations {
+        let key = (
+            v.rule.id().to_string(),
+            v.file.clone(),
+            v.line,
+            v.symbol.clone(),
+        );
+        match dedup.get(&key) {
+            Some(prev) if !prev.chain.is_empty() || v.chain.is_empty() => {}
+            _ => {
+                dedup.insert(key, v);
+            }
+        }
+    }
+    let mut violations: Vec<Violation> = dedup.into_values().collect();
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.id(), &a.symbol).cmp(&(&b.file, b.line, b.rule.id(), &b.symbol))
+    });
+
+    let (kept, suppressed, stale_allows) = allow::apply(&allowlist.entries, violations);
     Ok(Report {
         violations: kept,
         suppressed,
         stale_allows,
+        legacy_allows: allowlist.legacy,
         files_scanned: files.len(),
     })
 }
@@ -179,5 +312,28 @@ mod tests {
         let root = walk::find_workspace_root(here).expect("workspace root exists");
         let report = lint_workspace(&root).expect("lint runs");
         assert!(report.files_scanned > 50, "should scan the whole workspace");
+    }
+
+    #[test]
+    fn json_rendering_is_escaped_and_line_oriented() {
+        let report = Report {
+            violations: vec![Violation {
+                rule: Rule::R1,
+                file: "crates/core/src/alg1.rs".to_string(),
+                line: 3,
+                symbol: "Graph".to_string(),
+                message: "a \"quoted\" message".to_string(),
+                raw_line: String::new(),
+                chain: vec!["a.rs:1: hop".to_string()],
+            }],
+            suppressed: 0,
+            stale_allows: Vec::new(),
+            legacy_allows: Vec::new(),
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"chain\":[\"a.rs:1: hop\"]"));
     }
 }

@@ -1,22 +1,34 @@
 //! `locality-lint` — the command-line front end.
 //!
 //! ```text
-//! locality-lint [--root <dir>] [--quiet]
+//! locality-lint [--root <dir>] [--format text|json] [--quiet]
 //! ```
 //!
 //! Exits 0 when the workspace has no unsuppressed violations, 1 when it
-//! does, 2 on usage or I/O errors. Stale `lint.allow` entries are
-//! printed as warnings (and fail the dedicated integration test, which
-//! is stricter).
+//! does, 2 on usage or I/O errors (with the usage line on stderr).
+//! `--format json` prints one sorted JSON object per finding — stable
+//! and byte-identical across runs on an unchanged workspace — and
+//! prints nothing at all when the workspace is clean, so CI can diff
+//! the output against an empty baseline. Stale `lint.allow` entries
+//! are warnings in text mode but appear as lines in JSON mode (and
+//! fail the dedicated integration test, which is stricter).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use locality_lint::{lint_workspace, walk};
 
+const USAGE: &str = "usage: locality-lint [--root <dir>] [--format text|json] [--quiet]";
+
+enum Format {
+    Text,
+    Json,
+}
+
 fn run() -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,16 +36,29 @@ fn run() -> Result<bool, String> {
                 let v = args.next().ok_or("--root needs a directory argument")?;
                 root = Some(PathBuf::from(v));
             }
+            "--format" => {
+                let v = args.next().ok_or("--format needs `text` or `json`")?;
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (use text or json)")),
+                };
+            }
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
-                println!("usage: locality-lint [--root <dir>] [--quiet]");
+                println!("{USAGE}");
                 return Ok(true);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     let root = match root {
-        Some(r) => r,
+        Some(r) => {
+            if !r.is_dir() {
+                return Err(format!("`{}` is not a readable directory", r.display()));
+            }
+            r
+        }
         None => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
             walk::find_workspace_root(&cwd).ok_or(
@@ -42,8 +67,17 @@ fn run() -> Result<bool, String> {
         }
     };
     let report = lint_workspace(&root).map_err(|e| e.to_string())?;
-    if !quiet || !report.is_clean() {
-        println!("{}", report.render());
+    match format {
+        Format::Json => {
+            // Empty on a clean workspace: the CI contract is
+            // "diffable against an empty baseline".
+            print!("{}", report.render_json());
+        }
+        Format::Text => {
+            if !quiet || !report.is_clean() {
+                println!("{}", report.render());
+            }
+        }
     }
     Ok(report.is_clean())
 }
@@ -54,6 +88,7 @@ fn main() -> ExitCode {
         Ok(false) => ExitCode::from(1),
         Err(msg) => {
             eprintln!("locality-lint: {msg}");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }

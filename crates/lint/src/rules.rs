@@ -32,6 +32,14 @@
 //!   observability goes through the `locality-obs` recorder, whose
 //!   output is deterministic and machine-readable. Binaries, tests,
 //!   benches, and examples are exempt.
+//! * **R6 hot-path allocation** and **R7 lock discipline** are the
+//!   workspace-level families: they need the call graph and live in
+//!   [`crate::usegraph`]; only their identifiers are declared here.
+//!
+//! This module holds the *per-file, textual* arms of the families; the
+//! transitive arms (R1 reachability through re-exports, R2 taint
+//! propagation, R6, R7) are implemented on the workspace use-graph in
+//! [`crate::usegraph`].
 
 use crate::scan;
 
@@ -51,6 +59,10 @@ pub enum Rule {
     R4,
     /// Direct stdout/stderr writes in library code.
     R5,
+    /// Allocation inside a designated hot-path function.
+    R6,
+    /// Lock acquisition / blocking I/O reachable from the step path.
+    R7,
 }
 
 impl Rule {
@@ -63,6 +75,8 @@ impl Rule {
             Rule::R3i => "R3i",
             Rule::R4 => "R4",
             Rule::R5 => "R5",
+            Rule::R6 => "R6",
+            Rule::R7 => "R7",
         }
     }
 
@@ -75,6 +89,8 @@ impl Rule {
             "R3i" => Some(Rule::R3i),
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -89,23 +105,38 @@ pub struct Violation {
     pub file: String,
     /// 1-indexed line.
     pub line: usize,
+    /// The symbol the finding binds to (an identifier, function name,
+    /// or module path) — `lint.allow` entries match on it.
+    pub symbol: String,
     /// What went wrong.
     pub message: String,
-    /// The raw source line (untrimmed), used for allowlist matching.
+    /// The raw source line (untrimmed), shown in reports.
     pub raw_line: String,
+    /// For transitive findings: the offending use/call chain, one hop
+    /// per entry, ending at the root cause.
+    pub chain: Vec<String>,
 }
 
 impl Violation {
-    /// `RULE file:line: message` plus a trimmed excerpt.
+    /// `RULE file:line: message` plus a trimmed excerpt and, for
+    /// transitive findings, the full chain.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} {}:{}: {}\n    {}",
             self.rule.id(),
             self.file,
             self.line,
             self.message,
             self.raw_line.trim()
-        )
+        );
+        if !self.chain.is_empty() {
+            s.push_str("\n    chain:");
+            for hop in &self.chain {
+                s.push_str("\n      -> ");
+                s.push_str(hop);
+            }
+        }
+        s
     }
 }
 
@@ -259,13 +290,15 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
             continue;
         }
         let line_no = idx + 1;
-        let mut push = |rule: Rule, message: String| {
+        let mut push = |rule: Rule, symbol: String, message: String| {
             out.push(Violation {
                 rule,
                 file: rel.to_string(),
                 line: line_no,
+                symbol,
                 message,
                 raw_line: raw_line.to_string(),
+                chain: Vec::new(),
             });
         };
         let idents = scan::identifiers(masked_line);
@@ -289,11 +322,16 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Violation> {
     out
 }
 
-fn check_r1(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+fn check_r1(
+    masked_line: &str,
+    idents: &[(usize, &str)],
+    push: &mut impl FnMut(Rule, String, String),
+) {
     for &(_, tok) in idents {
         if R1_IDENTS.contains(&tok) {
             push(
                 Rule::R1,
+                tok.to_string(),
                 format!(
                     "`{tok}` is a whole-graph API; a k-local router module may only \
                      name LocalView/Subgraph/model types"
@@ -304,6 +342,7 @@ fn check_r1(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(R
     if masked_line.contains("locality_graph::graph") {
         push(
             Rule::R1,
+            "locality_graph::graph".to_string(),
             "`locality_graph::graph` is the whole-graph module; router modules must \
              not reach it"
                 .to_string(),
@@ -311,11 +350,16 @@ fn check_r1(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(R
     }
 }
 
-fn check_r2(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+fn check_r2(
+    masked_line: &str,
+    idents: &[(usize, &str)],
+    push: &mut impl FnMut(Rule, String, String),
+) {
     for &(_, tok) in idents {
         if let Some(&(_, why)) = R2_IDENTS.iter().find(|&&(name, _)| name == tok) {
             push(
                 Rule::R2,
+                tok.to_string(),
                 format!("`{tok}` in a bit-reproducible crate: {why}"),
             );
         }
@@ -324,47 +368,64 @@ fn check_r2(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(R
         if masked_line.contains(path) {
             push(
                 Rule::R2,
+                path.to_string(),
                 format!("`{path}` in a bit-reproducible crate: {why}"),
             );
         }
     }
 }
 
-fn check_r2_rng(_masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+fn check_r2_rng(
+    _masked_line: &str,
+    idents: &[(usize, &str)],
+    push: &mut impl FnMut(Rule, String, String),
+) {
     for &(_, tok) in idents {
         if let Some(&(_, why)) = R2_RNG_IDENTS.iter().find(|&&(name, _)| name == tok) {
             push(
                 Rule::R2,
+                tok.to_string(),
                 format!("`{tok}` in a seed-replayable fault/chaos file: {why}; use DetRng"),
             );
         }
     }
 }
 
-fn check_r3(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+fn check_r3(
+    masked_line: &str,
+    idents: &[(usize, &str)],
+    push: &mut impl FnMut(Rule, String, String),
+) {
     for &(off, tok) in idents {
         let next = scan::next_nonspace(masked_line, off + tok.len()).map(|(_, b)| b);
         if R3_CALLS.contains(&tok) && next == Some(b'(') {
             push(
                 Rule::R3,
+                tok.to_string(),
                 format!("`{tok}(` can panic in library code; return a typed error or allowlist with a justification"),
             );
         }
         if R3_MACROS.contains(&tok) && next == Some(b'!') {
             push(
                 Rule::R3,
+                tok.to_string(),
                 format!("`{tok}!` panics in library code; return a typed error or allowlist with a justification"),
             );
         }
     }
 }
 
-fn check_r5(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+fn check_r5(
+    masked_line: &str,
+    idents: &[(usize, &str)],
+    push: &mut impl FnMut(Rule, String, String),
+) {
     for &(off, tok) in idents {
         let next = scan::next_nonspace(masked_line, off + tok.len()).map(|(_, b)| b);
         if R5_MACROS.contains(&tok) && next == Some(b'!') {
             push(
                 Rule::R5,
+                tok.to_string(),
                 format!(
                     "`{tok}!` writes to stdout/stderr from library code; emit through the \
                      locality-obs recorder or allowlist with a justification"
@@ -374,23 +435,32 @@ fn check_r5(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(R
     }
 }
 
-fn check_r3i(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(Rule, String)) {
+fn check_r3i(
+    masked_line: &str,
+    idents: &[(usize, &str)],
+    push: &mut impl FnMut(Rule, String, String),
+) {
     let bytes = masked_line.as_bytes();
     for (open, _) in bytes.iter().enumerate().filter(|&(_, &b)| b == b'[') {
         let Some((prev_off, prev)) = scan::prev_nonspace(masked_line, open) else {
             continue;
         };
+        let mut receiver = "[]".to_string();
         let indexable = match prev {
             b')' | b']' | b'?' => true,
             b if b.is_ascii_alphanumeric() || b == b'_' => {
                 // The identifier ending at prev_off must not be a
                 // keyword (`let [a, b] = ..` is a pattern, not an
-                // index).
+                // index) and not a lifetime (`&'a [u8]` is a type).
                 idents
                     .iter()
                     .rev()
                     .find(|&&(o, t)| o <= prev_off && o + t.len() > prev_off)
-                    .map(|&(_, t)| !is_keyword(t))
+                    .map(|&(o, t)| {
+                        receiver = t.to_string();
+                        let lifetime = o > 0 && bytes.get(o - 1) == Some(&b'\'');
+                        !is_keyword(t) && !lifetime
+                    })
                     .unwrap_or(true)
             }
             _ => false,
@@ -426,6 +496,7 @@ fn check_r3i(masked_line: &str, idents: &[(usize, &str)], push: &mut impl FnMut(
         }
         push(
             Rule::R3i,
+            receiver,
             "unchecked slice indexing can panic; use `.get()`, the dense `container[node.index()]` idiom, or allowlist with a justification"
                 .to_string(),
         );
@@ -444,8 +515,10 @@ pub fn check_crate_root(rel: &str, source: &str) -> Vec<Violation> {
             rule: Rule::R4,
             file: rel.to_string(),
             line: 1,
+            symbol: "crate".to_string(),
             message,
             raw_line: source.lines().next().unwrap_or("").to_string(),
+            chain: Vec::new(),
         });
     };
     if !source.contains("#![forbid(unsafe_code)]") {
@@ -471,8 +544,10 @@ pub fn check_clippy_toml(clippy_toml: Option<&str>) -> Vec<Violation> {
             rule: Rule::R4,
             file: "clippy.toml".to_string(),
             line: 1,
+            symbol: "clippy".to_string(),
             message,
             raw_line: String::new(),
+            chain: Vec::new(),
         });
     };
     match clippy_toml {
@@ -637,6 +712,16 @@ mod tests {
         );
         let blessed = "fn f(v: &[u32], u: NodeId) -> u32 { v[u.index()] }\n";
         assert!(check_file("crates/sim/src/foo.rs", blessed).is_empty());
+    }
+
+    #[test]
+    fn r3i_ignores_lifetimes_in_slice_types() {
+        // `&'a [u8]` is a type, not an index expression; v1 flagged it
+        // and needed allowlist entries to paper over the false
+        // positive.
+        let src = "pub struct R<'a> { buf: &'a [u8] }\n\
+                   fn f<'a>(x: &'a [u8]) -> &'a [u8] { x }\n";
+        assert!(check_file("crates/sim/src/foo.rs", src).is_empty());
     }
 
     #[test]

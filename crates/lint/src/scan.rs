@@ -1,351 +1,26 @@
-//! Lexical preprocessing of Rust source text.
+//! Compatibility shim over [`crate::lexer`].
 //!
-//! The rules in [`crate::rules`] operate on a *masked* copy of each
-//! file: the contents of comments, string literals, and char literals
-//! are replaced by spaces (newlines are preserved, so line numbers and
-//! column offsets survive the masking). This keeps the scanner honest —
-//! `"HashMap"` inside a string or a doc comment is not a determinism
-//! leak, and a `.unwrap()` in a `//!` example is a doctest, not library
-//! code.
-//!
-//! The module also locates `#[cfg(test)]` regions so rules can exempt
-//! test code, and provides the small identifier-token helpers the rules
-//! are built from.
+//! v1 of the lint built its rules directly on this module's masking and
+//! line helpers. The substrate now lives in [`crate::lexer`], which
+//! additionally produces a full token stream with spans; the per-line
+//! rule checks still consume the masked-line view, so the old names are
+//! re-exported here unchanged.
 
-/// A masked source file: same byte length and line structure as the
-/// input, with comment/string/char-literal *contents* blanked out.
-pub struct MaskedSource {
-    /// The masked text.
-    pub text: String,
-    /// `test_lines[i]` is true when 0-indexed line `i` lies inside a
-    /// `#[cfg(test)]` item (typically a `mod tests { .. }` block).
-    pub test_lines: Vec<bool>,
-}
-
-/// States of the masking scanner.
-enum Mode {
-    Code,
-    LineComment,
-    BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
-}
-
-/// Returns true for bytes that can continue a Rust identifier.
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Masks comments, strings, and char literals with spaces, preserving
-/// newlines and total length.
-pub fn mask(source: &str) -> String {
-    let bytes = source.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
-    let mut mode = Mode::Code;
-    let mut i = 0usize;
-    let at = |j: usize| bytes.get(j).copied();
-    while let Some(b) = at(i) {
-        match mode {
-            Mode::Code => {
-                if b == b'/' && at(i + 1) == Some(b'/') {
-                    out.extend_from_slice(b"//");
-                    i += 2;
-                    mode = Mode::LineComment;
-                } else if b == b'/' && at(i + 1) == Some(b'*') {
-                    out.extend_from_slice(b"/*");
-                    i += 2;
-                    mode = Mode::BlockComment(1);
-                } else if b == b'"' {
-                    out.push(b'"');
-                    i += 1;
-                    mode = Mode::Str;
-                } else if b == b'r' || b == b'b' {
-                    // Possible raw/byte string start: r", r#", br", b".
-                    // Only if not part of a longer identifier.
-                    let prev_ident = i > 0 && at(i - 1).map(is_ident_byte).unwrap_or(false);
-                    let mut j = i + 1;
-                    if b == b'b' && at(j) == Some(b'r') {
-                        j += 1;
-                    }
-                    let mut hashes = 0u32;
-                    while at(j) == Some(b'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    let raw = b == b'r' || at(i + 1) == Some(b'r');
-                    if !prev_ident && at(j) == Some(b'"') && (raw || j == i + 1) {
-                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                        i = j + 1;
-                        mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
-                    } else {
-                        out.push(b);
-                        i += 1;
-                    }
-                } else if b == b'\'' {
-                    // Char literal or lifetime. A char literal is 'x',
-                    // '\x..', '\u{..}' etc; a lifetime is 'ident with no
-                    // closing quote.
-                    if at(i + 1) == Some(b'\\') {
-                        out.push(b'\'');
-                        i += 1;
-                        mode = Mode::Char;
-                    } else if at(i + 2) == Some(b'\'') {
-                        out.extend_from_slice(b"'  ");
-                        i += 3;
-                    } else {
-                        out.push(b'\'');
-                        i += 1;
-                    }
-                } else {
-                    out.push(b);
-                    i += 1;
-                }
-            }
-            Mode::LineComment => {
-                if b == b'\n' {
-                    out.push(b'\n');
-                    mode = Mode::Code;
-                } else {
-                    out.push(b' ');
-                }
-                i += 1;
-            }
-            Mode::BlockComment(depth) => {
-                if b == b'*' && at(i + 1) == Some(b'/') {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    mode = if depth <= 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(depth - 1)
-                    };
-                } else if b == b'/' && at(i + 1) == Some(b'*') {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    mode = Mode::BlockComment(depth + 1);
-                } else {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            Mode::Str => {
-                if b == b'\\' {
-                    out.push(b' ');
-                    i += 1;
-                    if let Some(nb) = at(i) {
-                        out.push(if nb == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                } else if b == b'"' {
-                    out.push(b'"');
-                    i += 1;
-                    mode = Mode::Code;
-                } else {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            Mode::RawStr(hashes) => {
-                let mut closed = false;
-                if b == b'"' {
-                    let mut j = i + 1;
-                    let mut seen = 0u32;
-                    while seen < hashes && at(j) == Some(b'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        out.extend(std::iter::repeat_n(b' ', j - i));
-                        i = j;
-                        mode = Mode::Code;
-                        closed = true;
-                    }
-                }
-                if !closed {
-                    out.push(if b == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            Mode::Char => {
-                if b == b'\\' {
-                    out.push(b' ');
-                    i += 1;
-                    if at(i).is_some() {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                } else if b == b'\'' {
-                    out.push(b'\'');
-                    mode = Mode::Code;
-                    i += 1;
-                } else {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    // Masking only ever replaces bytes with ASCII spaces or keeps them,
-    // so the result is valid UTF-8 whenever the input was.
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// Flags the lines covered by `#[cfg(test)]` items in masked text.
-///
-/// After each `#[cfg(test)]` attribute the scanner looks for the next
-/// `{` or `;`, whichever comes first; a `{` opens a brace-matched
-/// region (the usual `mod tests { .. }`), a `;` ends a single-item
-/// exemption (`#[cfg(test)] use ..;`).
-pub fn test_line_flags(masked: &str) -> Vec<bool> {
-    let line_count = masked.lines().count();
-    let mut flags = vec![false; line_count];
-    let bytes = masked.as_bytes();
-    // Byte offset -> 0-indexed line.
-    let line_of = |pos: usize| -> usize { bytes.iter().take(pos).filter(|&&b| b == b'\n').count() };
-    let mut search_from = 0usize;
-    while let Some(rel) = masked
-        .get(search_from..)
-        .and_then(|s| s.find("#[cfg(test)]"))
-    {
-        let attr_at = search_from + rel;
-        let body_from = attr_at + "#[cfg(test)]".len();
-        let mut depth = 0usize;
-        let mut end = masked.len();
-        let mut started = false;
-        let mut j = body_from;
-        while let Some(&b) = bytes.get(j) {
-            match b {
-                b';' if !started => {
-                    end = j + 1;
-                    break;
-                }
-                b'{' => {
-                    depth += 1;
-                    started = true;
-                }
-                b'}' => {
-                    depth = depth.saturating_sub(1);
-                    if started && depth == 0 {
-                        end = j + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let (first, last) = (line_of(attr_at), line_of(end.saturating_sub(1)));
-        for f in flags.iter_mut().skip(first).take(last - first + 1) {
-            *f = true;
-        }
-        search_from = end.max(body_from);
-    }
-    flags
-}
-
-/// Masks a file and computes its test-line flags in one pass.
-pub fn preprocess(source: &str) -> MaskedSource {
-    let text = mask(source);
-    let test_lines = test_line_flags(&text);
-    MaskedSource { text, test_lines }
-}
-
-/// Iterator over the identifier tokens of a masked line, with byte
-/// offsets.
-pub fn identifiers(line: &str) -> Vec<(usize, &str)> {
-    let bytes = line.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        let b = bytes.get(i).copied().unwrap_or(b' ');
-        if b.is_ascii_alphabetic() || b == b'_' {
-            let start = i;
-            while i < bytes.len() && bytes.get(i).copied().map(is_ident_byte).unwrap_or(false) {
-                i += 1;
-            }
-            if let Some(tok) = line.get(start..i) {
-                out.push((start, tok));
-            }
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-/// The first non-space byte at or after `from`, with its offset.
-pub fn next_nonspace(line: &str, from: usize) -> Option<(usize, u8)> {
-    line.as_bytes()
-        .iter()
-        .enumerate()
-        .skip(from)
-        .find(|(_, &b)| b != b' ' && b != b'\t')
-        .map(|(i, &b)| (i, b))
-}
-
-/// The last non-space byte strictly before `before`, with its offset.
-pub fn prev_nonspace(line: &str, before: usize) -> Option<(usize, u8)> {
-    line.as_bytes()
-        .iter()
-        .enumerate()
-        .take(before)
-        .rev()
-        .find(|(_, &b)| b != b' ' && b != b'\t')
-        .map(|(i, &b)| (i, b))
-}
+pub use crate::lexer::{
+    identifiers, mask, next_nonspace, preprocess, prev_nonspace, test_line_flags, MaskedSource,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn masks_line_comments_and_strings() {
-        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1;\n";
-        let m = mask(src);
-        assert!(!m.contains("HashMap"), "masked: {m}");
-        assert_eq!(m.len(), src.len());
-        assert_eq!(m.lines().count(), src.lines().count());
-    }
-
-    #[test]
-    fn masks_raw_strings_and_chars() {
-        let src = "let r = r#\"unwrap() panic!\"#; let c = 'x'; let lt: &'static str = s;";
-        let m = mask(src);
-        assert!(!m.contains("unwrap"));
-        assert!(!m.contains("panic"));
-        assert!(m.contains("static"), "lifetimes are not char literals: {m}");
-    }
-
-    #[test]
-    fn masks_nested_block_comments() {
-        let src = "a /* outer /* inner unwrap() */ still */ b";
-        let m = mask(src);
-        assert!(!m.contains("unwrap"));
-        assert!(m.contains('a') && m.contains('b'));
-    }
-
-    #[test]
-    fn finds_test_regions() {
-        let src =
-            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
-        let pre = preprocess(src);
-        assert_eq!(pre.test_lines, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn single_item_cfg_test_exemption() {
-        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {}\n";
-        let pre = preprocess(src);
-        assert_eq!(pre.test_lines, vec![true, true, false]);
-    }
-
-    #[test]
-    fn identifier_tokens_are_maximal() {
-        let ids = identifiers("let sub = Subgraph::new(Graph);");
-        let names: Vec<&str> = ids.iter().map(|&(_, n)| n).collect();
-        assert!(names.contains(&"Subgraph"));
-        assert!(names.contains(&"Graph"));
-        assert!(!names.contains(&"Sub"));
+    fn shim_preserves_the_v1_surface() {
+        let pre = preprocess("let x = \"HashMap\"; // HashMap\n");
+        assert!(!pre.text.contains("HashMap"));
+        assert_eq!(pre.test_lines, vec![false]);
+        assert_eq!(identifiers("a.b(c)").len(), 3);
+        assert_eq!(next_nonspace("  x", 0), Some((2, b'x')));
+        assert_eq!(prev_nonspace("x  ", 3), Some((0, b'x')));
     }
 }

@@ -19,6 +19,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> locality-lint"
 cargo run -q -p locality-lint
 
+echo "==> locality-lint --format json (empty baseline, stable)"
+# The JSON stream is the machine-readable contract: a clean workspace
+# emits nothing, and the output must be byte-identical across runs.
+# `|| true`: the lint binary exits nonzero on findings, but the gate
+# below wants to print them before failing.
+lint_json_a="$(cargo run -q -p locality-lint -- --format json || true)"
+lint_json_b="$(cargo run -q -p locality-lint -- --format json || true)"
+if [ "$lint_json_a" != "$lint_json_b" ]; then
+  echo "locality-lint: --format json output is not stable across runs" >&2
+  exit 1
+fi
+if [ -n "$lint_json_a" ]; then
+  echo "locality-lint: JSON findings differ from the empty baseline:" >&2
+  printf '%s\n' "$lint_json_a" >&2
+  exit 1
+fi
+
 echo "==> perfsmoke regression gate"
 # Compare the live run against the committed BENCH_perfsmoke.json
 # baseline: the n=128 delivery-matrix speedup and the simulator
