@@ -25,8 +25,12 @@ use local_routing::ViewArtifact;
 use locality_bench::chaos;
 use locality_sim::Level;
 
+const USAGE: &str = "usage: chaos [--seed N] [--trace-out PATH] \
+[--trace-level off|metrics|hops|debug] [--provisioner bfs|oracle] [--artifact-dir DIR]";
+
 fn fail(msg: &str) -> ! {
     eprintln!("chaos: {msg}");
+    eprintln!("{USAGE}");
     std::process::exit(1);
 }
 
@@ -39,24 +43,36 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--seed" => {
-                if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                    seed = v;
-                }
-            }
-            "--trace-out" => trace_out = args.next(),
-            "--trace-level" => {
-                if let Some(l) = args.next().as_deref().and_then(Level::from_name) {
-                    level = l;
-                }
-            }
+            "--seed" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => seed = v,
+                Some(Err(_)) => fail("--seed takes an unsigned integer"),
+                None => fail("--seed needs a value"),
+            },
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => fail("--trace-out needs a path"),
+            },
+            "--trace-level" => match args.next() {
+                Some(v) => match Level::from_name(&v) {
+                    Some(l) => level = l,
+                    None => fail(&format!("unknown trace level '{v}'")),
+                },
+                None => fail("--trace-level needs a value"),
+            },
             "--provisioner" => match args.next().as_deref() {
                 Some("bfs") => oracle = false,
                 Some("oracle") => oracle = true,
                 other => fail(&format!("--provisioner takes bfs|oracle, got {other:?}")),
             },
-            "--artifact-dir" => artifact_dir = args.next(),
-            _ => {}
+            "--artifact-dir" => match args.next() {
+                Some(d) => artifact_dir = Some(d),
+                None => fail("--artifact-dir needs a directory"),
+            },
+            // The conventional end-of-options marker, and what a
+            // `cargo run -- --seed 7` habit pastes in front of the
+            // flags when the binary is invoked directly.
+            "--" => {}
+            other => fail(&format!("unknown flag '{other}'")),
         }
     }
     if oracle {

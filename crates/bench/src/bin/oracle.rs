@@ -97,10 +97,21 @@ fn build(args: &[String]) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--graph" => graph = it.next().cloned(),
-            "--k" => k = it.next().and_then(|v| v.parse().ok()),
+            "--k" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(v)) => k = Some(v),
+                Some(Err(_)) => fail("--k takes an unsigned integer"),
+                None => fail("--k needs a value"),
+            },
             "--out" => out = it.next().cloned(),
-            "--chaos-seed" => chaos_seed = it.next().and_then(|v| v.parse().ok()),
+            "--chaos-seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => chaos_seed = Some(v),
+                Some(Err(_)) => fail("--chaos-seed takes an unsigned integer"),
+                None => fail("--chaos-seed needs a value"),
+            },
             "--out-dir" => out_dir = it.next().cloned(),
+            // Conventional end-of-options marker (`cargo run -- ...`
+            // habit when the binary is invoked directly).
+            "--" => {}
             other => fail(&format!("unknown build flag {other}")),
         }
     }
@@ -157,7 +168,11 @@ fn verify(args: &[String]) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--graph" => graph = it.next().cloned(),
-            "--k" => k = it.next().and_then(|v| v.parse().ok()),
+            "--k" => match it.next().map(|v| v.parse::<u32>()) {
+                Some(Ok(v)) => k = Some(v),
+                Some(Err(_)) => fail("--k takes an unsigned integer"),
+                None => fail("--k needs a value"),
+            },
             other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
             other => fail(&format!("unknown verify argument {other}")),
         }
@@ -189,7 +204,9 @@ fn verify(args: &[String]) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Tolerate a leading end-of-options marker (`cargo run -- ...`
+    // habit when the binary is invoked directly).
+    let args: Vec<String> = std::env::args().skip(1).skip_while(|a| a == "--").collect();
     match args.split_first() {
         Some((cmd, rest)) if cmd == "build" => build(rest),
         Some((cmd, rest)) if cmd == "inspect" => inspect(rest),

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use local_routing::engine::{self, RunOptions, ViewCache};
 use local_routing::{preprocess, Alg1, LocalView, ViewArtifact, ViewStore};
+use locality_bench::loadgen;
 use locality_bench::simbench;
 use locality_bench::timing;
 use locality_bench::timing::{black_box, measure_ns};
@@ -502,7 +503,24 @@ fn bench_sim() -> SimReport {
     const MESSAGES: usize = 4096;
     const SEED: u64 = 42;
 
+    // One engine run is only a few milliseconds — far too short for a
+    // single sample to resist shared-CPU steal (observed 2x spread run
+    // to run, which a 25% regression gate cannot absorb). Mirror
+    // `measure_ns`: the first run warms up and supplies the
+    // deterministic counters, then the median elapsed over nine more
+    // runs is the timing estimate. The legacy side below already gets
+    // the same treatment inside `measure_ns` itself.
     let real = simbench::sim_throughput(N, K, MESSAGES, SEED, Alg1);
+    let mut engine_runs: Vec<u64> = (0..9)
+        .map(|_| simbench::sim_throughput(N, K, MESSAGES, SEED, Alg1).elapsed_ns)
+        .collect();
+    engine_runs.sort_unstable();
+    let engine_ns = engine_runs[engine_runs.len() / 2] as f64;
+    let sim_hops_per_sec = if engine_ns > 0.0 {
+        real.hops as f64 * 1e9 / engine_ns
+    } else {
+        0.0
+    };
     let routes = simbench::sim_routes(N, K, MESSAGES, SEED, Alg1);
 
     // Persistent per-node views, as the old simulator's nodes held them
@@ -616,7 +634,7 @@ fn bench_sim() -> SimReport {
         k: K,
         messages: real.messages,
         hops: real.hops,
-        sim_hops_per_sec: real.hops_per_sec(),
+        sim_hops_per_sec,
         legacy_sim_hops_per_sec,
         driver_threads: driver::default_threads(),
         sim_trials_per_sec,
@@ -821,10 +839,16 @@ fn main() {
     let oracle = bench_oracle();
     let (lint, lint_wall_ms) = lint_violations();
     let chaos_ratio = chaos_delivery_ratio();
+    // The overload capacity figure: highest seed-7 churn rate whose
+    // admitted traffic still meets the SLO (p99 and delivery ratio),
+    // converted to messages per second of wall clock. Gated against
+    // BENCH_perfsmoke.json at 25% like the speedups.
+    let (qps, capacity_rate_milli, capacity_p99) = loadgen::sustained_qps_at_slo(7);
     println!(
         concat!(
             "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
             "\"sizes\":[{}],\"sim\":{},\"oracle\":{},\"lint_violations\":{},\"lint_wall_ms\":{},\"chaos_delivery_ratio\":{:.4},",
+            "\"loadgen\":{{\"sustained_qps_at_slo\":{:.0},\"capacity_rate_milli\":{},\"capacity_p99\":{}}},",
             "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
             "legacy delivery matrix replays the engine's exact routes on the old ",
             "structures and omits passive-case lookups, so speedups are lower bounds; ",
@@ -837,6 +861,9 @@ fn main() {
         lint,
         lint_wall_ms,
         chaos_ratio,
+        qps,
+        capacity_rate_milli,
+        capacity_p99,
     );
     assert!(
         lint == 0,
@@ -861,5 +888,9 @@ fn main() {
         oracle.speedup() >= 3.0,
         "oracle cold-start speedup at n=2048 is {:.2}x, expected >= 3x",
         oracle.speedup()
+    );
+    assert!(
+        qps > 0.0 && capacity_rate_milli > 0,
+        "loadgen found no churn rate meeting the SLO (qps {qps:.0}, rate {capacity_rate_milli})"
     );
 }

@@ -32,7 +32,7 @@ const ROUNDS: usize = 6;
 const BATCH: usize = 24;
 const ROUND_GAP: u64 = 30;
 
-fn churn_config() -> ChurnConfig {
+pub(crate) fn churn_config() -> ChurnConfig {
     ChurnConfig {
         horizon: (ROUNDS as u64) * ROUND_GAP,
         link_events: 10,
@@ -42,7 +42,7 @@ fn churn_config() -> ChurnConfig {
     }
 }
 
-fn fault_config(seed: u64) -> FaultConfig {
+pub(crate) fn fault_config(seed: u64) -> FaultConfig {
     FaultConfig {
         dead_link: DeadLinkPolicy::Drop,
         view_delay: 2,

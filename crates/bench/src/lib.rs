@@ -12,6 +12,7 @@ pub mod chaos;
 pub mod cli;
 pub mod experiments;
 pub mod format;
+pub mod loadgen;
 pub mod simbench;
 pub mod timing;
 

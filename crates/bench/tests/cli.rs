@@ -1,0 +1,105 @@
+//! CLI exit-contract smoke tests for the bench binaries: unknown
+//! flags, malformed values, and unreadable paths must exit nonzero
+//! with a usage line on stderr — same contract `crates/lint/tests/
+//! cli.rs` pins for `locality-lint` and `bin/tracecat`.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().expect("binary runs")
+}
+
+fn assert_usage_failure(out: &Output, what: &str) {
+    assert_eq!(out.status.code(), Some(1), "{what}: wrong exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{what}: no usage line in: {err}");
+}
+
+#[test]
+fn chaos_unknown_flag_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_chaos"), &["--bogus"]);
+    assert_usage_failure(&out, "chaos --bogus");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+}
+
+#[test]
+fn chaos_malformed_seed_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_chaos"), &["--seed", "twelve"]);
+    assert_usage_failure(&out, "chaos --seed twelve");
+}
+
+#[test]
+fn chaos_bad_trace_level_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_chaos"), &["--trace-level", "loud"]);
+    assert_usage_failure(&out, "chaos --trace-level loud");
+}
+
+#[test]
+fn oracle_missing_subcommand_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_oracle"), &[]);
+    assert_usage_failure(&out, "oracle (no args)");
+}
+
+#[test]
+fn oracle_unknown_build_flag_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_oracle"), &["build", "--bogus"]);
+    assert_usage_failure(&out, "oracle build --bogus");
+}
+
+#[test]
+fn oracle_malformed_k_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_oracle"), &["build", "--k", "ten"]);
+    assert_usage_failure(&out, "oracle build --k ten");
+}
+
+#[test]
+fn oracle_unreadable_artifact_exits_nonzero_with_usage() {
+    let out = run(
+        env!("CARGO_BIN_EXE_oracle"),
+        &["inspect", "/nonexistent/definitely-not-here.lrvo"],
+    );
+    assert_usage_failure(&out, "oracle inspect <missing>");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read artifact"), "stderr: {err}");
+}
+
+#[test]
+fn loadgen_unknown_flag_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_loadgen"), &["sweep", "--bogus"]);
+    assert_usage_failure(&out, "loadgen sweep --bogus");
+}
+
+#[test]
+fn loadgen_unknown_subcommand_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_loadgen"), &["blast"]);
+    assert_usage_failure(&out, "loadgen blast");
+}
+
+#[test]
+fn loadgen_zero_threads_exits_nonzero_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_loadgen"), &["check", "--threads", "0"]);
+    assert_usage_failure(&out, "loadgen check --threads 0");
+}
+
+/// The conventional end-of-options marker must be tolerated: anyone
+/// used to `cargo run -p locality-bench --bin chaos -- --seed 7`
+/// pastes the `--` when invoking the built binary directly.
+#[test]
+fn double_dash_marker_is_tolerated_everywhere() {
+    let with = run(env!("CARGO_BIN_EXE_chaos"), &["--", "--seed", "3"]);
+    let without = run(env!("CARGO_BIN_EXE_chaos"), &["--seed", "3"]);
+    assert_eq!(with.status.code(), Some(0), "chaos -- --seed 3");
+    assert_eq!(with.stdout, without.stdout, "chaos output differs");
+
+    // For the subcommand binaries, proving the marker is stripped
+    // before dispatch is enough (and cheap): the error must name the
+    // subcommand after the `--`, not the `--` itself.
+    let out = run(env!("CARGO_BIN_EXE_loadgen"), &["--", "blast"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand 'blast'"), "loadgen: {err}");
+
+    let out = run(env!("CARGO_BIN_EXE_oracle"), &["--", "bogus"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand bogus"), "oracle: {err}");
+}

@@ -28,6 +28,32 @@ pub enum GraphError {
         /// Human-readable description of what went wrong.
         message: String,
     },
+    /// An edgelist line declared a self-loop (`u u`).
+    EdgelistSelfLoop {
+        /// The node that was looped to itself.
+        node: NodeId,
+        /// 1-based line number of the offending input line.
+        line: usize,
+    },
+    /// An edgelist line repeated an edge already declared earlier
+    /// (in either direction). Only strict ingestion reports this;
+    /// lenient ingestion dedups silently.
+    EdgelistDuplicateEdge {
+        /// Smaller endpoint of the repeated edge.
+        u: NodeId,
+        /// Larger endpoint of the repeated edge.
+        v: NodeId,
+        /// 1-based line number of the repeating input line.
+        line: usize,
+    },
+    /// An edgelist endpoint is a valid integer but exceeds the
+    /// supported node-id range (node count must fit in `u32`).
+    EdgelistIdOutOfRange {
+        /// The out-of-range id as written in the input.
+        id: u64,
+        /// 1-based line number of the offending input line.
+        line: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -41,6 +67,15 @@ impl fmt::Display for GraphError {
             GraphError::UnknownLabel(l) => write!(f, "label {l} does not exist"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::EdgelistSelfLoop { node, line } => {
+                write!(f, "self-loop at {node} on line {line}")
+            }
+            GraphError::EdgelistDuplicateEdge { u, v, line } => {
+                write!(f, "duplicate edge {{{u},{v}}} on line {line}")
+            }
+            GraphError::EdgelistIdOutOfRange { id, line } => {
+                write!(f, "node id {id} on line {line} exceeds the supported range")
             }
         }
     }

@@ -119,19 +119,39 @@ pub fn to_edgelist(g: &Graph) -> String {
     out
 }
 
+/// Largest edgelist node id accepted: ids up to `u32::MAX - 1`, so the
+/// inferred node count (`max id + 1`) always fits in `u32`.
+pub const MAX_EDGELIST_ID: u64 = u32::MAX as u64 - 1;
+
 /// Parses a plain edgelist: one `u v` pair per line, `#` comments and
 /// blank lines tolerated anywhere. The node count is inferred as the
 /// largest endpoint plus one, labels are the identity, and duplicate
 /// edges (common in datasets that list both directions) are deduped
-/// silently.
+/// silently. Use [`from_edgelist_strict`] to reject duplicates instead.
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::Parse`] (with the offending line number) on
-/// non-integer fields, a missing second field, or trailing tokens, and
-/// [`GraphError::SelfLoop`] on a `u u` line.
+/// non-integer fields, a missing second field, or trailing tokens;
+/// [`GraphError::EdgelistSelfLoop`] on a `u u` line; and
+/// [`GraphError::EdgelistIdOutOfRange`] when an endpoint exceeds
+/// [`MAX_EDGELIST_ID`] — all carrying the offending line number.
 pub fn from_edgelist(s: &str) -> Result<Graph, GraphError> {
+    parse_edgelist(s, false)
+}
+
+/// Like [`from_edgelist`], but a repeated edge — in either direction —
+/// is a [`GraphError::EdgelistDuplicateEdge`] carrying the line number
+/// of the repeat, instead of being deduped silently. Use this for
+/// curated fixtures where a duplicate line indicates a corrupt file
+/// rather than a both-directions dataset convention.
+pub fn from_edgelist_strict(s: &str) -> Result<Graph, GraphError> {
+    parse_edgelist(s, true)
+}
+
+fn parse_edgelist(s: &str, strict: bool) -> Result<Graph, GraphError> {
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
     let mut max_id: Option<u32> = None;
     for (idx, raw) in s.lines().enumerate() {
         let line_no = idx + 1;
@@ -143,28 +163,43 @@ pub fn from_edgelist(s: &str) -> Result<Graph, GraphError> {
             line: line_no,
             message: message.to_string(),
         };
+        let endpoint = |token: Option<&str>, which: &str| -> Result<u32, GraphError> {
+            let id = token
+                .ok_or_else(|| parse_err(&format!("missing {which} endpoint")))?
+                .parse::<u64>()
+                .map_err(|_| parse_err(&format!("{which} endpoint is not an integer")))?;
+            if id > MAX_EDGELIST_ID {
+                return Err(GraphError::EdgelistIdOutOfRange { id, line: line_no });
+            }
+            Ok(id as u32)
+        };
         let mut parts = line.split_whitespace();
-        let u = parts
-            .next()
-            .ok_or_else(|| parse_err("missing first endpoint"))?
-            .parse::<u32>()
-            .map_err(|_| parse_err("first endpoint is not an integer"))?;
-        let v = parts
-            .next()
-            .ok_or_else(|| parse_err("missing second endpoint"))?
-            .parse::<u32>()
-            .map_err(|_| parse_err("second endpoint is not an integer"))?;
+        let u = endpoint(parts.next(), "first")?;
+        let v = endpoint(parts.next(), "second")?;
         if parts.next().is_some() {
             return Err(parse_err("trailing tokens after edge"));
         }
         if u == v {
-            return Err(GraphError::SelfLoop(NodeId(u)));
+            return Err(GraphError::EdgelistSelfLoop {
+                node: NodeId(u),
+                line: line_no,
+            });
+        }
+        let edge = if u < v { (u, v) } else { (v, u) };
+        if !seen.insert(edge) {
+            if strict {
+                return Err(GraphError::EdgelistDuplicateEdge {
+                    u: NodeId(edge.0),
+                    v: NodeId(edge.1),
+                    line: line_no,
+                });
+            }
+            continue;
         }
         max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
-        edges.push(if u < v { (u, v) } else { (v, u) });
+        edges.push(edge);
     }
     edges.sort_unstable();
-    edges.dedup();
     let n = max_id.map_or(0, |m| m as usize + 1);
     let mut b = GraphBuilder::with_identity_labels(n);
     for (u, v) in edges {
@@ -253,10 +288,56 @@ mod tests {
             from_edgelist("0 1\n3\n"),
             Err(GraphError::Parse { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn edgelist_self_loop_carries_line_number() {
         assert_eq!(
-            from_edgelist("4 4\n").unwrap_err(),
-            GraphError::SelfLoop(NodeId(4))
+            from_edgelist("0 1\n\n# comment\n4 4\n").unwrap_err(),
+            GraphError::EdgelistSelfLoop {
+                node: NodeId(4),
+                line: 4
+            }
         );
+    }
+
+    #[test]
+    fn edgelist_overflowing_ids_carry_line_number() {
+        // Larger than u64: not even an integer in range.
+        assert!(matches!(
+            from_edgelist("0 99999999999999999999\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        // Fits u64 but exceeds the supported node-id range.
+        let big = u64::from(u32::MAX);
+        assert_eq!(
+            from_edgelist(&format!("0 1\n{big} 0\n")).unwrap_err(),
+            GraphError::EdgelistIdOutOfRange { id: big, line: 2 }
+        );
+    }
+
+    #[test]
+    fn strict_edgelist_rejects_duplicates_with_line_number() {
+        // Same direction and reversed direction both count.
+        assert_eq!(
+            from_edgelist_strict("0 1\n1 2\n0 1\n").unwrap_err(),
+            GraphError::EdgelistDuplicateEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+                line: 3
+            }
+        );
+        assert_eq!(
+            from_edgelist_strict("0 1\n1 0\n").unwrap_err(),
+            GraphError::EdgelistDuplicateEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+                line: 2
+            }
+        );
+        // Clean input parses identically to the lenient path.
+        let s = "0 1\n1 2\n2 0\n";
+        assert_eq!(from_edgelist_strict(s).unwrap(), from_edgelist(s).unwrap());
     }
 
     #[test]

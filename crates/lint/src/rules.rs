@@ -204,7 +204,12 @@ pub const R2_CRATES: &[&str] = &["graph", "core", "adversary", "obs"];
 /// promise byte-identical replays from a single `u64` seed, so any
 /// other entropy source — ambient RNGs, OS randomness, clocks — is a
 /// violation even though these files sit outside [`R2_CRATES`].
-pub const R2_DETRNG_FILES: &[&str] = &["crates/sim/src/fault.rs", "crates/bench/src/chaos.rs"];
+pub const R2_DETRNG_FILES: &[&str] = &[
+    "crates/sim/src/fault.rs",
+    "crates/sim/src/workload.rs",
+    "crates/bench/src/chaos.rs",
+    "crates/bench/src/loadgen.rs",
+];
 
 /// Simulator hot-path files held to full R2 determinism even though
 /// the `sim` crate as a whole sits outside [`R2_CRATES`]: the timing
@@ -216,6 +221,8 @@ pub const R2_SIM_FILES: &[&str] = &[
     "crates/sim/src/sched.rs",
     "crates/sim/src/slab.rs",
     "crates/sim/src/driver.rs",
+    "crates/sim/src/workload.rs",
+    "crates/sim/src/admission.rs",
 ];
 
 const R1_IDENTS: &[&str] = &["Graph", "GraphBuilder", "EmbeddedGraph"];
@@ -642,11 +649,18 @@ mod tests {
     fn r2_sim_arm_covers_scheduler_arena_and_driver() {
         let src = "use std::collections::HashMap;\n\
                    fn f() { let t = std::time::Instant::now(); }\n";
-        // The wheel, the slab, and the driver get full R2 despite the
-        // sim crate sitting outside R2_CRATES.
+        // The wheel, the slab, the driver, and the overload modules get
+        // full R2 despite the sim crate sitting outside R2_CRATES. A
+        // file that is *also* in the DetRng set (the workload) picks up
+        // one extra hit from the randomness-source arm.
         for rel in super::R2_SIM_FILES {
             let v = check_file(rel, src);
-            assert_eq!(rules_of(&v), vec![Rule::R2, Rule::R2, Rule::R2], "{rel}");
+            let expected = if super::R2_DETRNG_FILES.contains(rel) {
+                4
+            } else {
+                3
+            };
+            assert_eq!(rules_of(&v), vec![Rule::R2; expected], "{rel}");
         }
         // Deterministic ordered collections pass.
         let ok = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u64, u32>) {}\n";

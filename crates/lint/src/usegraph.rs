@@ -152,6 +152,8 @@ const R6_FILES: &[&str] = &[
     "crates/sim/src/sched.rs",
     "crates/sim/src/slab.rs",
     "crates/sim/src/driver.rs",
+    "crates/sim/src/workload.rs",
+    "crates/sim/src/admission.rs",
 ];
 /// The step-table functions of `core::view` in R6 scope.
 const R6_VIEW_FNS: &[&str] = &["step_table", "shortest_step_toward"];

@@ -17,3 +17,21 @@ pub const ORACLE_LOADS: &str = "oracle.loads";
 /// pair: loads + rebuilds = cold misses, and rebuilds counts exactly
 /// the nodes inside some wave's dirty radius.
 pub const ORACLE_REBUILDS: &str = "oracle.rebuilds";
+
+/// Gauge: injections refused by the admission controller (emitted only
+/// when a non-open admission policy is configured, so open-policy
+/// traces stay byte-identical to the pre-admission simulator).
+pub const ADMISSION_REJECTED: &str = "admission.rejected";
+
+/// Gauge: admitted messages evicted by the shed-oldest admission
+/// policy (emitted only when a non-open policy is configured).
+pub const ADMISSION_SHED: &str = "admission.shed";
+
+/// Gauge: highest in-flight arena occupancy the admission controller
+/// observed at a decision point — the saturation high-water mark
+/// (emitted only when a non-open policy is configured).
+pub const ADMISSION_PEAK_LIVE: &str = "admission.peak_live";
+
+/// Gauge: admission decisions taken, i.e. injections attempted while a
+/// non-open policy was active (emitted only when one is configured).
+pub const ADMISSION_DECISIONS: &str = "admission.decisions";

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod driver;
 mod error;
 pub mod fault;
@@ -45,7 +46,11 @@ mod node;
 pub mod replay;
 pub mod sched;
 pub mod slab;
+pub mod workload;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionPolicy, AdmissionVerdict, SaturationSample,
+};
 pub use error::SimError;
 pub use fault::{
     ChurnConfig, DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey, LinkProfile,

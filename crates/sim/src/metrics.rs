@@ -26,6 +26,15 @@ pub enum MessageFate {
     /// A source-side timeout expired after every configured retry was
     /// spent.
     GaveUp,
+    /// The admission controller refused the injection: the network was
+    /// saturated and the configured
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy) rejects new traffic.
+    /// The message was counted as sent but never scheduled.
+    Rejected,
+    /// The admission controller evicted this already-admitted message
+    /// to make room for newer traffic under saturation
+    /// (the shed-oldest policy).
+    Shed,
 }
 
 impl MessageFate {
@@ -41,6 +50,8 @@ impl MessageFate {
             MessageFate::Dropped => "dropped",
             MessageFate::TimedOut => "timed_out",
             MessageFate::GaveUp => "gave_up",
+            MessageFate::Rejected => "rejected",
+            MessageFate::Shed => "shed",
         }
     }
 }
@@ -90,7 +101,8 @@ impl MessageRecord {
 /// Aggregate statistics over a finished simulation. Every injected
 /// message lands in exactly one bucket:
 /// `sent == delivered + looped + errored + exhausted + dropped +
-/// timed_out + gave_up + in_flight` — see [`accounted`](Self::accounted).
+/// timed_out + gave_up + rejected + shed + in_flight` — see
+/// [`accounted`](Self::accounted).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetworkMetrics {
     /// Messages injected.
@@ -109,6 +121,10 @@ pub struct NetworkMetrics {
     pub timed_out: usize,
     /// Messages abandoned after exhausting their retry budget.
     pub gave_up: usize,
+    /// Messages refused by the admission controller at injection.
+    pub rejected: usize,
+    /// Admitted messages evicted by the shed-oldest admission policy.
+    pub shed: usize,
     /// Messages still travelling (or parked on a down link) when the
     /// metrics were read.
     pub in_flight: usize,
@@ -163,6 +179,34 @@ impl NetworkMetrics {
         }
     }
 
+    /// Messages the admission controller let through and never evicted:
+    /// `sent - rejected - shed`. The population the graceful-degradation
+    /// invariant is stated over.
+    pub fn admitted(&self) -> usize {
+        self.sent.saturating_sub(self.rejected + self.shed)
+    }
+
+    /// Delivery ratio over admitted-and-kept traffic in `[0, 1]` — the
+    /// quantity that must stay within 1% of the unloaded baseline under
+    /// overload. Shedding is honest: evicted messages leave the
+    /// denominator *and* are separately accounted in [`shed_ratio`](Self::shed_ratio).
+    pub fn admitted_delivery_ratio(&self) -> f64 {
+        if self.admitted() == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.admitted() as f64
+        }
+    }
+
+    /// Fraction of injected messages the controller rejected or shed.
+    pub fn shed_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            (self.rejected + self.shed) as f64 / self.sent as f64
+        }
+    }
+
     /// Whether every injected message is accounted for by exactly one
     /// terminal (or in-flight) bucket — the conservation invariant the
     /// churn suite asserts after every run.
@@ -175,6 +219,8 @@ impl NetworkMetrics {
                 + self.dropped
                 + self.timed_out
                 + self.gave_up
+                + self.rejected
+                + self.shed
                 + self.in_flight
     }
 }
@@ -226,12 +272,14 @@ mod tests {
         assert_eq!(MessageFate::Errored("x".into()).tag(), "errored");
         assert_eq!(MessageFate::HopBudgetExhausted.tag(), "exhausted");
         assert_eq!(MessageFate::InFlight.tag(), "in_flight");
+        assert_eq!(MessageFate::Rejected.tag(), "rejected");
+        assert_eq!(MessageFate::Shed.tag(), "shed");
     }
 
     #[test]
     fn accounted_checks_every_bucket() {
         let mut m = NetworkMetrics {
-            sent: 8,
+            sent: 10,
             delivered: 3,
             looped: 1,
             errored: 1,
@@ -239,11 +287,33 @@ mod tests {
             dropped: 1,
             timed_out: 0,
             gave_up: 1,
+            rejected: 1,
+            shed: 1,
             in_flight: 0,
             ..Default::default()
         };
         assert!(m.accounted());
         m.in_flight = 1;
         assert!(!m.accounted(), "an extra bucket entry must break the sum");
+        m.in_flight = 0;
+        m.rejected = 0;
+        assert!(!m.accounted(), "rejected messages must stay accounted");
+    }
+
+    #[test]
+    fn admitted_ratio_excludes_rejected_and_shed() {
+        let m = NetworkMetrics {
+            sent: 10,
+            delivered: 6,
+            rejected: 2,
+            shed: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.admitted(), 6);
+        assert_eq!(m.admitted_delivery_ratio(), 1.0);
+        assert_eq!(m.delivery_ratio(), 0.6);
+        assert_eq!(m.shed_ratio(), 0.4);
+        assert_eq!(NetworkMetrics::default().admitted_delivery_ratio(), 1.0);
+        assert_eq!(NetworkMetrics::default().shed_ratio(), 0.0);
     }
 }

@@ -14,6 +14,7 @@ use locality_graph::rng::DetRng;
 use locality_graph::{traversal, Graph, GraphError, NodeId};
 use locality_obs::{Level, Recorder};
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionVerdict, SaturationSample};
 use crate::error::SimError;
 use crate::fault::{DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey};
 use crate::metrics::{MessageFate, MessageRecord, NetworkMetrics};
@@ -64,6 +65,7 @@ pub struct NetworkBuilder {
     plan: FaultPlan,
     recorder: Option<Recorder>,
     provisioner: Provisioner,
+    admission: AdmissionConfig,
 }
 
 impl NetworkBuilder {
@@ -77,7 +79,17 @@ impl NetworkBuilder {
             plan: FaultPlan::new(),
             recorder: None,
             provisioner: Provisioner::Bfs,
+            admission: AdmissionConfig::default(),
         }
+    }
+
+    /// Configures admission control. The default
+    /// ([`AdmissionPolicy::Open`](crate::AdmissionPolicy::Open)) admits
+    /// everything and leaves the injection path byte-identical to the
+    /// pre-admission simulator.
+    pub fn admission(mut self, cfg: AdmissionConfig) -> NetworkBuilder {
+        self.admission = cfg;
+        self
     }
 
     /// Chooses how views are sourced (default: [`Provisioner::Bfs`]).
@@ -188,6 +200,8 @@ impl NetworkBuilder {
             faults_skipped: 0,
             tick: 0,
             next_id: 0,
+            admission: AdmissionController::new(self.admission),
+            shed_cursor: 0,
             trace: self.recorder.map(Box::new),
         })
     }
@@ -241,6 +255,13 @@ pub struct Network {
     faults_skipped: usize,
     tick: u64,
     next_id: u64,
+    /// Backpressure controller consulted at every injection; inert
+    /// (and cost-free beyond one enum test) under the open policy.
+    admission: AdmissionController,
+    /// Monotone scan position for the shed-oldest policy: every
+    /// message before it is known non-in-flight, so finding the next
+    /// victim is amortized O(1) over a run.
+    shed_cursor: usize,
     /// Optional trace recorder. Boxed so the untraced hot path pays
     /// one pointer test per instrumentation site and nothing else.
     trace: Option<Box<Recorder>>,
@@ -306,6 +327,13 @@ impl Network {
     /// Injects a message from `s` to `t` at the current tick, rejecting
     /// out-of-range endpoints with a typed error.
     ///
+    /// When a non-open [`AdmissionConfig`] is configured the controller
+    /// judges the injection first: a rejected message is still recorded
+    /// and counted as sent, but lands terminally in
+    /// [`MessageFate::Rejected`] without ever touching the scheduler;
+    /// under shed-oldest the oldest in-flight message is evicted to
+    /// [`MessageFate::Shed`] and the newcomer admitted in its place.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownNode`] if either endpoint is out of
@@ -315,6 +343,18 @@ impl Network {
             if x.index() >= self.nodes.len() {
                 return Err(SimError::UnknownNode(x));
             }
+        }
+        let verdict = if self.admission.active() {
+            let sample = self.saturation_sample();
+            self.admission.admit(sample)
+        } else {
+            AdmissionVerdict::Admit
+        };
+        if verdict == AdmissionVerdict::ShedThenAdmit {
+            // The scan sees only already-injected messages (the
+            // newcomer is pushed below), so it can never evict the
+            // message it is making room for.
+            self.shed_oldest_in_flight();
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -341,12 +381,46 @@ impl Network {
                     .finish();
             }
         }
+        if verdict == AdmissionVerdict::Reject {
+            self.set_fate(id as usize, MessageFate::Rejected, Some("admission"));
+            return Ok(MessageId(id));
+        }
         let h = self.slab.alloc(id as u32, s, None, 0);
         self.events.schedule(self.tick, h);
         if let Some(timeout) = self.cfg.timeout {
             self.timers.schedule(self.tick + timeout, id as u32);
         }
         Ok(MessageId(id))
+    }
+
+    /// The controller's inputs right now: in-flight arena occupancy
+    /// and the arrival wheel's ring occupancy (any overflow counts as
+    /// a full ring — the window is saturated by definition).
+    fn saturation_sample(&self) -> SaturationSample {
+        let wheel_occupied = if self.events.overflow_len() > 0 {
+            64
+        } else {
+            self.events.occupied_slots()
+        };
+        SaturationSample {
+            live: self.slab.live(),
+            wheel_occupied,
+        }
+    }
+
+    /// Evicts the oldest still-in-flight message for the shed-oldest
+    /// policy. Its stale slab handles and timers self-clean when they
+    /// fire (both check the fate first), so eviction is O(1) beyond
+    /// the monotone cursor scan.
+    fn shed_oldest_in_flight(&mut self) {
+        while self.shed_cursor < self.messages.len() {
+            let i = self.shed_cursor;
+            self.shed_cursor += 1;
+            if self.messages[i].fate == MessageFate::InFlight {
+                self.set_fate(i, MessageFate::Shed, Some("admission"));
+                return;
+            }
+        }
     }
 
     /// Schedules a fault to fire at tick `at` (merged after any plan
@@ -764,7 +838,11 @@ impl Network {
             }
             let h = self.slab.alloc(msg as u32, s, None, attempt);
             self.events.schedule(self.tick + 1, h);
-            let wait = timeout + self.cfg.backoff * u64::from(self.states[msg].retries);
+            // Under the backoff-scale policy a saturated network
+            // stretches the retry backoff, so reliability traffic
+            // yields to first attempts instead of amplifying overload.
+            let factor = self.admission.backoff_factor(self.saturation_sample());
+            let wait = timeout + self.cfg.backoff * u64::from(self.states[msg].retries) * factor;
             self.timers.schedule(self.tick + 1 + wait, msg as u32);
         } else {
             let fate = if self.cfg.max_retries > 0 {
@@ -811,6 +889,8 @@ impl Network {
                 MessageFate::Dropped => m.dropped += 1,
                 MessageFate::TimedOut => m.timed_out += 1,
                 MessageFate::GaveUp => m.gave_up += 1,
+                MessageFate::Rejected => m.rejected += 1,
+                MessageFate::Shed => m.shed += 1,
                 MessageFate::InFlight => m.in_flight += 1,
             }
         }
@@ -942,6 +1022,7 @@ impl Network {
         let vs = self.views.stats();
         let backed = self.views.is_artifact_backed();
         let slab_hw = self.slab.high_water() as i64;
+        let adm = self.admission.clone();
         let Some(rec) = self.trace.as_deref_mut() else {
             return Vec::new();
         };
@@ -953,8 +1034,32 @@ impl Network {
             rec.gauge_set(locality_obs::names::ORACLE_LOADS, vs.artifact_loads as i64);
             rec.gauge_set(locality_obs::names::ORACLE_REBUILDS, vs.rebuilds as i64);
         }
+        // Saturation gauges appear only under a non-open policy, the
+        // same discipline as the oracle pair: traces of the historical
+        // configuration stay byte-identical.
+        if adm.active() {
+            rec.gauge_set(
+                locality_obs::names::ADMISSION_REJECTED,
+                adm.rejected() as i64,
+            );
+            rec.gauge_set(locality_obs::names::ADMISSION_SHED, adm.shed() as i64);
+            rec.gauge_set(
+                locality_obs::names::ADMISSION_PEAK_LIVE,
+                adm.peak_live() as i64,
+            );
+            rec.gauge_set(
+                locality_obs::names::ADMISSION_DECISIONS,
+                adm.decisions() as i64,
+            );
+        }
         rec.flush_metrics(self.tick);
         rec.take_bytes()
+    }
+
+    /// The admission controller's counters (rejections, sheds, peak
+    /// saturation) — all zero under the default open policy.
+    pub fn admission_stats(&self) -> &AdmissionController {
+        &self.admission
     }
 
     /// Whether the view store serves from a precomputed oracle
@@ -985,6 +1090,8 @@ fn fate_counter(fate: &MessageFate) -> &'static str {
         MessageFate::Dropped => "fate.dropped",
         MessageFate::TimedOut => "fate.timed_out",
         MessageFate::GaveUp => "fate.gave_up",
+        MessageFate::Rejected => "fate.rejected",
+        MessageFate::Shed => "fate.shed",
     }
 }
 
@@ -1550,6 +1657,146 @@ mod tests {
                 "missing gauge {key}"
             );
         }
+    }
+
+    #[test]
+    fn reject_new_refuses_saturated_injections() {
+        use crate::admission::{AdmissionConfig, AdmissionPolicy};
+        let g = generators::cycle(8);
+        let mut net = NetworkBuilder::new(&g, 4)
+            .admission(AdmissionConfig {
+                policy: AdmissionPolicy::RejectNew,
+                max_live: 4,
+                ..Default::default()
+            })
+            .build(Alg3);
+        // Each injection allocates a slab handle immediately, so the
+        // fifth-and-later sends in the same tick see live >= 4.
+        let ids: Vec<MessageId> = (0..10u32)
+            .map(|i| net.send(NodeId(i % 8), NodeId(4)))
+            .collect();
+        net.run_until_quiet();
+        let m = net.metrics();
+        assert_eq!(m.sent, 10);
+        assert_eq!(m.rejected, 6);
+        assert!(m.accounted(), "conservation must include rejected");
+        // Admitted traffic is untouched: everything else delivered.
+        assert_eq!(m.delivered, m.admitted());
+        assert_eq!(m.admitted_delivery_ratio(), 1.0);
+        for id in &ids[4..] {
+            assert_eq!(net.record(*id).unwrap().fate, MessageFate::Rejected);
+        }
+        assert_eq!(net.admission_stats().rejected(), 6);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_in_injection_order() {
+        use crate::admission::{AdmissionConfig, AdmissionPolicy};
+        let g = generators::cycle(8);
+        let mut net = NetworkBuilder::new(&g, 4)
+            .admission(AdmissionConfig {
+                policy: AdmissionPolicy::ShedOldest,
+                max_live: 4,
+                ..Default::default()
+            })
+            .build(Alg3);
+        let ids: Vec<MessageId> = (0..8u32).map(|i| net.send(NodeId(i), NodeId(3))).collect();
+        net.run_until_quiet();
+        let m = net.metrics();
+        assert_eq!(m.sent, 8);
+        assert_eq!(m.shed, 4, "each saturated send evicts exactly one");
+        assert!(m.accounted(), "conservation must include shed");
+        // The oldest messages were the victims, newest survived.
+        for id in &ids[..4] {
+            assert_eq!(net.record(*id).unwrap().fate, MessageFate::Shed);
+        }
+        for id in &ids[4..] {
+            assert!(net.record(*id).unwrap().delivered());
+        }
+    }
+
+    #[test]
+    fn backoff_scale_preserves_conservation() {
+        use crate::admission::{AdmissionConfig, AdmissionPolicy};
+        let g = generators::path(2);
+        let cfg = FaultConfig {
+            default_link: LinkProfile {
+                loss: 1.0,
+                extra_latency: 0,
+            },
+            timeout: Some(3),
+            max_retries: 2,
+            backoff: 2,
+            ..Default::default()
+        };
+        // Saturated from the first in-flight message: every retry wait
+        // is stretched 3x, but fates are unchanged.
+        let mut net = NetworkBuilder::new(&g, 1)
+            .faults(cfg)
+            .admission(AdmissionConfig {
+                policy: AdmissionPolicy::BackoffScale,
+                max_live: 1,
+                backoff_scale: 3,
+                ..Default::default()
+            })
+            .build(Alg3);
+        let id = net.send(NodeId(0), NodeId(1));
+        net.run_until_quiet();
+        let r = net.record(id).expect("id was returned by send");
+        assert_eq!(r.fate, MessageFate::GaveUp);
+        assert_eq!(r.retries, 2);
+        assert!(net.metrics().accounted());
+        // Unscaled run: final timer at t=3 → retry@4, wait 3+2 → t=9 →
+        // retry@10, wait 3+4 → gave up at 17. Scaled (3x): waits 3+6
+        // and 3+12 → gave up at 29.
+        assert!(net.now() > 17, "scaled backoff must stretch the run");
+    }
+
+    #[test]
+    fn admission_gauges_only_under_active_policy() {
+        use crate::admission::{AdmissionConfig, AdmissionPolicy};
+        let g = generators::cycle(8);
+        let mut open = NetworkBuilder::new(&g, 4)
+            .recorder(Recorder::new(Level::Metrics))
+            .build(Alg3);
+        open.send(NodeId(0), NodeId(4));
+        open.run_until_quiet();
+        let text = String::from_utf8(open.finish_trace()).unwrap();
+        assert!(
+            !text.contains(locality_obs::names::ADMISSION_REJECTED),
+            "open-policy traces must stay byte-identical to PR-5"
+        );
+        let mut gated = NetworkBuilder::new(&g, 4)
+            .recorder(Recorder::new(Level::Hops))
+            .admission(AdmissionConfig {
+                policy: AdmissionPolicy::RejectNew,
+                max_live: 1,
+                ..Default::default()
+            })
+            .build(Alg3);
+        for i in 0..4u32 {
+            gated.send(NodeId(i), NodeId(4));
+        }
+        gated.run_until_quiet();
+        let text = String::from_utf8(gated.finish_trace()).unwrap();
+        let events = locality_obs::parse_trace(&text).unwrap();
+        for key in [
+            locality_obs::names::ADMISSION_REJECTED,
+            locality_obs::names::ADMISSION_SHED,
+            locality_obs::names::ADMISSION_PEAK_LIVE,
+            locality_obs::names::ADMISSION_DECISIONS,
+        ] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.str_of("ev") == Some("gauge") && e.str_of("name") == Some(key)),
+                "missing gauge {key}"
+            );
+        }
+        // Rejected messages appear in the trace with their fate, so
+        // the witness-level conservation checker balances too.
+        let witnesses = locality_obs::collect_witnesses(&events);
+        crate::replay::check_conservation(&witnesses, &gated.metrics()).unwrap();
     }
 
     #[test]

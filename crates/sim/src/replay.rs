@@ -362,7 +362,7 @@ pub fn check_conservation(
         .map(|w| w.route().len().saturating_sub(1) as u64)
         .sum();
     let retries: u64 = witnesses.iter().map(|w| u64::from(w.retries)).sum();
-    let checks: [(&'static str, u64, u64); 11] = [
+    let checks: [(&'static str, u64, u64); 13] = [
         ("sent", witnesses.len() as u64, m.sent as u64),
         ("delivered", fate_count("delivered"), m.delivered as u64),
         ("looped", fate_count("looped"), m.looped as u64),
@@ -371,6 +371,8 @@ pub fn check_conservation(
         ("dropped", fate_count("dropped"), m.dropped as u64),
         ("timed_out", fate_count("timed_out"), m.timed_out as u64),
         ("gave_up", fate_count("gave_up"), m.gave_up as u64),
+        ("rejected", fate_count("rejected"), m.rejected as u64),
+        ("shed", fate_count("shed"), m.shed as u64),
         ("in_flight", fate_count("in_flight"), m.in_flight as u64),
         ("delivered_hops", delivered_hops, m.delivered_hops as u64),
         ("retries", retries, m.retries),
