@@ -11,6 +11,11 @@
 //! summarise or diff. Same seed, same level → byte-identical trace,
 //! at any worker count.
 //!
+//! With `--shards S` every storm's network is partitioned into `S`
+//! shards; the report is byte-identical to `--shards 1` (sharding may
+//! never change outcomes) and the trace gains only the trailing
+//! per-shard gauges. `scripts/verify.sh` diffs exactly that.
+//!
 //! With `--provisioner oracle --artifact-dir DIR` every trial network
 //! is provisioned from the precomputed view artifacts `DIR/k<K>.lrvo`
 //! (written by `bin/oracle build --chaos-seed`). The directory must
@@ -25,7 +30,7 @@ use local_routing::ViewArtifact;
 use locality_bench::chaos;
 use locality_sim::Level;
 
-const USAGE: &str = "usage: chaos [--seed N] [--trace-out PATH] \
+const USAGE: &str = "usage: chaos [--seed N] [--shards S] [--trace-out PATH] \
 [--trace-level off|metrics|hops|debug] [--provisioner bfs|oracle] [--artifact-dir DIR]";
 
 fn fail(msg: &str) -> ! {
@@ -36,6 +41,7 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let mut seed = 7u64;
+    let mut shards = 1usize;
     let mut trace_out: Option<String> = None;
     let mut level = Level::Hops;
     let mut oracle = false;
@@ -47,6 +53,11 @@ fn main() {
                 Some(Ok(v)) => seed = v,
                 Some(Err(_)) => fail("--seed takes an unsigned integer"),
                 None => fail("--seed needs a value"),
+            },
+            "--shards" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => shards = v,
+                Some(_) => fail("--shards takes a positive integer"),
+                None => fail("--shards needs a value"),
             },
             "--trace-out" => match args.next() {
                 Some(p) => trace_out = Some(p),
@@ -82,6 +93,9 @@ fn main() {
         if trace_out.is_some() {
             fail("--trace-out is not supported with --provisioner oracle");
         }
+        if shards != 1 {
+            fail("--shards is not supported with --provisioner oracle");
+        }
         let mut artifacts: BTreeMap<u32, Arc<ViewArtifact>> = BTreeMap::new();
         for k in chaos::trial_ks() {
             let path = format!("{dir}/k{k}.lrvo");
@@ -100,7 +114,8 @@ fn main() {
         }
         return;
     }
-    let (json, trace) = chaos::report_with_trace(seed, trace_out.as_ref().map(|_| level));
+    let (json, trace) =
+        chaos::report_with_trace_sharded(seed, trace_out.as_ref().map(|_| level), shards);
     if let Some(path) = trace_out {
         if let Err(e) = std::fs::write(&path, &trace) {
             fail(&format!("cannot write trace to {path}: {e}"));

@@ -101,14 +101,16 @@ impl SoakReport {
 /// Drives one router through the storm: the same seeded fault plan and
 /// the same seeded traffic for every caller, so reports are comparable
 /// across routers.
+#[allow(clippy::too_many_arguments)] // internal fan-out target; every arg is per-trial state
 fn soak(
     g: &Graph,
     k: u32,
-    router: Box<dyn LocalRouter>,
+    router: Box<dyn LocalRouter + Send + Sync>,
     name: &'static str,
     seed: u64,
     trace: Option<Level>,
     artifact: Option<Arc<ViewArtifact>>,
+    shards: usize,
 ) -> SoakReport {
     let plan = FaultPlan::random_churn(
         g,
@@ -117,7 +119,8 @@ fn soak(
     );
     let mut b = NetworkBuilder::new(g, k)
         .faults(fault_config(seed))
-        .fault_plan(plan);
+        .fault_plan(plan)
+        .shards(shards.max(1));
     if let Some(level) = trace {
         b = b.recorder(Recorder::new(level));
     }
@@ -167,7 +170,7 @@ fn soak(
 }
 
 /// Fresh boxed router for a trial worker, by report name.
-fn router_by_name(name: &str) -> Box<dyn LocalRouter> {
+fn router_by_name(name: &str) -> Box<dyn LocalRouter + Send + Sync> {
     match name {
         "algorithm-1" => Box::new(Alg1),
         "algorithm-1b" => Box::new(Alg1B),
@@ -210,7 +213,21 @@ pub fn report_with_trace_threads(
     trace: Option<Level>,
     threads: usize,
 ) -> (String, Vec<u8>) {
-    run(seed, trace, threads, None)
+    run(seed, trace, threads, None, 1)
+}
+
+/// [`report_with_trace`] with every storm's network partitioned into
+/// `shards`. The JSON is byte-identical to the unsharded report — the
+/// sharded engine's merge order reproduces the single-wheel schedule
+/// exactly — and the trace differs only by the trailing per-shard
+/// gauges each trial flushes. `scripts/verify.sh` diffs the S = 4
+/// report against the S = 1 golden to pin this end to end.
+pub fn report_with_trace_sharded(
+    seed: u64,
+    trace: Option<Level>,
+    shards: usize,
+) -> (String, Vec<u8>) {
+    run(seed, trace, driver::default_threads(), None, shards)
 }
 
 /// The seed's soak topology — the graph `bin/oracle build
@@ -247,7 +264,7 @@ pub fn report_with_artifacts(
     for a in artifacts.values() {
         a.ensure_matches(&g, a.k())?;
     }
-    Ok(run(seed, None, driver::default_threads(), Some(artifacts)).0)
+    Ok(run(seed, None, driver::default_threads(), Some(artifacts), 1).0)
 }
 
 /// The eleven (name, k, is_sweep_row) trials: six routers at their own
@@ -279,13 +296,23 @@ fn run(
     trace: Option<Level>,
     threads: usize,
     artifacts: Option<&BTreeMap<u32, Arc<ViewArtifact>>>,
+    shards: usize,
 ) -> (String, Vec<u8>) {
     let g = topology(seed);
     let trials = trials();
 
     let rendered = driver::run_trials(&trials, threads, |_, &(name, k, is_sweep)| {
         let artifact = artifacts.and_then(|m| m.get(&k)).cloned();
-        let r = soak(&g, k, router_by_name(name), name, seed, trace, artifact);
+        let r = soak(
+            &g,
+            k,
+            router_by_name(name),
+            name,
+            seed,
+            trace,
+            artifact,
+            shards,
+        );
         let json = if is_sweep {
             format!(
                 "{{\"k\":{},\"delivery_ratio\":{:.4},\"delivered\":{},\"sent\":{},\"retries\":{}}}",

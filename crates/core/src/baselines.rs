@@ -105,6 +105,66 @@ impl LocalRouter for LowestRankForward {
     }
 }
 
+/// Greedy ring router: forward to the neighbour whose label is closest
+/// to the target in circular label distance mod `n`, tie-break lowest
+/// label. Memoryless and fully oblivious — each decision reads only the
+/// immediate neighbour labels, so `min_locality` is 1 and per-hop cost
+/// is `O(degree)` independent of `k` and `n`.
+///
+/// On a [`ring_lattice(n, c)`](locality_graph::generators::ring_lattice)
+/// with identity labels every hop strictly reduces ring distance (the
+/// `±c` chord covers distance `c` until the target is within one hop),
+/// so delivery is guaranteed in `⌈d/c⌉` hops. That makes it the
+/// workhorse of large-`n` simulator sweeps: provisioning at `k = 1` is
+/// linear in `n`, and routes are long enough to exercise the arena and
+/// scheduler without depending on `k`-neighbourhood extraction cost.
+/// On graphs whose labels are not `0..n` ring positions it is just a
+/// strawman that the loop detector catches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RingGreedy {
+    /// Ring modulus: labels are positions on `Z_n`.
+    pub n: u32,
+}
+
+impl RingGreedy {
+    /// Greedy router over circular label space `Z_n`.
+    pub fn new(n: u32) -> RingGreedy {
+        RingGreedy { n }
+    }
+
+    fn ring_dist(&self, a: u32, b: u32) -> u32 {
+        // u64 arithmetic and a defensive modulus keep labels outside
+        // `0..n` (a misused router, not a lattice) from wrapping.
+        let n = u64::from(self.n.max(1));
+        let a = u64::from(a) % n;
+        let b = u64::from(b) % n;
+        let cw = (b + n - a) % n;
+        cw.min(n - cw) as u32
+    }
+}
+
+impl LocalRouter for RingGreedy {
+    fn name(&self) -> &'static str {
+        "ring-greedy"
+    }
+
+    fn awareness(&self) -> Awareness {
+        Awareness::OBLIVIOUS
+    }
+
+    fn min_locality(&self, _n: usize) -> u32 {
+        1
+    }
+
+    fn decide(&self, packet: &Packet, view: &LocalView) -> Result<Label, RoutingError> {
+        view.center_neighbors()
+            .iter()
+            .map(|&v| view.label(v))
+            .min_by_key(|l| (self.ring_dist(l.value(), packet.target.value()), l.value()))
+            .ok_or(RoutingError::Unroutable(packet.target))
+    }
+}
+
 /// A uniform random walk from `s` to `t`: the memoryless randomized
 /// baseline. Returns the number of hops taken, or `None` if `max_steps`
 /// was exhausted first.
@@ -197,6 +257,35 @@ mod tests {
             &Default::default(),
         );
         assert_eq!(r.status, RunStatus::LoopDetected);
+    }
+
+    #[test]
+    fn ring_greedy_delivers_on_ring_lattices_at_k1() {
+        for (n, c) in [(12usize, 1usize), (30, 3), (64, 5)] {
+            let g = generators::ring_lattice(n, c);
+            let m = engine::delivery_matrix(&g, 1, &RingGreedy::new(n as u32));
+            assert!(
+                m.all_delivered(),
+                "ring greedy failed on C_{n}(1..={c}): {:?}",
+                m.failures.first()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_greedy_takes_chord_sized_steps() {
+        // Distance 20 with chord reach 4: ⌈20/4⌉ = 5 hops.
+        let g = generators::ring_lattice(40, 4);
+        let r = engine::route(
+            &g,
+            1,
+            &RingGreedy::new(40),
+            NodeId(0),
+            NodeId(20),
+            &Default::default(),
+        );
+        assert_eq!(r.status, RunStatus::Delivered);
+        assert_eq!(r.hops(), 5);
     }
 
     #[test]

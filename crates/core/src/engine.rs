@@ -9,7 +9,7 @@
 #![allow(clippy::disallowed_types)]
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use locality_graph::{traversal, Graph, NodeId};
@@ -214,15 +214,31 @@ impl<'g> ViewCache<'g> {
 /// across scoped worker threads.
 pub struct ViewStore {
     k: u32,
-    shards: Vec<RwLock<HashMap<NodeId, Arc<LocalView>>>>,
+    shards: Vec<RwLock<HashMap<NodeId, CachedView>>>,
     /// Precomputed payloads to materialize misses from, when the store
     /// was opened over an artifact ([`from_artifact`](Self::from_artifact)).
     backing: Option<ArtifactBacking>,
+    /// Resident-view budget across all shards; `0` means unbounded
+    /// (the historical behaviour). See
+    /// [`set_resident_budget`](Self::set_resident_budget).
+    budget: AtomicUsize,
+    /// Monotone logical clock stamping every hit/insert, the LRU order
+    /// eviction follows.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
     artifact_loads: AtomicU64,
     rebuilds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// One resident entry of a [`ViewStore`] shard: the view plus its
+/// last-touched stamp. The stamp is an atomic so the hit path can
+/// refresh it under the shard's *read* lock.
+struct CachedView {
+    view: Arc<LocalView>,
+    touched: AtomicU64,
 }
 
 /// The oracle side of a [`ViewStore`]: the artifact misses are decoded
@@ -258,6 +274,14 @@ pub struct ViewStoreStats {
     /// counter: after a wave, this grows by exactly the dirty-radius
     /// node count, proving untouched entries were never rebuilt.
     pub rebuilds: u64,
+    /// Clean entries dropped to stay inside the resident-view budget
+    /// ([`ViewStore::set_resident_budget`]); zero on unbounded stores.
+    /// Budget evictions are invisible to routing (an evicted view
+    /// re-materializes identically on the next miss) and deliberately
+    /// excluded from `invalidations`, so the churn conservation pair
+    /// `misses == artifact_loads + rebuilds` keeps holding on backed
+    /// stores.
+    pub evictions: u64,
 }
 
 impl ViewStore {
@@ -269,12 +293,35 @@ impl ViewStore {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             backing: None,
+            budget: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             artifact_loads: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the number of resident views across all cache shards;
+    /// `0` removes the bound (the default). Once a shard exceeds its
+    /// slice of the budget, its least-recently-touched **clean**
+    /// entries are evicted at insert time: on an unbacked store every
+    /// entry is clean (the caller invalidates on topology change, so
+    /// residents always match the current graph); on an artifact-backed
+    /// store only artifact-fresh entries are candidates — churn-rebuilt
+    /// entries stay pinned, so the `rebuilds` conservation counter
+    /// still counts exactly the dirty radius. Eviction never changes a
+    /// routing result, only when views are re-materialized; a store
+    /// over budget with nothing evictable simply stays over budget.
+    pub fn set_resident_budget(&self, views: usize) {
+        self.budget.store(views, Ordering::Relaxed);
+    }
+
+    /// The configured resident-view budget (`0` = unbounded).
+    pub fn resident_budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
     }
 
     /// Opens a store over a prebuilt [`ViewArtifact`]: lookups decode
@@ -304,6 +351,7 @@ impl ViewStore {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             artifact_loads: self.artifact_loads.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -326,8 +374,14 @@ impl ViewStore {
     }
 
     #[inline]
-    fn shard_of(&self, u: NodeId) -> &RwLock<HashMap<NodeId, Arc<LocalView>>> {
+    fn shard_of(&self, u: NodeId) -> &RwLock<HashMap<NodeId, CachedView>> {
         &self.shards[u.index() % VIEW_CACHE_SHARDS]
+    }
+
+    /// Stamps the next LRU-clock value.
+    #[inline]
+    fn touch(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The view at `u`, extracted from `graph` on first request (or on
@@ -337,21 +391,71 @@ impl ViewStore {
     /// between invalidations — the store cannot tell graphs apart.
     pub fn view(&self, graph: &Graph, u: NodeId) -> Arc<LocalView> {
         let shard = self.shard_of(u);
-        if let Some(v) = shard.read().unwrap_or_else(PoisonError::into_inner).get(&u) {
+        if let Some(c) = shard.read().unwrap_or_else(PoisonError::into_inner).get(&u) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            c.touched.store(self.touch(), Ordering::Relaxed);
+            return Arc::clone(&c.view);
         }
         let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
         // Double-checked: a racing thread may have extracted while we
         // waited for the write lock — that is a hit, not a miss.
-        if let Some(v) = map.get(&u) {
+        if let Some(c) = map.get(&u) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            c.touched.store(self.touch(), Ordering::Relaxed);
+            return Arc::clone(&c.view);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = Arc::new(self.materialize(graph, u));
-        map.insert(u, Arc::clone(&v));
+        map.insert(
+            u,
+            CachedView {
+                view: Arc::clone(&v),
+                touched: AtomicU64::new(self.touch()),
+            },
+        );
+        self.enforce_budget(&mut map);
         v
+    }
+
+    /// Evicts least-recently-touched clean entries from one shard
+    /// until it is back inside its slice of the resident budget.
+    /// Called with the shard's write lock held, straight after an
+    /// insert. Selection scans the shard map but picks the strict
+    /// minimum of the (unique) LRU stamps, so the choice is
+    /// independent of hash iteration order.
+    fn enforce_budget(&self, map: &mut HashMap<NodeId, CachedView>) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        let cap = budget.div_ceil(VIEW_CACHE_SHARDS).max(1);
+        while map.len() > cap {
+            let victim = map
+                .iter()
+                .filter(|(u, _)| self.evictable(**u))
+                .min_by_key(|(_, c)| c.touched.load(Ordering::Relaxed))
+                .map(|(u, _)| *u);
+            let Some(u) = victim else {
+                // Everything left is churn-rebuilt (pinned to protect
+                // the conservation counters): stay over budget.
+                return;
+            };
+            map.remove(&u);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the resident entry at `u` may be dropped by the budget:
+    /// always on an unbacked store, only while artifact-fresh on a
+    /// backed one.
+    fn evictable(&self, u: NodeId) -> bool {
+        match &self.backing {
+            None => true,
+            Some(b) => b
+                .stale
+                .get(u.index())
+                .is_some_and(|s| !s.load(Ordering::Relaxed)),
+        }
     }
 
     /// Produces the view for a miss: decoded from the artifact when the
@@ -882,6 +986,74 @@ mod tests {
         );
         // The old Arc is still alive and still shows the old world.
         assert_eq!(a.center_neighbors(), &[NodeId(1), NodeId(7)]);
+    }
+
+    #[test]
+    fn view_store_budget_evicts_least_recently_touched() {
+        let g = generators::cycle(64);
+        let store = ViewStore::new(1);
+        // Budget 32 → 2 resident views per internal shard. Nodes 0, 16,
+        // and 32 all hash to the same shard, so they compete.
+        store.set_resident_budget(32);
+        assert_eq!(store.resident_budget(), 32);
+        let v0 = store.view(&g, NodeId(0));
+        let _v16 = store.view(&g, NodeId(16));
+        // Refresh 0 so 16 becomes the LRU entry, then overflow the
+        // shard: 16 must be the victim.
+        let hit = store.view(&g, NodeId(0));
+        assert!(Arc::ptr_eq(&v0, &hit));
+        let _v32 = store.view(&g, NodeId(32));
+        let s = store.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.invalidations, 0, "budget evictions are not invalidations");
+        let back = store.view(&g, NodeId(0));
+        assert!(Arc::ptr_eq(&v0, &back), "recently touched entry survived");
+        store.view(&g, NodeId(16));
+        assert_eq!(store.stats().misses, 4, "evicted node 16 re-misses");
+    }
+
+    #[test]
+    fn view_store_unbounded_by_default_never_evicts() {
+        let g = generators::cycle(64);
+        let store = ViewStore::new(1);
+        for u in g.nodes() {
+            store.view(&g, u);
+        }
+        assert_eq!(store.len(), 64);
+        assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn view_store_budget_pins_churn_rebuilt_entries() {
+        use crate::oracle::ViewArtifact;
+        let mut g = generators::cycle(64);
+        let artifact = Arc::new(ViewArtifact::build(&g, 1));
+        let store = ViewStore::from_artifact(artifact);
+        store.set_resident_budget(16); // one resident view per shard
+                                       // Churn at node 0: the artifact entry goes permanently stale,
+                                       // so the re-extracted view is a conservation-counted rebuild
+                                       // and must never be evicted by the budget.
+        g.insert_edge(NodeId(0), NodeId(7)).expect("simple edge");
+        store.invalidate(NodeId(0));
+        let rebuilt = store.view(&g, NodeId(0));
+        // Overflow node 0's shard with artifact-fresh entries: they are
+        // the only evictable candidates.
+        let _v16 = store.view(&g, NodeId(16));
+        let _v32 = store.view(&g, NodeId(32));
+        let s = store.stats();
+        assert!(s.evictions >= 1, "fresh entries were evicted");
+        assert_eq!(s.rebuilds, 1, "only the churned node rebuilt");
+        let still = store.view(&g, NodeId(0));
+        assert!(
+            Arc::ptr_eq(&rebuilt, &still),
+            "rebuilt entry must be pinned, not re-rebuilt"
+        );
+        let s = store.stats();
+        assert_eq!(
+            s.misses,
+            s.artifact_loads + s.rebuilds,
+            "conservation must survive budget eviction"
+        );
     }
 
     #[test]

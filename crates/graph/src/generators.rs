@@ -33,6 +33,34 @@ pub fn cycle(n: usize) -> Graph {
     Graph::from_edges(n, &edges).expect("cycle edges are simple")
 }
 
+/// Ring lattice (circulant graph `C_n(1, …, c)`): a cycle on `n` nodes
+/// where each node is also joined to its `c` nearest neighbours on each
+/// side — `i` connects to `i ± 1, …, i ± c` (mod `n`). Degree `2c`
+/// everywhere, so edge density scales linearly with `n` — the substrate
+/// for large-scale simulator sweeps, where redundancy keeps random link
+/// cuts from disconnecting the graph. `ring_lattice(n, 1)` is
+/// [`cycle(n)`](cycle).
+///
+/// # Panics
+///
+/// Panics if `c == 0` or `n < 2c + 1` (each chord offset must name a
+/// distinct neighbour on both sides).
+pub fn ring_lattice(n: usize, c: usize) -> Graph {
+    assert!(c > 0, "ring lattice needs at least one chord offset");
+    assert!(
+        n > 2 * c,
+        "ring lattice on {n} nodes cannot host chord offset {c}"
+    );
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * c);
+    for i in 0..n {
+        for d in 1..=c {
+            let j = (i + d) % n;
+            edges.push((i as u32, j as u32));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("ring lattice edges are simple")
+}
+
 /// Spider (generalised star): hub `0` with `legs` paths of `leg_len`
 /// nodes each. Leg `j` occupies nodes `1 + j*leg_len ..= (j+1)*leg_len`,
 /// nearest-to-hub first. Total `1 + legs * leg_len` nodes.
@@ -354,6 +382,25 @@ mod tests {
         assert_eq!(grid(3, 4).edge_count(), 17);
         assert_eq!(binary_tree(3).node_count(), 7);
         assert_eq!(caterpillar(4, 2).node_count(), 12);
+    }
+
+    #[test]
+    fn ring_lattice_structure() {
+        let g = ring_lattice(10, 3);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 30, "n * c edges");
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 6, "uniform degree 2c");
+        }
+        assert!(g.has_edge(NodeId(0), NodeId(3)));
+        assert!(g.has_edge(NodeId(9), NodeId(2)), "chords wrap the ring");
+        assert!(!g.has_edge(NodeId(0), NodeId(4)));
+        assert!(traversal::is_connected(&g));
+        assert_eq!(
+            ring_lattice(7, 1),
+            cycle(7),
+            "c = 1 degenerates to the cycle"
+        );
     }
 
     #[test]

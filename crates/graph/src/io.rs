@@ -149,15 +149,123 @@ pub fn from_edgelist_strict(s: &str) -> Result<Graph, GraphError> {
     parse_edgelist(s, true)
 }
 
+/// Chunk size, in bytes, of the fixed read buffer used by
+/// [`from_edgelist_reader`]. Memory use of the reader path is this
+/// buffer plus the carry for one partial line plus the edge set itself
+/// — never the whole file text.
+pub const EDGELIST_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Streams a plain edgelist from any [`Read`](std::io::Read) source —
+/// a file, a socket, a decompressor — without materialising the file
+/// text in memory. Reads [`EDGELIST_CHUNK_BYTES`]-sized chunks into a
+/// fixed buffer, splits complete lines out byte-wise (so multi-byte
+/// sequences straddling a chunk boundary are never mis-decoded), and
+/// feeds them to the same incremental parser as [`from_edgelist`]; the
+/// two paths accept byte-identical inputs. Duplicate edges are deduped
+/// silently, as in the lenient in-memory parser.
+///
+/// # Errors
+///
+/// Everything [`from_edgelist`] returns, plus: an io error from the
+/// underlying reader surfaces as [`GraphError::Parse`] carrying the
+/// number of the line being read and a `read error: …` message, and a
+/// line that is not valid UTF-8 is a [`GraphError::Parse`] on that
+/// line.
+pub fn from_edgelist_reader<R: std::io::Read>(mut reader: R) -> Result<Graph, GraphError> {
+    let mut parser = EdgelistParser::new(false);
+    let mut chunk = vec![0u8; EDGELIST_CHUNK_BYTES];
+    // Bytes of an incomplete trailing line carried between chunks.
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        let got = reader.read(&mut chunk).map_err(|e| GraphError::Parse {
+            line: parser.next_line(),
+            message: format!("read error: {e}"),
+        })?;
+        if got == 0 {
+            break;
+        }
+        let mut rest = &chunk[..got];
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..];
+            if carry.is_empty() {
+                parser.feed_bytes(head)?;
+            } else {
+                carry.extend_from_slice(head);
+                let line = std::mem::take(&mut carry);
+                parser.feed_bytes(&line)?;
+            }
+        }
+        carry.extend_from_slice(rest);
+    }
+    if !carry.is_empty() {
+        let line = std::mem::take(&mut carry);
+        parser.feed_bytes(&line)?;
+    }
+    parser.finish()
+}
+
 fn parse_edgelist(s: &str, strict: bool) -> Result<Graph, GraphError> {
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
-    let mut max_id: Option<u32> = None;
-    for (idx, raw) in s.lines().enumerate() {
-        let line_no = idx + 1;
+    let mut parser = EdgelistParser::new(strict);
+    for raw in s.lines() {
+        parser.feed(raw)?;
+    }
+    parser.finish()
+}
+
+/// Incremental core shared by the in-memory and streaming edgelist
+/// parsers: feed lines one at a time, then [`finish`](Self::finish)
+/// into a graph. Both [`from_edgelist`] and [`from_edgelist_reader`]
+/// drive this, so the two paths cannot drift in what they accept.
+struct EdgelistParser {
+    strict: bool,
+    edges: Vec<(u32, u32)>,
+    seen: std::collections::BTreeSet<(u32, u32)>,
+    max_id: Option<u32>,
+    /// Lines fed so far; errors on the line being fed report `line`
+    /// after the increment, i.e. 1-based.
+    line: usize,
+}
+
+impl EdgelistParser {
+    fn new(strict: bool) -> EdgelistParser {
+        EdgelistParser {
+            strict,
+            edges: Vec::new(),
+            seen: std::collections::BTreeSet::new(),
+            max_id: None,
+            line: 0,
+        }
+    }
+
+    /// The 1-based number of the next line to be fed — where an io
+    /// error interrupting the stream is attributed.
+    fn next_line(&self) -> usize {
+        self.line + 1
+    }
+
+    /// Feeds one raw line (no trailing newline) as bytes, rejecting
+    /// invalid UTF-8 with the line's number.
+    fn feed_bytes(&mut self, raw: &[u8]) -> Result<(), GraphError> {
+        match std::str::from_utf8(raw) {
+            Ok(s) => self.feed(s),
+            Err(_) => {
+                self.line += 1;
+                Err(GraphError::Parse {
+                    line: self.line,
+                    message: "line is not valid UTF-8".to_string(),
+                })
+            }
+        }
+    }
+
+    /// Feeds one raw line (no trailing newline).
+    fn feed(&mut self, raw: &str) -> Result<(), GraphError> {
+        self.line += 1;
+        let line_no = self.line;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(());
         }
         let parse_err = |message: &str| GraphError::Parse {
             line: line_no,
@@ -186,26 +294,31 @@ fn parse_edgelist(s: &str, strict: bool) -> Result<Graph, GraphError> {
             });
         }
         let edge = if u < v { (u, v) } else { (v, u) };
-        if !seen.insert(edge) {
-            if strict {
+        if !self.seen.insert(edge) {
+            if self.strict {
                 return Err(GraphError::EdgelistDuplicateEdge {
                     u: NodeId(edge.0),
                     v: NodeId(edge.1),
                     line: line_no,
                 });
             }
-            continue;
+            return Ok(());
         }
-        max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
-        edges.push(edge);
+        self.max_id = Some(self.max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+        self.edges.push(edge);
+        Ok(())
     }
-    edges.sort_unstable();
-    let n = max_id.map_or(0, |m| m as usize + 1);
-    let mut b = GraphBuilder::with_identity_labels(n);
-    for (u, v) in edges {
-        b.add_edge(NodeId(u), NodeId(v))?;
+
+    fn finish(self) -> Result<Graph, GraphError> {
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        let n = self.max_id.map_or(0, |m| m as usize + 1);
+        let mut b = GraphBuilder::with_identity_labels(n);
+        for (u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v))?;
+        }
+        Ok(b.build())
     }
-    Ok(b.build())
 }
 
 #[cfg(test)]
@@ -345,5 +458,100 @@ mod tests {
         let g = from_edgelist("# nothing here\n").unwrap();
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    /// A reader that doles out one byte per `read` call, forcing every
+    /// line to straddle chunk boundaries in the streaming parser.
+    struct OneByteReader<'a>(&'a [u8]);
+
+    impl std::io::Read for OneByteReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.split_first() {
+                Some((&b, rest)) if !buf.is_empty() => {
+                    buf[0] = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                _ => Ok(0),
+            }
+        }
+    }
+
+    /// A reader that yields its prefix, then fails — a truncated file
+    /// or dropped connection.
+    struct TruncatedReader<'a>(&'a [u8]);
+
+    impl std::io::Read for TruncatedReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream truncated",
+                ));
+            }
+            let n = self.0.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.0[..n]);
+            self.0 = &self.0[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn reader_round_trips_connected_graphs() {
+        let mut rng = DetRng::seed_from_u64(0xED9E);
+        for n in [2usize, 5, 17, 40] {
+            let g = generators::random_connected(n, n / 3, &mut rng);
+            let s = to_edgelist(&g);
+            let h = from_edgelist_reader(std::io::Cursor::new(s.as_bytes())).unwrap();
+            assert_eq!(g, h, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reader_matches_in_memory_parser_across_chunk_boundaries() {
+        // Comments, blanks, duplicates, and a final line with no
+        // trailing newline — fed one byte at a time so every line is
+        // assembled from the carry buffer.
+        let s = "# comment\n\n0 1\n1 0\n  2 1 \n3 2";
+        let streamed = from_edgelist_reader(OneByteReader(s.as_bytes())).unwrap();
+        assert_eq!(streamed, from_edgelist(s).unwrap());
+        assert_eq!(streamed.node_count(), 4);
+        assert_eq!(streamed.edge_count(), 3);
+    }
+
+    #[test]
+    fn reader_errors_match_the_in_memory_parser() {
+        for bad in ["0 x\n", "0 1 2\n", "0 1\n3\n", "0 1\n4 4\n"] {
+            assert_eq!(
+                from_edgelist_reader(std::io::Cursor::new(bad.as_bytes())).unwrap_err(),
+                from_edgelist(bad).unwrap_err(),
+                "input {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_truncation_carries_the_interrupted_line_number() {
+        // Two full lines arrive before the stream dies mid-read.
+        let err = from_edgelist_reader(TruncatedReader(b"0 1\n1 2\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 3, "io error lands on the line being read");
+                assert!(message.contains("read error"), "message: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_rejects_invalid_utf8_with_line_number() {
+        let err = from_edgelist_reader(std::io::Cursor::new(&b"0 1\n\xff\xfe\n"[..])).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::Parse {
+                line: 2,
+                message: "line is not valid UTF-8".to_string()
+            }
+        );
     }
 }

@@ -154,6 +154,7 @@ const R6_FILES: &[&str] = &[
     "crates/sim/src/driver.rs",
     "crates/sim/src/workload.rs",
     "crates/sim/src/admission.rs",
+    "crates/sim/src/shard.rs",
 ];
 /// The step-table functions of `core::view` in R6 scope.
 const R6_VIEW_FNS: &[&str] = &["step_table", "shortest_step_toward"];
@@ -166,7 +167,15 @@ const R7_STEP_FNS: &[&str] = &[
     "run_until_quiet",
     "next_event_time",
     "apply_fault",
-    "process",
+    "drain_arrivals",
+    "decide",
+    "apply_decision",
+    "schedule_arrival",
+    "slab_alloc",
+    "slab_free",
+    "shard_of",
+    "hop_ctx",
+    "overflow_ticks_distinct",
     "emit_hop",
     "set_fate",
     "transmit",
@@ -177,7 +186,11 @@ const R7_STEP_FNS: &[&str] = &[
     "reprovision",
 ];
 /// Files all of whose functions are R7 roots.
-const R7_FILES: &[&str] = &["crates/sim/src/sched.rs", "crates/sim/src/slab.rs"];
+const R7_FILES: &[&str] = &[
+    "crates/sim/src/sched.rs",
+    "crates/sim/src/slab.rs",
+    "crates/sim/src/shard.rs",
+];
 const R7_NETWORK: &str = "crates/sim/src/network.rs";
 
 impl Workspace {

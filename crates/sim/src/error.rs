@@ -33,6 +33,10 @@ pub enum SimError {
     /// topology/locality the network is being built for, or failed to
     /// decode.
     Oracle(OracleError),
+    /// The custom node→shard assignment handed to
+    /// [`crate::NetworkBuilder::shard_map`] does not cover the node
+    /// set, or leaves a shard in its `0..=max` range empty.
+    ShardMap(String),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +50,7 @@ impl fmt::Display for SimError {
                 write!(f, "node {u} is not provisioned in this network")
             }
             SimError::Oracle(e) => write!(f, "oracle artifact rejected: {e}"),
+            SimError::ShardMap(why) => write!(f, "invalid shard map: {why}"),
         }
     }
 }
@@ -55,7 +60,9 @@ impl std::error::Error for SimError {
         match self {
             SimError::Topology(e) => Some(e),
             SimError::Oracle(e) => Some(e),
-            SimError::WouldDisconnect(..) | SimError::UnknownNode(..) => None,
+            SimError::WouldDisconnect(..) | SimError::UnknownNode(..) | SimError::ShardMap(..) => {
+                None
+            }
         }
     }
 }

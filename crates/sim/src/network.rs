@@ -9,18 +9,27 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use local_routing::{LocalRouter, ViewArtifact, ViewStore, ViewStoreStats};
+use local_routing::{LocalRouter, Packet, ViewArtifact, ViewStore, ViewStoreStats};
 use locality_graph::rng::DetRng;
 use locality_graph::{traversal, Graph, GraphError, NodeId};
 use locality_obs::{Level, Recorder};
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionVerdict, SaturationSample};
+use crate::driver;
 use crate::error::SimError;
 use crate::fault::{DeadLinkPolicy, FaultConfig, FaultEvent, FaultPlan, LinkKey};
 use crate::metrics::{MessageFate, MessageRecord, NetworkMetrics};
 use crate::node::SimNode;
 use crate::sched::Wheel;
-use crate::slab::{ArrivalData, ArrivalSlab, LoopTable, SeenSet};
+use crate::shard::{build_partition, Shard, ShardStats};
+use crate::slab::{ArrivalData, LoopTable, SeenSet};
+
+/// Smallest same-tick arrival batch worth fanning out to worker
+/// threads. Below this the per-thread spawn cost dominates; the
+/// threshold is a pure function of batch size, so the (provably
+/// result-identical) inline and threaded paths interleave
+/// deterministically.
+const SHARD_PAR_MIN_BATCH: usize = 32;
 
 /// Handle to a message injected into a [`Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -66,6 +75,10 @@ pub struct NetworkBuilder {
     recorder: Option<Recorder>,
     provisioner: Provisioner,
     admission: AdmissionConfig,
+    shards: usize,
+    shard_map: Option<Vec<u32>>,
+    shard_workers: usize,
+    view_budget: Option<usize>,
 }
 
 impl NetworkBuilder {
@@ -80,7 +93,56 @@ impl NetworkBuilder {
             recorder: None,
             provisioner: Provisioner::Bfs,
             admission: AdmissionConfig::default(),
+            shards: 1,
+            shard_map: None,
+            shard_workers: driver::default_threads(),
+            view_budget: None,
         }
+    }
+
+    /// Partitions the trial across `s` shards, each with its own
+    /// timing wheel and arrival arena (default 1 — the unsharded
+    /// engine). Nodes are assigned contiguous id blocks; results are
+    /// **byte-identical at any shard count**: every scheduled arrival
+    /// carries a global sequence number, and the per-shard wheels are
+    /// drained and merged by it at each tick barrier, reproducing the
+    /// single-wheel FIFO order exactly. Clamped to `[1, n]`.
+    pub fn shards(mut self, s: usize) -> NetworkBuilder {
+        self.shards = s.max(1);
+        self
+    }
+
+    /// Installs an explicit node→shard assignment instead of the
+    /// contiguous default (shard count = `1 + max(map)`). Determinism
+    /// does not depend on the partition, so this is mostly a test
+    /// seam (the equivariance suite runs permuted partitions); it also
+    /// lets a caller co-locate hot communities. Validated by
+    /// [`try_build`](Self::try_build): the map must have one entry per
+    /// node and use a gapless `0..=max` shard range.
+    pub fn shard_map(mut self, map: Vec<u32>) -> NetworkBuilder {
+        self.shard_map = Some(map);
+        self
+    }
+
+    /// Caps the worker threads used for the speculation phase of a
+    /// sharded step (default: the trial driver's thread count). With
+    /// one shard, one worker, or a batch under the fan-out threshold
+    /// the engine stays inline; either way the results are identical,
+    /// so this is purely a cost knob.
+    pub fn shard_workers(mut self, workers: usize) -> NetworkBuilder {
+        self.shard_workers = workers.max(1);
+        self
+    }
+
+    /// Bounds the number of views the shared [`ViewStore`] keeps
+    /// resident (default: unbounded, the historical behaviour). Past
+    /// the budget, least-recently-touched clean entries are evicted
+    /// and re-materialized on next demand — routing results are
+    /// unaffected, only the memory/recompute trade-off moves. See
+    /// [`ViewStoreStats::evictions`].
+    pub fn view_budget(mut self, resident_views: usize) -> NetworkBuilder {
+        self.view_budget = Some(resident_views);
+        self
     }
 
     /// Configures admission control. The default
@@ -141,16 +203,26 @@ impl NetworkBuilder {
     /// Panics if the configured [`Provisioner::Oracle`] artifact does
     /// not match the topology; [`try_build`](Self::try_build) is the
     /// non-panicking form.
-    pub fn build<R: LocalRouter + 'static>(self, router: R) -> Network {
+    pub fn build<R: LocalRouter + Send + Sync + 'static>(self, router: R) -> Network {
         self.try_build(router)
             .expect("provisioner artifact matches the topology")
     }
 
     /// Like [`build`](Self::build), but rejects a mismatched or
-    /// corrupt oracle artifact with [`SimError::Oracle`] instead of
-    /// panicking. With [`Provisioner::Bfs`] this never fails.
-    pub fn try_build<R: LocalRouter + 'static>(self, router: R) -> Result<Network, SimError> {
+    /// corrupt oracle artifact with [`SimError::Oracle`] (or an
+    /// invalid [`shard_map`](Self::shard_map) with
+    /// [`SimError::ShardMap`]) instead of panicking. With
+    /// [`Provisioner::Bfs`] and default sharding this never fails.
+    pub fn try_build<R: LocalRouter + Send + Sync + 'static>(
+        self,
+        router: R,
+    ) -> Result<Network, SimError> {
         let n = self.graph.node_count();
+        let shard_map = match self.shard_map {
+            Some(map) => validate_shard_map(map, n)?,
+            None => build_partition(n, self.shards),
+        };
+        let shard_count = shard_map.iter().max().map_or(1, |&m| m as usize + 1);
         let views = match self.provisioner {
             Provisioner::Bfs => ViewStore::new(self.k),
             Provisioner::Oracle(artifact) => {
@@ -158,6 +230,9 @@ impl NetworkBuilder {
                 ViewStore::from_artifact(artifact)
             }
         };
+        if let Some(budget) = self.view_budget {
+            views.set_resident_budget(budget);
+        }
         let nodes: Vec<SimNode> = self
             .graph
             .nodes()
@@ -183,11 +258,16 @@ impl NetworkBuilder {
             nodes,
             views,
             router: Box::new(router),
-            events: Wheel::new(),
+            shards: (0..shard_count).map(|_| Shard::new()).collect(),
+            shard_map,
+            seq: 0,
+            workers: self.shard_workers,
+            arrivals_scratch: Vec::new(),
+            live_now: 0,
+            live_hw: 0,
             fault_schedule,
             reprovision_at: Wheel::new(),
             timers: Wheel::new(),
-            slab: ArrivalSlab::new(),
             loop_table,
             parked: BTreeMap::new(),
             cfg: self.faults,
@@ -205,6 +285,28 @@ impl NetworkBuilder {
             trace: self.recorder.map(Box::new),
         })
     }
+}
+
+/// Checks a custom shard map: one entry per node, gapless `0..=max`
+/// shard range (every shard owns at least one node).
+fn validate_shard_map(map: Vec<u32>, n: usize) -> Result<Vec<u32>, SimError> {
+    if map.len() != n {
+        return Err(SimError::ShardMap(format!(
+            "map has {} entries for {n} nodes",
+            map.len()
+        )));
+    }
+    let count = map.iter().max().map_or(1, |&m| m as usize + 1);
+    let mut seen = vec![false; count];
+    for &s in &map {
+        seen[s as usize] = true;
+    }
+    if let Some(hole) = seen.iter().position(|&x| !x) {
+        return Err(SimError::ShardMap(format!(
+            "shard {hole} of {count} owns no node"
+        )));
+    }
+    Ok(map)
 }
 
 /// Per-message simulator-side state that is not part of the observable
@@ -229,22 +331,37 @@ pub struct Network {
     /// Persistent per-node view cache; re-provision waves invalidate
     /// only the dirty entries.
     views: ViewStore,
-    router: Box<dyn LocalRouter>,
-    /// In-flight transmissions due at a tick, as [`ArrivalSlab`] handles.
-    events: Wheel<u32>,
+    router: Box<dyn LocalRouter + Send + Sync>,
+    /// The trial's shards: each owns an arrival wheel + arena for the
+    /// nodes `shard_map` assigns to it. One shard = today's engine.
+    shards: Vec<Shard>,
+    /// `shard_map[u.index()]`: the shard owning node `u`.
+    shard_map: Vec<u32>,
+    /// Global schedule counter stamped onto every arrival. Bumped only
+    /// in sequential code, so merging drained per-shard batches by it
+    /// reproduces the single-wheel FIFO order exactly.
+    seq: u64,
+    /// Worker-thread cap for the sharded speculation phase.
+    workers: usize,
+    /// Reused merge buffer for same-tick `(seq, shard, handle)` drains.
+    arrivals_scratch: Vec<(u64, u32, u32)>,
+    /// Live transmissions across all shard arenas, tracked globally so
+    /// the high-water mark is partition-independent.
+    live_now: usize,
+    /// Peak of `live_now` — the trace's `slab.high_water` gauge.
+    live_hw: usize,
     fault_schedule: Wheel<FaultEvent>,
     /// Stale-view wave: nodes due to re-provision at a tick (deduped
     /// and sorted when the tick fires).
     reprovision_at: Wheel<NodeId>,
     /// Source-side timeout checks (message indices) due at a tick.
     timers: Wheel<u32>,
-    /// Backing store for every in-flight transmission.
-    slab: ArrivalSlab,
     /// Frozen dense layout for per-message loop-detection states.
     loop_table: LoopTable,
     /// Messages parked on a down link under [`DeadLinkPolicy::Queue`],
-    /// FIFO per link, released when the link comes back.
-    parked: BTreeMap<LinkKey, VecDeque<u32>>,
+    /// FIFO per link as `(shard, handle)`, released when the link
+    /// comes back.
+    parked: BTreeMap<LinkKey, VecDeque<(u32, u32)>>,
     cfg: FaultConfig,
     rng: DetRng,
     messages: Vec<MessageRecord>,
@@ -385,25 +502,68 @@ impl Network {
             self.set_fate(id as usize, MessageFate::Rejected, Some("admission"));
             return Ok(MessageId(id));
         }
-        let h = self.slab.alloc(id as u32, s, None, 0);
-        self.events.schedule(self.tick, h);
+        let sh = self.shard_of(s);
+        let h = self.slab_alloc(sh, id as u32, s, None, 0);
+        self.schedule_arrival(self.tick, sh, h);
         if let Some(timeout) = self.cfg.timeout {
             self.timers.schedule(self.tick + timeout, id as u32);
         }
         Ok(MessageId(id))
     }
 
+    /// The shard owning node `u`.
+    fn shard_of(&self, u: NodeId) -> usize {
+        self.shard_map.get(u.index()).copied().unwrap_or(0) as usize
+    }
+
+    /// Allocates a transmission in `shard`'s arena, tracking the
+    /// global (partition-independent) live count and high-water mark.
+    fn slab_alloc(
+        &mut self,
+        shard: usize,
+        msg: u32,
+        at: NodeId,
+        from: Option<NodeId>,
+        attempt: u32,
+    ) -> u32 {
+        let h = self.shards[shard].slab.alloc(msg, at, from, attempt);
+        self.live_now += 1;
+        self.live_hw = self.live_hw.max(self.live_now);
+        h
+    }
+
+    /// Frees a transmission from `shard`'s arena.
+    fn slab_free(&mut self, shard: usize, h: u32) {
+        self.shards[shard].slab.free(h);
+        self.live_now -= 1;
+    }
+
+    /// Stamps the next global sequence number onto an arrival and
+    /// schedules it on its shard's wheel. Every schedule site runs in
+    /// sequential code, so sequence order *is* the order a single
+    /// merged wheel would have drained same-tick arrivals in.
+    fn schedule_arrival(&mut self, when: u64, shard: usize, h: u32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.shards[shard].events.schedule(when, (seq, h));
+    }
+
     /// The controller's inputs right now: in-flight arena occupancy
-    /// and the arrival wheel's ring occupancy (any overflow counts as
-    /// a full ring — the window is saturated by definition).
+    /// and the arrival wheels' ring occupancy (any overflow counts as
+    /// a full ring — the window is saturated by definition). The shard
+    /// wheels advance in lockstep, so OR-ing their occupancy words
+    /// yields exactly the single merged wheel's occupied-slot count at
+    /// any shard count.
     fn saturation_sample(&self) -> SaturationSample {
-        let wheel_occupied = if self.events.overflow_len() > 0 {
-            64
-        } else {
-            self.events.occupied_slots()
-        };
+        let mut occ = 0u64;
+        let mut overflow = 0usize;
+        for sh in &self.shards {
+            occ |= sh.events.occupancy_word();
+            overflow += sh.events.overflow_len();
+        }
+        let wheel_occupied = if overflow > 0 { 64 } else { occ.count_ones() };
         SaturationSample {
-            live: self.slab.live(),
+            live: self.live_now,
             wheel_occupied,
         }
     }
@@ -431,15 +591,19 @@ impl Network {
 
     /// The earliest tick at which anything is scheduled.
     fn next_event_time(&self) -> Option<u64> {
-        [
+        let global = [
             self.fault_schedule.next_tick(),
             self.reprovision_at.next_tick(),
-            self.events.next_tick(),
             self.timers.next_tick(),
         ]
         .into_iter()
         .flatten()
-        .min()
+        .min();
+        self.shards
+            .iter()
+            .filter_map(|sh| sh.events.next_tick())
+            .chain(global)
+            .min()
     }
 
     /// Runs one tick: advances the clock to the earliest scheduled
@@ -453,9 +617,15 @@ impl Network {
         self.tick = self.tick.max(when);
         // `when` is the global minimum, so every wheel may slide its
         // window up to it (migrating far-future overflow on the way).
+        // The shard wheels advance in lockstep — the tick barrier —
+        // which keeps their windows aligned for the occupancy union.
         self.fault_schedule.advance_to(when);
         self.reprovision_at.advance_to(when);
-        self.events.advance_to(when);
+        for sh in &mut self.shards {
+            sh.events.advance_to(when);
+            sh.begin_tick();
+            sh.note_occupancy();
+        }
         self.timers.advance_to(when);
         let mut count = 0;
         let evs = self.fault_schedule.take(when);
@@ -476,12 +646,8 @@ impl Network {
             count += n_reprov;
             self.reprovision(&due);
         }
-        let batch = self.events.take(when);
-        let n_arrivals = batch.len();
+        let n_arrivals = self.drain_arrivals(when);
         count += n_arrivals;
-        for h in batch {
-            self.process(h);
-        }
         let msgs = self.timers.take(when);
         let n_timers = msgs.len();
         count += n_timers;
@@ -490,10 +656,20 @@ impl Network {
         }
         // End-of-tick engine telemetry: per-phase activity counters and
         // scheduler/arena occupancy samples, aggregated in the metrics
-        // registry (no event lines on the hot path).
-        let wheel_occupied = u64::from(self.events.occupied_slots());
-        let wheel_overflow = self.events.overflow_len() as i64;
-        let slab_live = self.slab.live() as i64;
+        // registry (no event lines on the hot path). Each sample is the
+        // value a single merged wheel/arena would report, so traces are
+        // shard-count-independent.
+        let mut occ = 0u64;
+        for sh in &self.shards {
+            occ |= sh.events.occupancy_word();
+        }
+        let wheel_occupied = u64::from(occ.count_ones());
+        let wheel_overflow = if self.trace.is_some() {
+            self.overflow_ticks_distinct() as i64
+        } else {
+            0
+        };
+        let slab_live = self.live_now as i64;
         if let Some(rec) = self.trace.as_deref_mut() {
             if rec.enabled(Level::Metrics) {
                 rec.inc("sim.ticks", 1);
@@ -580,141 +756,190 @@ impl Network {
         }
     }
 
-    fn process(&mut self, h: u32) {
-        let ArrivalData {
-            msg,
-            at,
-            from,
-            attempt,
-        } = self.slab.get(h);
+    /// Distinct far-future ticks across every shard's overflow band —
+    /// the value one merged wheel's `overflow_len` would report.
+    fn overflow_ticks_distinct(&self) -> usize {
+        if self.shards.len() == 1 {
+            return self.shards[0].events.overflow_len();
+        }
+        let mut ticks: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.events.overflow_ticks())
+            .collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        ticks.len()
+    }
+
+    /// The arrival phase of one tick: drain every shard's wheel at the
+    /// barrier, merge the batches by global sequence number (the
+    /// strided-merge trick the trial driver uses across trials, here
+    /// applied *inside* one trial), then run each arrival through a
+    /// read-only speculation ([`HopCtx::decide`]) and a sequential
+    /// apply ([`apply_decision`](Self::apply_decision)) in sequence
+    /// order. Speculation touches nothing mutable, so a large batch on
+    /// a multi-shard network fans out to worker threads; the apply
+    /// phase replays every mutation (frees, allocs, RNG loss draws,
+    /// trace events) in exactly the order the unsharded engine
+    /// produced them, so both paths — and every shard count — are
+    /// byte-identical. Returns the number of arrivals processed.
+    fn drain_arrivals(&mut self, when: u64) -> usize {
+        let mut merged = std::mem::take(&mut self.arrivals_scratch);
+        merged.clear();
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            for (seq, h) in sh.events.take(when) {
+                merged.push((seq, i as u32, h));
+            }
+        }
+        if self.shards.len() > 1 {
+            // Per-shard batches are FIFO ⇒ seq-sorted; the merge just
+            // interleaves them (seqs are unique by construction).
+            merged.sort_unstable();
+        }
+        let n = merged.len();
+        let threaded = self.shards.len() > 1 && self.workers > 1 && n >= SHARD_PAR_MIN_BATCH;
+        if threaded {
+            let decisions = {
+                let ctx = self.hop_ctx();
+                driver::run_trials(&merged, self.workers, |_, &(_, sh, h)| {
+                    ctx.decide(sh as usize, h)
+                })
+            };
+            for (&(_, sh, h), d) in merged.iter().zip(decisions) {
+                self.apply_decision(sh as usize, h, d);
+            }
+        } else {
+            for &(_, sh, h) in &merged {
+                let d = self.hop_ctx().decide(sh as usize, h);
+                self.apply_decision(sh as usize, h, d);
+            }
+        }
+        self.arrivals_scratch = merged;
+        n
+    }
+
+    /// The read-only view of the engine that [`HopCtx::decide`]
+    /// speculates against. Everything it can reach is stable for the
+    /// whole arrival phase: faults and re-provisions ran in earlier
+    /// phases of this tick, and the apply phase only mutates state
+    /// speculation does not read (message fates flip only for arrivals
+    /// in this very batch, of which at most one per message can be
+    /// non-stale — a message has at most one live transmission per
+    /// attempt, and staleness was decided in a prior tick's timer
+    /// phase).
+    fn hop_ctx(&self) -> HopCtx<'_> {
+        HopCtx {
+            graph: &self.graph,
+            nodes: &self.nodes,
+            crashed: &self.crashed,
+            messages: &self.messages,
+            states: &self.states,
+            seen: &self.seen_states,
+            loop_table: &self.loop_table,
+            shards: &self.shards,
+            router: self.router.as_ref(),
+            cfg: &self.cfg,
+            hop_budget: self.hop_budget,
+            predecessor_aware: self.router.awareness().predecessor,
+            traced_hops: self
+                .trace
+                .as_deref()
+                .is_some_and(|r| r.enabled(Level::Hops)),
+        }
+    }
+
+    /// Replays one speculated [`HopDecision`] against the real state,
+    /// in global sequence order. The mutation order inside each arm is
+    /// copied verbatim from the historical single-wheel `process`
+    /// (free before terminal handling, loop-state insert before the
+    /// budget/decision arms, loss draw inside `transmit`), which is
+    /// what keeps handle values, the RNG stream, and the trace
+    /// byte-identical at every shard count.
+    fn apply_decision(&mut self, shard: usize, h: u32, d: HopDecision) {
+        let ArrivalData { msg, at, from, .. } = self.shards[shard].slab.get(h);
         let msg = msg as usize;
-        if self.messages[msg].fate != MessageFate::InFlight || attempt != self.states[msg].attempt {
-            self.slab.free(h);
+        if matches!(d, HopDecision::ParkIncoming) {
+            // Parked transmissions keep their handle.
+            let f = from.unwrap_or(at);
+            self.parked
+                .entry(LinkKey::new(f, at))
+                .or_default()
+                .push_back((shard as u32, h));
             return;
         }
-        // A message mid-flight on a link that has since gone down.
-        if let Some(f) = from {
-            if !self.graph.has_edge(f, at) {
-                match self.cfg.dead_link {
-                    DeadLinkPolicy::Deliver => {}
-                    DeadLinkPolicy::Drop => {
-                        self.slab.free(h);
-                        self.lose(msg, "dead_link");
-                        return;
-                    }
-                    DeadLinkPolicy::Queue => {
-                        // Parked transmissions keep their handle.
-                        self.parked
-                            .entry(LinkKey::new(f, at))
-                            .or_default()
-                            .push_back(h);
-                        return;
-                    }
-                }
-            }
-        }
-        self.slab.free(h);
-        // A crashed node black-holes everything, deliveries included.
-        if self.crashed[at.index()] {
-            self.lose(msg, "crash");
-            return;
-        }
-        let t = self.messages[msg].t;
-        if at == t {
-            self.messages[msg].delivered_at = Some(self.tick);
-            self.nodes[at.index()].delivered += 1;
-            let hops = self.messages[msg].hops() as u64;
-            if let Some(rec) = self.trace.as_deref_mut() {
-                rec.observe("sim.delivered_hops", hops);
-                if let Some(e) = rec.event(Level::Hops, self.tick, "deliver") {
-                    e.u64("msg", msg as u64)
-                        .u64("node", u64::from(at.0))
-                        .u64("hops", hops)
-                        .finish();
-                }
-            }
-            self.set_fate(msg, MessageFate::Delivered, None);
-            return;
-        }
-        // Exact loop detection (telemetry, not protocol state): a pure
-        // stateless router revisiting (node, predecessor-it-can-see)
-        // will repeat forever.
-        let pred = if self.router.awareness().predecessor {
-            from
-        } else {
-            None
+        self.slab_free(shard, h);
+        // Arms past the loop check replay the loop-state insert that
+        // speculation only tested (it must succeed: the batch holds at
+        // most one non-stale arrival per message).
+        let record_seen = |net: &mut Network, msg: usize| {
+            let pred = if net.router.awareness().predecessor {
+                from
+            } else {
+                None
+            };
+            let fresh = net.loop_table.insert(&mut net.seen_states[msg], at, pred);
+            debug_assert!(fresh, "speculated loop state already present");
         };
-        if !self.loop_table.insert(&mut self.seen_states[msg], at, pred) {
-            self.set_fate(msg, MessageFate::Looped, None);
-            return;
-        }
-        if self.messages[msg].hops() >= self.hop_budget {
-            self.set_fate(msg, MessageFate::HopBudgetExhausted, None);
-            return;
-        }
-        let origin_label = self.graph.label(self.messages[msg].s);
-        let target_label = self.graph.label(t);
-        let from_label = from.map(|f| self.graph.label(f));
-        // The traced path asks the router to name its rule; the
-        // untraced path is the exact pre-tracing decision call.
-        let decision = if self
-            .trace
-            .as_deref()
-            .is_some_and(|r| r.enabled(Level::Hops))
-        {
-            self.nodes[at.index()].forward_explained(
-                &*self.router,
-                origin_label,
-                target_label,
-                from_label,
-            )
-        } else {
-            self.nodes[at.index()]
-                .forward(&*self.router, origin_label, target_label, from_label)
-                .map(|l| (l, "?"))
-        };
-        match decision {
-            Err(e) => self.set_fate(msg, MessageFate::Errored(e.to_string()), None),
-            Ok((next_label, rule)) => match self.graph.node_by_label(next_label) {
-                None => {
-                    let fate =
-                        MessageFate::Errored(format!("router named non-neighbour {next_label}"));
-                    self.set_fate(msg, fate, None);
-                }
-                Some(next) if self.graph.has_edge(at, next) => {
-                    self.transmit(msg, at, next, from, rule);
-                }
-                Some(next)
-                    if self.nodes[at.index()]
-                        .view()
-                        .center_neighbors()
-                        .contains(&next) =>
-                {
-                    // The decision is valid on the node's (stale) view —
-                    // the link is simply down right now.
-                    match self.cfg.dead_link {
-                        DeadLinkPolicy::Queue => {
-                            self.messages[msg].path.push(next);
-                            self.emit_hop(msg, at, next, from, rule, true);
-                            let nh = self.slab.alloc(msg as u32, next, Some(at), attempt);
-                            self.parked
-                                .entry(LinkKey::new(at, next))
-                                .or_default()
-                                .push_back(nh);
-                        }
-                        DeadLinkPolicy::Deliver | DeadLinkPolicy::Drop => {
-                            self.lose(msg, "dead_link")
-                        }
+        match d {
+            HopDecision::Stale | HopDecision::ParkIncoming => {}
+            HopDecision::DropIncoming => self.lose(msg, "dead_link"),
+            HopDecision::Crashed => self.lose(msg, "crash"),
+            HopDecision::Deliver => {
+                self.messages[msg].delivered_at = Some(self.tick);
+                self.nodes[at.index()].delivered += 1;
+                let hops = self.messages[msg].hops() as u64;
+                if let Some(rec) = self.trace.as_deref_mut() {
+                    rec.observe("sim.delivered_hops", hops);
+                    if let Some(e) = rec.event(Level::Hops, self.tick, "deliver") {
+                        e.u64("msg", msg as u64)
+                            .u64("node", u64::from(at.0))
+                            .u64("hops", hops)
+                            .finish();
                     }
                 }
-                Some(_) => {
-                    // Not a neighbour in the topology *or* the view:
-                    // a router bug, not a fault.
-                    let fate =
-                        MessageFate::Errored(format!("router named non-neighbour {next_label}"));
-                    self.set_fate(msg, fate, None);
+                self.set_fate(msg, MessageFate::Delivered, None);
+            }
+            HopDecision::Loop => self.set_fate(msg, MessageFate::Looped, None),
+            HopDecision::Exhaust => {
+                record_seen(self, msg);
+                self.set_fate(msg, MessageFate::HopBudgetExhausted, None);
+            }
+            HopDecision::Errored { err, decided } => {
+                record_seen(self, msg);
+                if decided {
+                    // The router returned a next hop (it was merely not
+                    // a neighbour), so its decision counter advanced.
+                    self.nodes[at.index()].forwarded += 1;
                 }
-            },
+                self.set_fate(msg, MessageFate::Errored(err), None);
+            }
+            HopDecision::Forward { next, rule } => {
+                record_seen(self, msg);
+                self.nodes[at.index()].forwarded += 1;
+                self.transmit(msg, at, next, from, rule);
+            }
+            HopDecision::ParkOutgoing { next, rule } => {
+                record_seen(self, msg);
+                self.nodes[at.index()].forwarded += 1;
+                let attempt = self.states[msg].attempt;
+                self.messages[msg].path.push(next);
+                self.emit_hop(msg, at, next, from, rule, true);
+                let dst = self.shard_of(next);
+                let nh = self.slab_alloc(dst, msg as u32, next, Some(at), attempt);
+                if dst != shard {
+                    self.shards[dst].note_crossing();
+                }
+                self.parked
+                    .entry(LinkKey::new(at, next))
+                    .or_default()
+                    .push_back((dst as u32, nh));
+            }
+            HopDecision::DropOutgoing => {
+                record_seen(self, msg);
+                self.nodes[at.index()].forwarded += 1;
+                self.lose(msg, "dead_link");
+            }
         }
     }
 
@@ -788,11 +1013,12 @@ impl Network {
         }
         self.messages[msg].path.push(next);
         self.emit_hop(msg, at, next, from, rule, false);
-        let h = self
-            .slab
-            .alloc(msg as u32, next, Some(at), self.states[msg].attempt);
-        self.events
-            .schedule(self.tick + 1 + profile.extra_latency, h);
+        let dst = self.shard_of(next);
+        let h = self.slab_alloc(dst, msg as u32, next, Some(at), self.states[msg].attempt);
+        if dst != self.shard_of(at) {
+            self.shards[dst].note_crossing();
+        }
+        self.schedule_arrival(self.tick + 1 + profile.extra_latency, dst, h);
     }
 
     /// The message vanished in transit (`why` ∈ `loss` / `dead_link` /
@@ -836,8 +1062,9 @@ impl Network {
                         .finish();
                 }
             }
-            let h = self.slab.alloc(msg as u32, s, None, attempt);
-            self.events.schedule(self.tick + 1, h);
+            let sh = self.shard_of(s);
+            let h = self.slab_alloc(sh, msg as u32, s, None, attempt);
+            self.schedule_arrival(self.tick + 1, sh, h);
             // Under the backoff-scale policy a saturated network
             // stretches the retry backoff, so reliability traffic
             // yields to first attempts instead of amplifying overload.
@@ -940,8 +1167,8 @@ impl Network {
             // A restored link delivers whatever was parked on it, in
             // FIFO order, starting next tick.
             if let Some(q) = self.parked.remove(&LinkKey::new(a, b)) {
-                for h in q {
-                    self.events.schedule(self.tick + 1, h);
+                for (sh, h) in q {
+                    self.schedule_arrival(self.tick + 1, sh as usize, h);
                 }
             }
         } else {
@@ -1021,8 +1248,12 @@ impl Network {
     pub fn finish_trace(&mut self) -> Vec<u8> {
         let vs = self.views.stats();
         let backed = self.views.is_artifact_backed();
-        let slab_hw = self.slab.high_water() as i64;
+        let slab_hw = self.live_hw as i64;
         let adm = self.admission.clone();
+        let shard_count = self.shards.len();
+        let shard_wheel_hw = self.shards.iter().map(|s| s.wheel_occupied_hw).max();
+        let shard_outbox_hw = self.shards.iter().map(|s| s.outbox_depth_hw).max();
+        let shard_crossings: u64 = self.shards.iter().map(|s| s.crossings).sum();
         let Some(rec) = self.trace.as_deref_mut() else {
             return Vec::new();
         };
@@ -1053,6 +1284,23 @@ impl Network {
             );
         }
         rec.flush_metrics(self.tick);
+        // Shard gauges appear only on a multi-shard run, flushed in a
+        // second registry dump so they occupy the trailing sequence
+        // numbers: an S > 1 trace is the S = 1 trace plus these lines,
+        // byte for byte — goldens and seq stamps included.
+        if shard_count > 1 {
+            rec.gauge_set(locality_obs::names::SHARD_COUNT, shard_count as i64);
+            rec.gauge_set(
+                locality_obs::names::SHARD_WHEEL_OCCUPIED_HW,
+                i64::from(shard_wheel_hw.unwrap_or(0)),
+            );
+            rec.gauge_set(
+                locality_obs::names::SHARD_OUTBOX_DEPTH_HW,
+                shard_outbox_hw.unwrap_or(0) as i64,
+            );
+            rec.gauge_set(locality_obs::names::SHARD_CROSSINGS, shard_crossings as i64);
+            rec.flush_metrics(self.tick);
+        }
         rec.take_bytes()
     }
 
@@ -1076,6 +1324,183 @@ impl Network {
     /// radius.
     pub fn view_stats(&self) -> ViewStoreStats {
         self.views.stats()
+    }
+
+    /// Number of shards this trial is partitioned across (1 = the
+    /// unsharded engine).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard load counters: wheel-occupancy and staging-depth
+    /// high-water marks, cross-shard crossings, and arena peaks. Kept
+    /// outside [`NetworkMetrics`] because they describe the partition
+    /// (and legitimately vary with the shard count), while metrics are
+    /// byte-identical at any `S`.
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            wheel_occupied_hw: self.shards.iter().map(|s| s.wheel_occupied_hw).collect(),
+            outbox_depth_hw: self.shards.iter().map(|s| s.outbox_depth_hw).collect(),
+            crossings: self.shards.iter().map(|s| s.crossings).collect(),
+            slab_high_water: self.shards.iter().map(|s| s.slab.high_water()).collect(),
+        }
+    }
+}
+
+/// What the speculation phase decided for one drained arrival,
+/// computed read-only against pre-arrival-phase state and replayed by
+/// [`Network::apply_decision`] in global sequence order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum HopDecision {
+    /// The message's fate is terminal or the attempt was superseded:
+    /// free the handle, nothing else.
+    Stale,
+    /// Mid-flight on a link that went down under
+    /// [`DeadLinkPolicy::Queue`]: park the handle on that link.
+    ParkIncoming,
+    /// Same, under [`DeadLinkPolicy::Drop`]: the message is lost.
+    DropIncoming,
+    /// The node is crashed and black-holes the arrival.
+    Crashed,
+    /// Arrived at its destination.
+    Deliver,
+    /// The `(node, predecessor)` state recurred: a provable loop.
+    Loop,
+    /// The per-attempt hop budget is spent.
+    Exhaust,
+    /// The router failed (`decided: false`) or named a node that is a
+    /// neighbour in neither the topology nor the view
+    /// (`decided: true` — the decision counter still advanced).
+    Errored {
+        /// The fate's error message.
+        err: String,
+        /// Whether the router returned a next hop at all.
+        decided: bool,
+    },
+    /// Forward over a live edge (the loss draw and latency are applied
+    /// at replay time, in global order, to keep the RNG stream
+    /// shard-count-independent).
+    Forward {
+        /// The live neighbour to transmit to.
+        next: NodeId,
+        /// The router rule that fired (traced runs only).
+        rule: &'static str,
+    },
+    /// The decision is valid on the node's (stale) view but the link
+    /// is down, under [`DeadLinkPolicy::Queue`]: allocate and park a
+    /// fresh transmission on that link.
+    ParkOutgoing {
+        /// The view-valid neighbour the message is parked towards.
+        next: NodeId,
+        /// The router rule that fired.
+        rule: &'static str,
+    },
+    /// Same, under a non-queueing policy: the message is lost.
+    DropOutgoing,
+}
+
+/// Immutable snapshot of everything a forwarding decision reads —
+/// the per-arrival speculation input. All fields are `Sync` shared
+/// borrows, so a batch of decisions fans out across the trial
+/// driver's workers; mutations happen afterwards, sequentially, in
+/// [`Network::apply_decision`].
+struct HopCtx<'a> {
+    graph: &'a Graph,
+    nodes: &'a [SimNode],
+    crashed: &'a [bool],
+    messages: &'a [MessageRecord],
+    states: &'a [MsgState],
+    seen: &'a [SeenSet],
+    loop_table: &'a LoopTable,
+    shards: &'a [Shard],
+    router: &'a (dyn LocalRouter + Send + Sync),
+    cfg: &'a FaultConfig,
+    hop_budget: usize,
+    predecessor_aware: bool,
+    traced_hops: bool,
+}
+
+impl HopCtx<'_> {
+    /// Speculates the outcome of one arrival — the exact decision
+    /// ladder of the historical `process`, with every mutation
+    /// deferred: staleness, dead incoming link, crash, delivery, loop
+    /// recurrence (a non-mutating containment test), hop budget, and
+    /// finally the router's decision against the node's own view.
+    fn decide(&self, shard: usize, h: u32) -> HopDecision {
+        let ArrivalData {
+            msg,
+            at,
+            from,
+            attempt,
+        } = self.shards[shard].slab.get(h);
+        let msg = msg as usize;
+        if self.messages[msg].fate != MessageFate::InFlight || attempt != self.states[msg].attempt {
+            return HopDecision::Stale;
+        }
+        // A message mid-flight on a link that has since gone down.
+        if let Some(f) = from {
+            if !self.graph.has_edge(f, at) {
+                match self.cfg.dead_link {
+                    DeadLinkPolicy::Deliver => {}
+                    DeadLinkPolicy::Drop => return HopDecision::DropIncoming,
+                    DeadLinkPolicy::Queue => return HopDecision::ParkIncoming,
+                }
+            }
+        }
+        // A crashed node black-holes everything, deliveries included.
+        if self.crashed[at.index()] {
+            return HopDecision::Crashed;
+        }
+        let t = self.messages[msg].t;
+        if at == t {
+            return HopDecision::Deliver;
+        }
+        // Exact loop detection (telemetry, not protocol state): a pure
+        // stateless router revisiting (node, predecessor-it-can-see)
+        // will repeat forever.
+        let pred = if self.predecessor_aware { from } else { None };
+        if self.loop_table.contains(&self.seen[msg], at, pred) {
+            return HopDecision::Loop;
+        }
+        if self.messages[msg].hops() >= self.hop_budget {
+            return HopDecision::Exhaust;
+        }
+        let origin_label = self.graph.label(self.messages[msg].s);
+        let target_label = self.graph.label(t);
+        let from_label = from.map(|f| self.graph.label(f));
+        let node = &self.nodes[at.index()];
+        let packet =
+            Packet::new(origin_label, target_label, from_label).masked(self.router.awareness());
+        // The traced path asks the router to name its rule; the
+        // untraced path is the exact pre-tracing decision call.
+        let decision = if self.traced_hops {
+            self.router.decide_explained(&packet, node.view())
+        } else {
+            self.router.decide(&packet, node.view()).map(|l| (l, "?"))
+        };
+        match decision {
+            Err(e) => HopDecision::Errored {
+                err: e.to_string(),
+                decided: false,
+            },
+            Ok((next_label, rule)) => match self.graph.node_by_label(next_label) {
+                Some(next) if self.graph.has_edge(at, next) => HopDecision::Forward { next, rule },
+                Some(next) if node.view().center_neighbors().contains(&next) => {
+                    // Valid on the node's (stale) view — the link is
+                    // simply down right now.
+                    match self.cfg.dead_link {
+                        DeadLinkPolicy::Queue => HopDecision::ParkOutgoing { next, rule },
+                        DeadLinkPolicy::Deliver | DeadLinkPolicy::Drop => HopDecision::DropOutgoing,
+                    }
+                }
+                // Not a neighbour in the topology *or* the view (or no
+                // such node at all): a router bug, not a fault.
+                None | Some(_) => HopDecision::Errored {
+                    err: format!("router named non-neighbour {next_label}"),
+                    decided: true,
+                },
+            },
+        }
     }
 }
 
@@ -1797,6 +2222,261 @@ mod tests {
         // the witness-level conservation checker balances too.
         let witnesses = locality_obs::collect_witnesses(&events);
         crate::replay::check_conservation(&witnesses, &gated.metrics()).unwrap();
+    }
+
+    /// [`churny`]'s fault configuration, shared with the sharded
+    /// variants so the scenarios cannot drift apart.
+    fn churn_cfg() -> FaultConfig {
+        FaultConfig {
+            dead_link: DeadLinkPolicy::Drop,
+            view_delay: 2,
+            default_link: LinkProfile {
+                loss: 0.05,
+                extra_latency: 0,
+            },
+            timeout: Some(64),
+            max_retries: 3,
+            backoff: 16,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    /// [`churny`], traced, partitioned across `shards` shards with
+    /// `workers` speculation workers (optionally with an explicit
+    /// node→shard assignment).
+    fn churny_sharded(g: &Graph, shards: usize, workers: usize, map: Option<Vec<u32>>) -> Network {
+        let plan =
+            FaultPlan::random_churn(g, &ChurnConfig::default(), &mut DetRng::seed_from_u64(9));
+        let mut b = NetworkBuilder::new(g, 3)
+            .faults(churn_cfg())
+            .fault_plan(plan)
+            .recorder(Recorder::new(Level::Debug))
+            .shards(shards)
+            .shard_workers(workers);
+        if let Some(m) = map {
+            b = b.shard_map(m);
+        }
+        b.build(Alg3)
+    }
+
+    /// Trace text minus the S>1-only `shard.*` gauge lines — exactly
+    /// what the single-shard engine would have emitted.
+    fn strip_shard_gauges(text: &str) -> String {
+        text.lines()
+            .filter(|l| !l.contains("shard."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn shard_counts_are_byte_identical_under_churn() {
+        // All-pairs chaos traffic on the seed-7 graph: every shard
+        // count must reproduce the S=1 run bit for bit, modulo the
+        // shard gauges that only exist at S > 1.
+        let g = generators::random_connected(24, 12, &mut DetRng::seed_from_u64(7));
+        let mut base: Option<(String, NetworkMetrics)> = None;
+        for s in [1usize, 2, 4, 8] {
+            let mut net = churny_sharded(&g, s, 1, None);
+            assert_eq!(net.shard_count(), s);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    if a != b {
+                        net.send(a, b);
+                    }
+                }
+            }
+            net.run_until_quiet();
+            let m = net.metrics();
+            assert!(m.accounted(), "S={s} run must conserve messages");
+            let records: Vec<String> = (0..m.sent)
+                .map(|i| format!("{:?}", net.record(MessageId(i as u64)).unwrap()))
+                .collect();
+            let text = String::from_utf8(net.finish_trace()).unwrap();
+            let stripped = strip_shard_gauges(&text);
+            match &base {
+                None => {
+                    assert!(!text.contains("shard."), "S=1 traces carry no shard gauges");
+                    base = Some((stripped, m));
+                }
+                Some((t0, m0)) => {
+                    assert_eq!(&m, m0, "metrics diverge at S={s}");
+                    assert_eq!(&stripped, t0, "trace diverges at S={s}");
+                    for (i, r) in records.iter().enumerate() {
+                        let want = format!("{:?}", net.record(MessageId(i as u64)).unwrap());
+                        assert_eq!(r, &want);
+                    }
+                    let stats = net.shard_stats();
+                    assert_eq!(stats.shard_count(), s);
+                    assert!(
+                        stats.total_crossings() > 0,
+                        "all-pairs traffic must cross shard boundaries at S={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_gauges_flush_only_above_one_shard() {
+        let g = generators::random_connected(24, 12, &mut DetRng::seed_from_u64(7));
+        for (s, expect) in [(1usize, false), (4, true)] {
+            let mut net = churny_sharded(&g, s, 1, None);
+            for a in g.nodes() {
+                net.send(a, NodeId((a.0 + 9) % 24));
+            }
+            net.run_until_quiet();
+            let text = String::from_utf8(net.finish_trace()).unwrap();
+            let events = locality_obs::parse_trace(&text).unwrap();
+            for key in [
+                locality_obs::names::SHARD_COUNT,
+                locality_obs::names::SHARD_WHEEL_OCCUPIED_HW,
+                locality_obs::names::SHARD_OUTBOX_DEPTH_HW,
+                locality_obs::names::SHARD_CROSSINGS,
+            ] {
+                assert_eq!(
+                    events
+                        .iter()
+                        .any(|e| e.str_of("ev") == Some("gauge") && e.str_of("name") == Some(key)),
+                    expect,
+                    "gauge {key} at S={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permuted_partition_is_equivariant() {
+        // A scrambled (but gapless) node→shard assignment changes which
+        // hops cross shard boundaries, but must not change the
+        // simulation: same metrics, same trace modulo shard gauges.
+        let g = generators::random_connected(24, 12, &mut DetRng::seed_from_u64(7));
+        let contiguous = churny_run(&g, None);
+        let scrambled_map: Vec<u32> = (0..24u32).map(|u| (u * 7 + 3) % 4).collect();
+        let scrambled = churny_run(&g, Some(scrambled_map));
+        assert_eq!(contiguous.1, scrambled.1, "metrics must be equivariant");
+        assert_eq!(contiguous.0, scrambled.0, "trace must be equivariant");
+    }
+
+    /// One all-pairs churn run at S=4; returns the shard-gauge-stripped
+    /// trace and the metrics.
+    fn churny_run(g: &Graph, map: Option<Vec<u32>>) -> (String, NetworkMetrics) {
+        let mut net = churny_sharded(g, 4, 1, map);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if a != b {
+                    net.send(a, b);
+                }
+            }
+        }
+        net.run_until_quiet();
+        let m = net.metrics();
+        let text = String::from_utf8(net.finish_trace()).unwrap();
+        (strip_shard_gauges(&text), m)
+    }
+
+    #[test]
+    fn threaded_speculation_matches_inline() {
+        // All-pairs injection puts hundreds of arrivals on the first
+        // tick, well past the parallel-speculation batch floor, so the
+        // workers > 1 run genuinely exercises the threaded path.
+        let g = generators::random_connected(24, 12, &mut DetRng::seed_from_u64(7));
+        let inline = {
+            let mut net = churny_sharded(&g, 4, 1, None);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    if a != b {
+                        net.send(a, b);
+                    }
+                }
+            }
+            net.run_until_quiet();
+            let m = net.metrics();
+            (String::from_utf8(net.finish_trace()).unwrap(), m)
+        };
+        let threaded = {
+            let mut net = churny_sharded(&g, 4, 4, None);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    if a != b {
+                        net.send(a, b);
+                    }
+                }
+            }
+            net.run_until_quiet();
+            let m = net.metrics();
+            (String::from_utf8(net.finish_trace()).unwrap(), m)
+        };
+        assert_eq!(
+            inline.1, threaded.1,
+            "worker count must not leak into results"
+        );
+        assert_eq!(
+            inline.0, threaded.0,
+            "same shard count ⇒ same trace, gauges included"
+        );
+    }
+
+    #[test]
+    fn shard_map_validation_is_typed() {
+        let g = generators::cycle(8);
+        // Wrong length.
+        let err = NetworkBuilder::new(&g, 2)
+            .shard_map(vec![0, 1])
+            .try_build(Alg2)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SimError::ShardMap(_)), "got {err:?}");
+        // Gap: shard 1 of 0..=2 is empty.
+        let err = NetworkBuilder::new(&g, 2)
+            .shard_map(vec![0, 0, 0, 0, 2, 2, 2, 2])
+            .try_build(Alg2)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SimError::ShardMap(_)), "got {err:?}");
+        // A valid map binds nodes to their named shards.
+        let net = NetworkBuilder::new(&g, 2)
+            .shard_map(vec![0, 0, 1, 1, 0, 0, 1, 1])
+            .build(Alg2);
+        assert_eq!(net.shard_count(), 2);
+    }
+
+    #[test]
+    fn sharded_conservation_at_scale() {
+        // The acceptance-scale topology, shrunk only in traffic: a
+        // degree-16 ring lattice on 10⁵ nodes under churn, partitioned
+        // four ways, must conserve every message and match the S=1
+        // fate counts. Debug builds provision an order of magnitude
+        // slower, so they run the same shape at n = 10⁴; release (and
+        // `scripts/verify.sh`, via the simbench sweep) covers 10⁵.
+        use local_routing::baselines::RingGreedy;
+        let n = if cfg!(debug_assertions) {
+            10_000usize
+        } else {
+            100_000usize
+        };
+        let g = generators::ring_lattice(n, 8);
+        let mut fates: Vec<NetworkMetrics> = Vec::new();
+        for s in [1usize, 4] {
+            let plan =
+                FaultPlan::random_churn(&g, &ChurnConfig::default(), &mut DetRng::seed_from_u64(9));
+            let mut net = NetworkBuilder::new(&g, 1)
+                .faults(churn_cfg())
+                .fault_plan(plan)
+                .shards(s)
+                .build(RingGreedy::new(n as u32));
+            let mut rng = DetRng::seed_from_u64(7);
+            for i in 0..512u32 {
+                let src = (i * 193) % n as u32;
+                let dst = (src + 1 + rng.gen_range(0..1024u32)) % n as u32;
+                net.send(NodeId(src), NodeId(dst));
+            }
+            net.run_until_quiet();
+            let m = net.metrics();
+            assert!(m.accounted(), "S={s} must conserve at n=10⁵");
+            fates.push(m);
+        }
+        assert_eq!(fates[0], fates[1], "shard count leaked into fates at n=10⁵");
     }
 
     #[test]

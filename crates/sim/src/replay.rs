@@ -400,7 +400,7 @@ mod tests {
 
     /// Runs an all-pairs traced simulation and returns its witnesses
     /// and metrics.
-    fn traced_all_pairs<R: LocalRouter + Clone + 'static>(
+    fn traced_all_pairs<R: LocalRouter + Clone + Send + Sync + 'static>(
         g: &Graph,
         k: u32,
         router: R,

@@ -1,0 +1,159 @@
+//! Per-shard execution state for the sharded simulator.
+//!
+//! One trial is partitioned across `S` shards: every node belongs to
+//! exactly one shard, and every in-flight transmission lives in the
+//! arena and timing wheel of the shard that owns its *destination*
+//! node. The shards advance in lockstep — all wheels share one window
+//! start — and each scheduled arrival carries a global sequence number
+//! stamped at schedule time, so draining every shard's wheel at a tick
+//! barrier and merging by sequence number reproduces, bit for bit, the
+//! FIFO order a single merged wheel would have produced. `S = 1` is
+//! therefore exactly the unsharded engine, and any `S` is
+//! byte-identical to it (see the determinism suite in
+//! `network::tests`).
+//!
+//! A transmission whose sender and receiver live in different shards
+//! is a *crossing*: it is staged into the destination shard at the
+//! tick barrier (the per-tick staging count is the "outbox depth" in
+//! the gauges below). The per-shard high-water marks here feed the
+//! `shard.*` gauges in [`locality_obs::names`], flushed only when
+//! `S > 1` so single-shard traces stay byte-identical to the
+//! pre-sharding goldens.
+
+use crate::sched::Wheel;
+use crate::slab::ArrivalSlab;
+
+/// Snapshot of one run's per-shard load counters, from
+/// [`Network::shard_stats`](crate::Network::shard_stats).
+///
+/// Lives outside `NetworkMetrics` on purpose: metrics are compared
+/// across shard counts by the determinism suite, while these counters
+/// describe the partition itself and legitimately vary with `S`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Per-shard peak number of occupied wheel slots, sampled at each
+    /// tick barrier before the arrival drain.
+    pub wheel_occupied_hw: Vec<u32>,
+    /// Per-shard peak number of cross-shard arrivals staged into the
+    /// shard within a single tick.
+    pub outbox_depth_hw: Vec<u64>,
+    /// Per-shard total cross-shard arrivals staged over the whole run.
+    pub crossings: Vec<u64>,
+    /// Per-shard arena high-water marks (peak live transmissions).
+    pub slab_high_water: Vec<usize>,
+}
+
+impl ShardStats {
+    /// Number of shards the run was partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.wheel_occupied_hw.len()
+    }
+
+    /// Total cross-shard crossings over the whole run.
+    pub fn total_crossings(&self) -> u64 {
+        self.crossings.iter().sum()
+    }
+}
+
+/// One shard's slice of the engine: its own timing wheel and arrival
+/// arena, plus the load counters behind [`ShardStats`].
+///
+/// Wheel entries are `(seq, handle)`: `seq` is the network's global
+/// schedule counter (stamped in sequential code, so it totally orders
+/// same-tick arrivals exactly as a single wheel's FIFO would), `handle`
+/// indexes this shard's own [`ArrivalSlab`].
+pub(crate) struct Shard {
+    /// Arrival wheel; entries `(seq, handle)` drain in FIFO order per
+    /// tick and merge across shards by `seq`.
+    pub(crate) events: Wheel<(u64, u32)>,
+    /// Arena of in-flight transmissions destined for this shard.
+    pub(crate) slab: ArrivalSlab,
+    /// Peak occupied wheel slots, sampled pre-drain each tick.
+    pub(crate) wheel_occupied_hw: u32,
+    /// Cross-shard arrivals staged into this shard this tick.
+    pub(crate) outbox_depth: u64,
+    /// Peak of `outbox_depth` across ticks.
+    pub(crate) outbox_depth_hw: u64,
+    /// Total cross-shard arrivals staged into this shard.
+    pub(crate) crossings: u64,
+}
+
+impl Shard {
+    /// An empty shard.
+    pub(crate) fn new() -> Shard {
+        Shard {
+            events: Wheel::new(),
+            slab: ArrivalSlab::new(),
+            wheel_occupied_hw: 0,
+            outbox_depth: 0,
+            outbox_depth_hw: 0,
+            crossings: 0,
+        }
+    }
+
+    /// Folds the current wheel occupancy into the high-water mark.
+    /// Called once per tick barrier, before the arrival drain.
+    pub(crate) fn note_occupancy(&mut self) {
+        self.wheel_occupied_hw = self.wheel_occupied_hw.max(self.events.occupied_slots());
+    }
+
+    /// Resets the per-tick staging depth at the tick barrier.
+    pub(crate) fn begin_tick(&mut self) {
+        self.outbox_depth = 0;
+    }
+
+    /// Counts one arrival staged into this shard from another shard.
+    pub(crate) fn note_crossing(&mut self) {
+        self.crossings += 1;
+        self.outbox_depth += 1;
+        self.outbox_depth_hw = self.outbox_depth_hw.max(self.outbox_depth);
+    }
+}
+
+/// Builds the default contiguous-block partition: node `u` of `n`
+/// belongs to shard `u * s / n`, so shards own equal-width id ranges
+/// (the last shard absorbs the remainder). Determinism does not depend
+/// on the choice — `NetworkBuilder::shard_map` installs arbitrary
+/// partitions and the equivariance test proves results are identical
+/// under any of them.
+pub(crate) fn build_partition(n: usize, shards: usize) -> Vec<u32> {
+    let s = shards.max(1).min(n.max(1));
+    let d = n.max(1);
+    (0..n).map(|u| (u * s / d) as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let map = build_partition(10, 4);
+        assert_eq!(map, vec![0, 0, 0, 1, 1, 2, 2, 2, 3, 3]);
+        // Monotone ⇒ contiguous blocks; every shard non-empty.
+        assert!(map.windows(2).all(|w| w[0] <= w[1]));
+        for s in 0..4 {
+            assert!(map.contains(&s), "shard {s} owns at least one node");
+        }
+    }
+
+    #[test]
+    fn partition_degenerate_shapes() {
+        assert_eq!(build_partition(5, 1), vec![0; 5]);
+        assert!(build_partition(0, 4).is_empty());
+        // More shards than nodes clamps to one node per shard.
+        assert_eq!(build_partition(2, 8), vec![0, 1]);
+    }
+
+    #[test]
+    fn crossing_gauges_track_per_tick_depth() {
+        let mut sh = Shard::new();
+        sh.begin_tick();
+        sh.note_crossing();
+        sh.note_crossing();
+        sh.begin_tick();
+        sh.note_crossing();
+        assert_eq!(sh.crossings, 3);
+        assert_eq!(sh.outbox_depth_hw, 2, "peak within one tick, not total");
+    }
+}

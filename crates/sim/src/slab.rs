@@ -199,6 +199,21 @@ impl LoopTable {
         }
     }
 
+    /// Whether the state `(at, from)` is already recorded in `seen`,
+    /// without mutating anything. The sharded simulator's speculation
+    /// phase reads loop state concurrently; the sequential apply phase
+    /// performs the matching [`insert`](Self::insert).
+    pub fn contains(&self, seen: &SeenSet, at: NodeId, from: Option<NodeId>) -> bool {
+        match self.key_of(at, from) {
+            StateKey::Bit(bit) => {
+                let w = (bit / 64) as usize;
+                let mask = 1u64 << (bit % 64);
+                seen.words.get(w).is_some_and(|word| *word & mask != 0)
+            }
+            StateKey::Pair(a, f) => seen.extra.contains(&(a, f)),
+        }
+    }
+
     /// Records the state `(at, from)` in `seen`. Returns `false` iff it
     /// was already present — the exact semantics of the `BTreeSet`
     /// insert this replaces.

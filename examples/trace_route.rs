@@ -20,7 +20,7 @@ use locality_sim::{replay, NetworkBuilder};
 fn witness_route(
     g: &Graph,
     k: u32,
-    router: impl LocalRouter + 'static,
+    router: impl LocalRouter + Send + 'static,
     s: NodeId,
     t: NodeId,
 ) -> (RouteWitness, String) {

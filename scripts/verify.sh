@@ -70,6 +70,27 @@ gate sustained_qps_at_slo \
   "$(extract "$perf_now" sustained_qps_at_slo)" \
   "$(extract "$(cat BENCH_perfsmoke.json)" sustained_qps_at_slo)"
 
+echo "==> sharded-scale throughput gate"
+# The sharded-simulator headline: hops/sec/core at n=32768, S=4, from
+# median-of-five alternating pairs inside perfsmoke. A raw throughput
+# figure (not a same-process ratio), so it moves with host load; the
+# 25% gate catches a real engine regression while the fingerprint
+# assertions inside perfsmoke catch any outcome divergence.
+awk -v cur="$(extract "$perf_now" sim_hops_per_sec_per_core)" \
+    -v base="$(extract "$(cat BENCH_perfsmoke.json)" sim_hops_per_sec_per_core)" 'BEGIN {
+  if (cur + 0 < 0.75 * base) {
+    printf "perfsmoke: sim_hops_per_sec_per_core regressed: %.0f < 0.75 * %.0f\n", cur, base > "/dev/stderr"
+    exit 1
+  }
+}'
+
+echo "==> simbench scale sweep smoke (fingerprint identity across shards)"
+# The sweep itself asserts outcome fingerprints match at every shard
+# count per n (2048, 32768, 100000) — a panic here means sharding
+# changed routing results. Smoke-sized traffic keeps this under a
+# minute even at n=100000.
+cargo run -q --release -p locality-bench --bin simbench -- --scale-smoke > /dev/null
+
 echo "==> tracing-off overhead gate"
 # A recorder at Level::Off must cost nothing measurable: perfsmoke
 # reports the traced-but-off simulator vs the bare one as a percent.
@@ -91,6 +112,16 @@ if [ "$out_a" != "$out_b" ]; then
 fi
 cargo run -q --release -p locality-bench --bin tracecat -- \
   diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+
+echo "==> sharded chaos byte-identity (--shards 4 vs unsharded)"
+# Partitioning every storm's network into 4 shards must not move a
+# single byte of the report: the sharded engine's tick-barrier merge
+# reproduces the single-wheel schedule exactly.
+out_s4="$(cargo run -q --release -p locality-bench --bin chaos -- --seed 7 --shards 4)"
+if [ "$out_a" != "$out_s4" ]; then
+  echo "chaos: seed 7 report differs at 4 shards" >&2
+  exit 1
+fi
 
 echo "==> oracle artifact tier: chaos routing byte-identity"
 # Precompute view artifacts for the chaos seed-7 topology, rerun the

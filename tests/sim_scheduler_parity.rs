@@ -90,7 +90,7 @@ struct Storm {
     gap: u64,
 }
 
-fn run_storm(storm: &Storm, router: Box<dyn LocalRouter>, k: u32) -> String {
+fn run_storm(storm: &Storm, router: Box<dyn LocalRouter + Send + Sync>, k: u32) -> String {
     let g = generators::random_connected(
         storm.n,
         storm.extra_edges,

@@ -18,7 +18,7 @@ use locality_sim::replay::{self, ReplayReport};
 use locality_sim::{NetworkBuilder, NetworkMetrics};
 
 /// All-pairs traced run folded into witnesses + metrics.
-fn traced_all_pairs<R: LocalRouter + Clone + 'static>(
+fn traced_all_pairs<R: LocalRouter + Clone + Send + Sync + 'static>(
     g: &Graph,
     k: u32,
     router: R,
@@ -41,7 +41,10 @@ fn traced_all_pairs<R: LocalRouter + Clone + 'static>(
 
 /// Runs `router` all-pairs on `g` at its own threshold, replays the
 /// trace, and demands total delivery, verified hops, and conservation.
-fn certify_all_pairs<R: LocalRouter + Clone + 'static>(g: &Graph, router: R) -> ReplayReport {
+fn certify_all_pairs<R: LocalRouter + Clone + Send + Sync + 'static>(
+    g: &Graph,
+    router: R,
+) -> ReplayReport {
     let n = g.node_count();
     let k = router.min_locality(n);
     let (ws, m) = traced_all_pairs(g, k, router.clone());
