@@ -34,6 +34,9 @@ use locality_bench::timing;
 use locality_bench::timing::{black_box, measure_ns};
 use locality_graph::rng::DetRng;
 use locality_graph::{generators, traversal, Graph, Label, NodeId};
+use locality_obs::analytics::stats::StatsMode;
+use locality_obs::analytics::synth::SynthTrace;
+use locality_obs::analytics::{run_mode, Mode as _, TailMode, DEFAULT_BUF_BYTES};
 use locality_sim::{driver, Level, Recorder};
 
 /// Emulation of the pre-refactor (tree-map) data model, kept verbatim
@@ -862,6 +865,68 @@ fn bench_oracle() -> OracleReport {
     }
 }
 
+/// The streaming trace-analytics probe: median throughput of the
+/// `tracecat stats` engine (chunked reader → witness fold → per-trial
+/// aggregation) over an in-memory synthetic corpus. In-memory input
+/// and a fixed seed make the figure a pure function of the analysis
+/// hot path — no disk, no generation cost (the corpus is materialized
+/// once, untimed) — so `scripts/verify.sh` can gate it at the same
+/// 25% band as the other throughput figures.
+struct TracecatReport {
+    corpus_bytes: usize,
+    witnesses: u64,
+    tracecat_mb_per_sec: f64,
+}
+
+impl TracecatReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\"corpus_bytes\":{},\"witnesses\":{},\"tracecat_mb_per_sec\":{:.1}}}",
+            self.corpus_bytes, self.witnesses, self.tracecat_mb_per_sec,
+        )
+    }
+}
+
+fn bench_tracecat() -> TracecatReport {
+    use std::io::Read as _;
+    // ~8 MB: big enough that per-pass fixed costs vanish, small enough
+    // that measure_ns's nine batches stay under a second.
+    const TRIALS: u64 = 4;
+    const MSGS: u64 = 2_500;
+    let mut corpus = Vec::new();
+    SynthTrace::new(TRIALS, MSGS, 7)
+        .read_to_end(&mut corpus)
+        .expect("synthetic generation is infallible");
+
+    // Parity before timing: the corpus must stream cleanly and produce
+    // the expected population, and the rendering must be non-trivial.
+    let mut check = StatsMode::new();
+    let report = run_mode(&corpus[..], DEFAULT_BUF_BYTES, TailMode::Strict, &mut check)
+        .expect("synthetic corpus streams cleanly");
+    assert_eq!(report.trials, TRIALS, "tracecat probe trials");
+    assert_eq!(report.witnesses, TRIALS * MSGS, "tracecat probe witnesses");
+    assert!(check.render(&report).contains("## trials"));
+
+    let ns = measure_ns(|| {
+        let mut mode = StatsMode::new();
+        let rep = match run_mode(&corpus[..], DEFAULT_BUF_BYTES, TailMode::Strict, &mut mode) {
+            Ok(r) => r,
+            Err(e) => unreachable!("parity-checked corpus failed to stream: {e}"),
+        };
+        black_box(rep.witnesses)
+    });
+    let tracecat_mb_per_sec = if ns > 0.0 {
+        corpus.len() as f64 * 1e9 / ns / (1024.0 * 1024.0)
+    } else {
+        0.0
+    };
+    TracecatReport {
+        corpus_bytes: corpus.len(),
+        witnesses: TRIALS * MSGS,
+        tracecat_mb_per_sec,
+    }
+}
+
 /// A fixed-seed mini chaos soak (Algorithm 1 under churn, loss, stale
 /// views, and retries — the `chaos` binary's fault model at n=32), so
 /// the perf-smoke JSON also tracks robustness alongside speed.
@@ -956,6 +1021,7 @@ fn main() {
     let sim = bench_sim();
     let scale = bench_scale();
     let oracle = bench_oracle();
+    let tracecat = bench_tracecat();
     let (lint, lint_wall_ms) = lint_violations();
     let chaos_ratio = chaos_delivery_ratio();
     // The overload capacity figure: highest seed-7 churn rate whose
@@ -966,7 +1032,7 @@ fn main() {
     println!(
         concat!(
             "{{\"bench\":\"perfsmoke\",\"graph\":\"random_connected\",\"router\":\"algorithm-1\",",
-            "\"sizes\":[{}],\"sim\":{},\"scale\":{},\"oracle\":{},\"lint_violations\":{},\"lint_wall_ms\":{},\"chaos_delivery_ratio\":{:.4},",
+            "\"sizes\":[{}],\"sim\":{},\"scale\":{},\"oracle\":{},\"tracecat\":{},\"lint_violations\":{},\"lint_wall_ms\":{},\"chaos_delivery_ratio\":{:.4},",
             "\"loadgen\":{{\"sustained_qps_at_slo\":{:.0},\"capacity_rate_milli\":{},\"capacity_p99\":{}}},",
             "\"note\":\"legacy = pre-refactor tree-map data model, equivalence-checked; ",
             "legacy delivery matrix replays the engine's exact routes on the old ",
@@ -978,6 +1044,7 @@ fn main() {
         sim.json(),
         scale.json(),
         oracle.json(),
+        tracecat.json(),
         lint,
         lint_wall_ms,
         chaos_ratio,
@@ -1016,5 +1083,9 @@ fn main() {
     assert!(
         qps > 0.0 && capacity_rate_milli > 0,
         "loadgen found no churn rate meeting the SLO (qps {qps:.0}, rate {capacity_rate_milli})"
+    );
+    assert!(
+        tracecat.tracecat_mb_per_sec > 0.0,
+        "tracecat probe produced no throughput figure"
     );
 }

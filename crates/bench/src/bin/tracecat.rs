@@ -1,205 +1,343 @@
-//! Trace inspector for the deterministic JSONL traces written by
-//! `bin/chaos`, `bin/simbench`, and `bin/perfsmoke` via `--trace-out`.
+//! Mode-based streaming trace analyzer for the deterministic JSONL
+//! traces written by `bin/chaos`, `bin/simbench`, and `bin/perfsmoke`
+//! via `--trace-out`.
 //!
-//! Two modes:
+//! Every mode streams through `locality_obs::analytics`: a fixed-size
+//! chunked reader, an incremental witness fold, and O(aggregate) mode
+//! state — multi-GB corpora are analyzed without ever being resident.
+//! Output is byte-identical whether a corpus is read whole, chunked at
+//! any `--buf` size, or merged back from per-worker shards.
 //!
-//! * `tracecat summary FILE [--top K]` — per-tick activity timeline,
-//!   fate breakdown, and the top-K slowest delivered routes, all
-//!   reconstructed from the event stream.
-//! * `tracecat diff A B` — byte-level comparison of two traces that
-//!   reports the **first diverging event** (line number plus both
-//!   lines) or certifies zero divergence. Because traces are pure
-//!   functions of the seed, two runs of the same seed must diff clean —
-//!   `scripts/verify.sh` checks exactly that.
+//! Modes:
 //!
-//! Exit status: 0 on success / identical traces, 1 on usage or I/O
-//! errors, 2 when `diff` finds a divergence.
+//! * `summary FILE [--top K]` — per-tick activity timeline, fate
+//!   breakdown, top-K slowest delivered routes.
+//! * `stats FILE` — per-trial / per-fate / per-rule tables with
+//!   power-of-two-bucket hop and latency percentiles.
+//! * `loops FILE` — routing-loop detection (revisited node within one
+//!   attempt) with cycle storage.
+//! * `imperiled FILE [--timeout TICKS]` — deliveries that survived
+//!   only via retries, near the timeout horizon, or through
+//!   re-provisioned views.
+//! * `merge SHARD... [--out FILE]` — recombine per-worker shard traces
+//!   into single-writer trial order, byte-identical.
+//! * `split FILE OUT...` — the inverse: strided shards for parallel
+//!   analysis (`merge ∘ split` is the identity).
+//! * `chunk FILE --max-bytes B --out-prefix P` — size-bounded pieces
+//!   cut on trial boundaries, each a valid standalone trace.
+//! * `diff A B [--stats]` — byte-level first divergence, or (with
+//!   `--stats`) a structured cross-run comparison table.
+//!
+//! Common flags: `--buf BYTES` (reader chunk size), `--lenient`
+//! (tolerate a torn final line, for traces of in-progress runs).
+//!
+//! Exit status: 0 success / identical traces, 1 runtime (I/O or
+//! parse) error, 2 usage error, 3 `diff` divergence.
 
-use locality_obs::{collect_witnesses, parse_trace, Json, RouteWitness};
+use std::fs::File;
+use std::io::Write;
 
-fn read(path: &str) -> String {
-    match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("tracecat: cannot read {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-}
+use locality_obs::analytics::diff::{first_divergence, stats_diff, DiffOutcome};
+use locality_obs::analytics::imperiled::ImperiledMode;
+use locality_obs::analytics::loops::LoopsMode;
+use locality_obs::analytics::merge::{chunk_trace, merge_traces, split_trace};
+use locality_obs::analytics::stats::StatsMode;
+use locality_obs::analytics::summary::SummaryMode;
+use locality_obs::analytics::{run_mode, Mode, TailMode, DEFAULT_BUF_BYTES};
 
-fn parse(path: &str, text: &str) -> Vec<Json> {
-    match parse_trace(text) {
-        Ok(events) => events,
-        Err(e) => {
-            eprintln!("tracecat: {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-}
+const USAGE: &str = "usage: tracecat MODE ...\n\
+  tracecat summary FILE [--top K] [--buf BYTES] [--lenient]\n\
+  tracecat stats FILE [--buf BYTES] [--lenient]\n\
+  tracecat loops FILE [--buf BYTES] [--lenient]\n\
+  tracecat imperiled FILE [--timeout TICKS] [--buf BYTES] [--lenient]\n\
+  tracecat merge SHARD... [--out FILE] [--buf BYTES]\n\
+  tracecat split FILE OUT... [--buf BYTES]\n\
+  tracecat chunk FILE --max-bytes B --out-prefix P [--buf BYTES]\n\
+  tracecat diff A B [--stats] [--buf BYTES] [--lenient]\n\
+exit: 0 ok/identical, 1 runtime error, 2 usage error, 3 diff divergence";
 
-/// Counts per event kind on one tick, for the timeline.
-#[derive(Default)]
-struct TickRow {
-    sends: u64,
-    hops: u64,
-    delivers: u64,
-    losses: u64,
-    retries: u64,
-    faults: u64,
-}
-
-impl TickRow {
-    fn total(&self) -> u64 {
-        self.sends + self.hops + self.delivers + self.losses + self.retries + self.faults
-    }
-}
-
-fn summary(path: &str, top: usize) {
-    let text = read(path);
-    let events = parse(path, &text);
-    let witnesses = collect_witnesses(&events);
-
-    // Per-tick timeline. Ticks are dense and small, so a Vec indexed
-    // by tick keeps the pass deterministic and allocation-light.
-    let mut rows: Vec<(u64, TickRow)> = Vec::new();
-    let mut trials = 0u64;
-    for ev in &events {
-        let Some(kind) = ev.str_of("ev") else {
-            continue;
-        };
-        if kind == "trial" {
-            trials += 1;
-            continue;
-        }
-        let tick = ev.u64_of("tick").unwrap_or(0);
-        let row = match rows.last_mut() {
-            Some((t, row)) if *t == tick => row,
-            _ => {
-                rows.push((tick, TickRow::default()));
-                &mut rows.last_mut().expect("just pushed").1
-            }
-        };
-        match kind {
-            "send" => row.sends += 1,
-            "hop" => row.hops += 1,
-            "deliver" => row.delivers += 1,
-            "lost" => row.losses += 1,
-            "retry" => row.retries += 1,
-            "fault" => row.faults += 1,
-            _ => {}
-        }
-    }
-
-    println!("trace   {path}");
-    println!(
-        "events  {} ({} trial section(s), {} witnesses)",
-        events.len(),
-        trials.max(1),
-        witnesses.len()
-    );
-
-    // Fate breakdown.
-    let mut fates: Vec<(String, u64)> = Vec::new();
-    for w in &witnesses {
-        let tag = w.fate.clone().unwrap_or_else(|| "in_flight".to_string());
-        match fates.iter_mut().find(|(name, _)| *name == tag) {
-            Some((_, n)) => *n += 1,
-            None => fates.push((tag, 1)),
-        }
-    }
-    fates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    println!("fates");
-    for (tag, n) in &fates {
-        println!("  {tag:<10} {n}");
-    }
-
-    // Timeline: the busiest ticks, in time order, capped so a long
-    // soak stays readable.
-    const TIMELINE_ROWS: usize = 20;
-    let mut busiest: Vec<usize> = (0..rows.len()).collect();
-    busiest.sort_by_key(|&i| std::cmp::Reverse(rows[i].1.total()));
-    busiest.truncate(TIMELINE_ROWS);
-    busiest.sort_unstable();
-    println!(
-        "timeline (top {} of {} active ticks)",
-        busiest.len(),
-        rows.len()
-    );
-    println!("  tick   sends  hops  deliv  lost  retry  fault");
-    for i in busiest {
-        let (tick, r) = &rows[i];
-        println!(
-            "  {tick:<6} {:<6} {:<5} {:<6} {:<5} {:<6} {}",
-            r.sends, r.hops, r.delivers, r.losses, r.retries, r.faults
-        );
-    }
-
-    // Top-K slowest delivered routes, by end-to-end latency.
-    let mut slow: Vec<&RouteWitness> = witnesses.iter().filter(|w| w.delivered()).collect();
-    slow.sort_by_key(|w| std::cmp::Reverse((w.latency().unwrap_or(0), w.msg)));
-    slow.truncate(top);
-    println!("slowest delivered routes (top {})", slow.len());
-    println!("  msg    s->t       hops  retries  latency");
-    for w in slow {
-        println!(
-            "  {:<6} {:>3}->{:<5} {:<5} {:<8} {}",
-            w.msg,
-            w.s,
-            w.t,
-            w.route().len().saturating_sub(1),
-            w.retries,
-            w.latency().unwrap_or(0)
-        );
-    }
-}
-
-fn diff(a_path: &str, b_path: &str) {
-    let (a, b) = (read(a_path), read(b_path));
-    if a == b {
-        println!(
-            "zero divergence: {} event(s), {} byte(s)",
-            a.lines().filter(|l| !l.trim().is_empty()).count(),
-            a.len()
-        );
-        return;
-    }
-    let mut b_lines = b.lines();
-    for (i, la) in a.lines().enumerate() {
-        let lb = b_lines.next();
-        if Some(la) != lb {
-            println!("first divergence at event {} :", i + 1);
-            println!("  {a_path}: {la}");
-            println!("  {b_path}: {}", lb.unwrap_or("<end of trace>"));
-            std::process::exit(2);
-        }
-    }
-    // A is a strict prefix of B.
-    let extra = b.lines().count() - a.lines().count();
-    println!("first divergence at event {} :", a.lines().count() + 1);
-    println!("  {a_path}: <end of trace>");
-    println!("  {b_path}: {extra} extra event(s)");
+fn usage_fail(msg: &str) -> ! {
+    eprintln!("tracecat: {msg}");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("summary") if args.len() >= 2 => {
-            let mut top = 5usize;
-            let mut it = args.iter().skip(2);
-            while let Some(a) = it.next() {
-                if a == "--top" {
-                    if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
-                        top = v;
-                    }
-                }
+fn run_fail(msg: &str) -> ! {
+    eprintln!("tracecat: {msg}");
+    std::process::exit(1);
+}
+
+/// Parsed flags; each mode validates the subset it accepts.
+#[derive(Default)]
+struct Opts {
+    pos: Vec<String>,
+    buf: Option<usize>,
+    lenient: bool,
+    top: Option<usize>,
+    timeout: Option<u64>,
+    out: Option<String>,
+    stats: bool,
+    max_bytes: Option<u64>,
+    out_prefix: Option<String>,
+    seen: Vec<&'static str>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut o = Opts::default();
+        let mut it = args.iter();
+        let mut raw = false;
+        while let Some(a) = it.next() {
+            if raw || !a.starts_with("--") {
+                o.pos.push(a.clone());
+                continue;
             }
-            summary(&args[1], top);
+            let mut value = |name: &str| match it.next() {
+                Some(v) => v.clone(),
+                None => usage_fail(&format!("{name} needs a value")),
+            };
+            match a.as_str() {
+                "--" => raw = true,
+                "--buf" => {
+                    let v = value("--buf");
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => o.buf = Some(n),
+                        _ => usage_fail(&format!("--buf wants a positive byte count, got {v}")),
+                    }
+                    o.seen.push("--buf");
+                }
+                "--lenient" => {
+                    o.lenient = true;
+                    o.seen.push("--lenient");
+                }
+                "--top" => {
+                    let v = value("--top");
+                    match v.parse::<usize>() {
+                        Ok(n) => o.top = Some(n),
+                        Err(_) => usage_fail(&format!("--top wants a count, got {v}")),
+                    }
+                    o.seen.push("--top");
+                }
+                "--timeout" => {
+                    let v = value("--timeout");
+                    match v.parse::<u64>() {
+                        Ok(n) => o.timeout = Some(n),
+                        Err(_) => usage_fail(&format!("--timeout wants ticks, got {v}")),
+                    }
+                    o.seen.push("--timeout");
+                }
+                "--out" => {
+                    o.out = Some(value("--out"));
+                    o.seen.push("--out");
+                }
+                "--stats" => {
+                    o.stats = true;
+                    o.seen.push("--stats");
+                }
+                "--max-bytes" => {
+                    let v = value("--max-bytes");
+                    match v.parse::<u64>() {
+                        Ok(n) if n > 0 => o.max_bytes = Some(n),
+                        _ => {
+                            usage_fail(&format!("--max-bytes wants a positive byte count, got {v}"))
+                        }
+                    }
+                    o.seen.push("--max-bytes");
+                }
+                "--out-prefix" => {
+                    o.out_prefix = Some(value("--out-prefix"));
+                    o.seen.push("--out-prefix");
+                }
+                other => usage_fail(&format!("unknown flag {other}")),
+            }
         }
-        Some("diff") if args.len() == 3 => diff(&args[1], &args[2]),
-        _ => {
-            eprintln!("usage: tracecat summary FILE [--top K] | tracecat diff A B");
-            std::process::exit(1);
+        o
+    }
+
+    fn allow(&self, mode: &str, allowed: &[&str]) {
+        for f in &self.seen {
+            if !allowed.contains(f) {
+                usage_fail(&format!("{f} is not a {mode} flag"));
+            }
         }
+    }
+
+    fn buf(&self) -> usize {
+        self.buf.unwrap_or(DEFAULT_BUF_BYTES)
+    }
+
+    fn tail(&self) -> TailMode {
+        if self.lenient {
+            TailMode::Lenient
+        } else {
+            TailMode::Strict
+        }
+    }
+}
+
+fn open(path: &str) -> File {
+    match File::open(path) {
+        Ok(f) => f,
+        Err(e) => run_fail(&format!("cannot read {path}: {e}")),
+    }
+}
+
+fn create(path: &str) -> File {
+    match File::create(path) {
+        Ok(f) => f,
+        Err(e) => run_fail(&format!("cannot write {path}: {e}")),
+    }
+}
+
+/// Runs one analysis mode over a file and prints its rendering.
+fn analyze<M: Mode>(path: &str, o: &Opts, mode: &mut M) {
+    // No BufReader: the analytics LineReader already chunks reads at
+    // `--buf` bytes, so wrapping would just double-buffer.
+    match run_mode(open(path), o.buf(), o.tail(), mode) {
+        Ok(report) => print!("{}", mode.render(&report)),
+        Err(e) => run_fail(&format!("{path}: {e}")),
+    }
+}
+
+fn one_file<'a>(o: &'a Opts, mode: &str) -> &'a str {
+    match o.pos.as_slice() {
+        [f] => f.as_str(),
+        _ => usage_fail(&format!("{mode} wants exactly one FILE")),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Tolerate the conventional end-of-options marker before the mode
+    // (`cargo run ... -- summary FILE` habits).
+    if args.first().map(String::as_str) == Some("--") {
+        args.remove(0);
+    }
+    let Some(mode) = args.first().map(String::as_str) else {
+        usage_fail("missing mode");
+    };
+    let o = Opts::parse(args.get(1..).unwrap_or(&[]));
+    match mode {
+        "summary" => {
+            o.allow("summary", &["--top", "--buf", "--lenient"]);
+            let path = one_file(&o, "summary");
+            let mut m = SummaryMode::new(o.top.unwrap_or(5));
+            println!("trace   {path}");
+            analyze(path, &o, &mut m);
+        }
+        "stats" => {
+            o.allow("stats", &["--buf", "--lenient"]);
+            let path = one_file(&o, "stats");
+            let mut m = StatsMode::new();
+            analyze(path, &o, &mut m);
+        }
+        "loops" => {
+            o.allow("loops", &["--buf", "--lenient"]);
+            let path = one_file(&o, "loops");
+            let mut m = LoopsMode::new();
+            analyze(path, &o, &mut m);
+        }
+        "imperiled" => {
+            o.allow("imperiled", &["--timeout", "--buf", "--lenient"]);
+            let path = one_file(&o, "imperiled");
+            let mut m = ImperiledMode::new(o.timeout);
+            analyze(path, &o, &mut m);
+        }
+        "merge" => {
+            o.allow("merge", &["--out", "--buf"]);
+            if o.pos.is_empty() {
+                usage_fail("merge wants at least one SHARD");
+            }
+            let inputs: Vec<File> = o.pos.iter().map(|p| open(p)).collect();
+            let report = if let Some(out_path) = &o.out {
+                let mut out = std::io::BufWriter::new(create(out_path));
+                merge_traces(inputs, o.buf(), &mut out)
+            } else {
+                let stdout = std::io::stdout();
+                let mut out = std::io::BufWriter::new(stdout.lock());
+                merge_traces(inputs, o.buf(), &mut out)
+            };
+            match report {
+                Ok(r) => eprintln!(
+                    "merged {} trial(s), {} line(s), {} byte(s) from {} shard(s)",
+                    r.trials,
+                    r.lines,
+                    r.bytes,
+                    o.pos.len()
+                ),
+                Err(e) => run_fail(&format!("merge: {e}")),
+            }
+        }
+        "split" => {
+            o.allow("split", &["--buf"]);
+            let (src, outs) = match o.pos.as_slice() {
+                [src, outs @ ..] if !outs.is_empty() => (src, outs),
+                _ => usage_fail("split wants FILE OUT..."),
+            };
+            let mut sinks: Vec<std::io::BufWriter<File>> = outs
+                .iter()
+                .map(|p| std::io::BufWriter::new(create(p)))
+                .collect();
+            match split_trace(open(src), o.buf(), &mut sinks) {
+                Ok(r) => eprintln!(
+                    "split {} trial(s), {} line(s), {} byte(s) into {} shard(s)",
+                    r.trials,
+                    r.lines,
+                    r.bytes,
+                    outs.len()
+                ),
+                Err(e) => run_fail(&format!("split {src}: {e}")),
+            }
+        }
+        "chunk" => {
+            o.allow("chunk", &["--max-bytes", "--out-prefix", "--buf"]);
+            let path = one_file(&o, "chunk");
+            let (Some(max), Some(prefix)) = (o.max_bytes, o.out_prefix.as_ref()) else {
+                usage_fail("chunk wants --max-bytes and --out-prefix");
+            };
+            let piece = |i: usize| format!("{prefix}-{i:03}.jsonl");
+            match chunk_trace(open(path), o.buf(), max, |i| {
+                let name = piece(i);
+                println!("{name}");
+                File::create(name)
+            }) {
+                Ok((r, pieces)) => eprintln!(
+                    "chunked {} trial(s), {} byte(s) into {pieces} piece(s)",
+                    r.trials, r.bytes
+                ),
+                Err(e) => run_fail(&format!("chunk {path}: {e}")),
+            }
+        }
+        "diff" => {
+            o.allow("diff", &["--stats", "--buf", "--lenient"]);
+            let (a, b) = match o.pos.as_slice() {
+                [a, b] => (a.as_str(), b.as_str()),
+                _ => usage_fail("diff wants exactly two FILEs"),
+            };
+            if o.stats {
+                match stats_diff(open(a), open(b), o.buf(), o.tail(), a, b) {
+                    Ok(table) => print!("{table}"),
+                    Err(e) => run_fail(&format!("diff --stats: {e}")),
+                }
+                return;
+            }
+            match first_divergence(open(a), open(b), o.buf()) {
+                Ok(DiffOutcome::Identical { events, bytes }) => {
+                    println!("zero divergence: {events} event(s), {bytes} byte(s)");
+                }
+                Ok(DiffOutcome::Diverged { line, a: la, b: lb }) => {
+                    println!("first divergence at event {line} :");
+                    println!("  {a}: {la}");
+                    println!("  {b}: {lb}");
+                    std::process::exit(3);
+                }
+                Err(e) => run_fail(&format!("diff: {e}")),
+            }
+        }
+        other => usage_fail(&format!("unknown mode {other}")),
+    }
+    // Flush explicitly so write errors surface as a runtime failure.
+    if std::io::stdout().flush().is_err() {
+        std::process::exit(1);
     }
 }

@@ -213,7 +213,31 @@ pub fn report_with_trace_threads(
     trace: Option<Level>,
     threads: usize,
 ) -> (String, Vec<u8>) {
-    run(seed, trace, threads, None, 1)
+    let (json, blocks) = run(seed, trace, threads, None, 1);
+    (json, blocks.concat())
+}
+
+/// [`report_with_trace`] with the trace split into `stripes` per-worker
+/// shard buffers: trial block `i` (its `{"ev":"trial"}` header plus
+/// recorder span) goes to stripe `i % stripes` — exactly the parallel
+/// trial driver's strided worker assignment, and exactly the layout
+/// `tracecat merge` inverts. Concatenating the merge result is
+/// byte-identical to the single-writer trace of [`report_with_trace`];
+/// `scripts/verify.sh` pins that end to end over 8 stripes.
+pub fn report_with_trace_striped(
+    seed: u64,
+    trace: Option<Level>,
+    stripes: usize,
+) -> (String, Vec<Vec<u8>>) {
+    let stripes = stripes.max(1);
+    let (json, blocks) = run(seed, trace, driver::default_threads(), None, 1);
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); stripes];
+    for (i, block) in blocks.iter().enumerate() {
+        if let Some(stripe) = out.get_mut(i % stripes) {
+            stripe.extend_from_slice(block);
+        }
+    }
+    (json, out)
 }
 
 /// [`report_with_trace`] with every storm's network partitioned into
@@ -227,7 +251,8 @@ pub fn report_with_trace_sharded(
     trace: Option<Level>,
     shards: usize,
 ) -> (String, Vec<u8>) {
-    run(seed, trace, driver::default_threads(), None, shards)
+    let (json, blocks) = run(seed, trace, driver::default_threads(), None, shards);
+    (json, blocks.concat())
 }
 
 /// The seed's soak topology — the graph `bin/oracle build
@@ -267,6 +292,18 @@ pub fn report_with_artifacts(
     Ok(run(seed, None, driver::default_threads(), Some(artifacts), 1).0)
 }
 
+/// Builds one trial block: the `{"ev":"trial"}` header line followed
+/// by the trial's recorder span. This exact header byte format is what
+/// `tracecat`'s merge/split surgery recognizes — goldens and the
+/// verify.sh byte-identity gates depend on it not changing.
+fn trial_block(name: &str, k: u32, trace: &[u8]) -> Vec<u8> {
+    let mut block =
+        format!("{{\"seq\":0,\"tick\":0,\"ev\":\"trial\",\"router\":\"{name}\",\"k\":{k}}}\n")
+            .into_bytes();
+    block.extend_from_slice(trace);
+    block
+}
+
 /// The eleven (name, k, is_sweep_row) trials: six routers at their own
 /// minimum locality, then Algorithm 3 below, at, and above its
 /// threshold k = n/2.
@@ -297,7 +334,7 @@ fn run(
     threads: usize,
     artifacts: Option<&BTreeMap<u32, Arc<ViewArtifact>>>,
     shards: usize,
-) -> (String, Vec<u8>) {
+) -> (String, Vec<Vec<u8>>) {
     let g = topology(seed);
     let trials = trials();
 
@@ -327,16 +364,10 @@ fn run(
         };
         (json, r.trace)
     });
-    let mut bytes = Vec::new();
+    let mut blocks = Vec::new();
     if trace.is_some() {
         for ((name, k, _), (_, t)) in trials.iter().zip(&rendered) {
-            bytes.extend_from_slice(
-                format!(
-                    "{{\"seq\":0,\"tick\":0,\"ev\":\"trial\",\"router\":\"{name}\",\"k\":{k}}}\n"
-                )
-                .as_bytes(),
-            );
-            bytes.extend_from_slice(t);
+            blocks.push(trial_block(name, *k, t));
         }
     }
     let rendered: Vec<String> = rendered.into_iter().map(|(json, _)| json).collect();
@@ -353,5 +384,5 @@ fn run(
         body.join(","),
         sweep.join(","),
     );
-    (json, bytes)
+    (json, blocks)
 }

@@ -82,6 +82,45 @@ fn loadgen_zero_threads_exits_nonzero_with_usage() {
     assert_usage_failure(&out, "loadgen check --threads 0");
 }
 
+/// `tracecat` distinguishes usage errors (exit 2) from runtime errors
+/// (exit 1), so it gets its own assertion.
+fn assert_tracecat_usage_failure(out: &Output, what: &str) {
+    assert_eq!(out.status.code(), Some(2), "{what}: wrong exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{what}: no usage line in: {err}");
+}
+
+#[test]
+fn tracecat_unknown_mode_exits_two_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_tracecat"), &["frobnicate"]);
+    assert_tracecat_usage_failure(&out, "tracecat frobnicate");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown mode"), "stderr: {err}");
+}
+
+#[test]
+fn tracecat_unknown_flag_exits_two_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_tracecat"), &["stats", "x", "--bogus"]);
+    assert_tracecat_usage_failure(&out, "tracecat stats --bogus");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "stderr: {err}");
+}
+
+#[test]
+fn tracecat_malformed_buf_exits_two_with_usage() {
+    let out = run(
+        env!("CARGO_BIN_EXE_tracecat"),
+        &["stats", "x", "--buf", "huge"],
+    );
+    assert_tracecat_usage_failure(&out, "tracecat --buf huge");
+}
+
+#[test]
+fn tracecat_missing_chunk_flags_exit_two_with_usage() {
+    let out = run(env!("CARGO_BIN_EXE_tracecat"), &["chunk", "x"]);
+    assert_tracecat_usage_failure(&out, "tracecat chunk (no flags)");
+}
+
 /// The conventional end-of-options marker must be tolerated: anyone
 /// used to `cargo run -p locality-bench --bin chaos -- --seed 7`
 /// pastes the `--` when invoking the built binary directly.
@@ -102,4 +141,8 @@ fn double_dash_marker_is_tolerated_everywhere() {
     let out = run(env!("CARGO_BIN_EXE_oracle"), &["--", "bogus"]);
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown subcommand bogus"), "oracle: {err}");
+
+    let out = run(env!("CARGO_BIN_EXE_tracecat"), &["--", "bogus"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown mode bogus"), "tracecat: {err}");
 }

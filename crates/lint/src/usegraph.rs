@@ -155,6 +155,10 @@ const R6_FILES: &[&str] = &[
     "crates/sim/src/workload.rs",
     "crates/sim/src/admission.rs",
     "crates/sim/src/shard.rs",
+    // The chunked trace reader: its per-line loop runs once per event
+    // over multi-GB corpora, so a stray per-line allocation turns the
+    // bounded-memory design into an allocator benchmark.
+    "crates/obs/src/analytics/reader.rs",
 ];
 /// The step-table functions of `core::view` in R6 scope.
 const R6_VIEW_FNS: &[&str] = &["step_table", "shortest_step_toward"];

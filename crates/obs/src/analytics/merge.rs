@@ -1,0 +1,387 @@
+//! Trial-block stream surgery: `merge`, `split`, and `chunk`.
+//!
+//! Multi-trial traces are sequences of *trial blocks*: a header line
+//! `{"seq":0,"tick":0,"ev":"trial",...}` followed by that trial's
+//! recorder span. The parallel trial driver assigns trial `i` to
+//! worker `i % W` (strided), so per-worker shard files hold every
+//! `W`-th block in order. [`merge_traces`] inverts that assignment —
+//! reading one block from each shard round-robin — which makes the
+//! merged output byte-identical to the single-writer trace.
+//! [`split_trace`] is the forward direction (shard one corpus for
+//! parallel analysis; `merge ∘ split` is the identity), and
+//! [`chunk_trace`] cuts a corpus into size-bounded files along trial
+//! boundaries so each piece stays independently analyzable.
+//!
+//! All three stream: memory is one reader chunk plus carry per input,
+//! never O(trace size). Shape is checked (content before the first
+//! header is a [`StreamError::Shape`]) and tails are strict — a torn
+//! final line is an error, since surgery on a half-written trace would
+//! silently corrupt it.
+
+use std::io::{Read, Write};
+
+use super::reader::LineReader;
+use super::StreamError;
+
+/// Recognizes the trial-block header line the trace writers emit.
+/// Headers are written with `seq` and `tick` pinned to zero, so the
+/// byte prefix is exact; the `"ev":"trial"` component distinguishes it
+/// from the first recorder line of a span (whose `seq` is also 0).
+pub fn is_trial_header(line: &[u8]) -> bool {
+    line.starts_with(b"{\"seq\":0,\"tick\":0,\"ev\":\"trial\"")
+}
+
+/// What one merge/split/chunk pass moved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SurgeryReport {
+    /// Trial blocks processed.
+    pub trials: u64,
+    /// Lines written (headers included).
+    pub lines: u64,
+    /// Bytes written (terminators included).
+    pub bytes: u64,
+}
+
+fn write_line<W: Write>(out: &mut W, bytes: &[u8], line: usize) -> Result<(), StreamError> {
+    out.write_all(bytes)
+        .and_then(|()| out.write_all(b"\n"))
+        .map_err(|err| StreamError::Io { line, err })
+}
+
+/// One shard being consumed block-by-block.
+struct Shard<R> {
+    rd: LineReader<R>,
+    /// The header of the next unconsumed block, once seen.
+    pending: Option<Vec<u8>>,
+}
+
+/// What ended a block copy.
+enum BlockEnd {
+    Eof,
+    Header(Vec<u8>),
+}
+
+/// Copies lines until EOF or the next trial header, which is returned
+/// (not written).
+fn copy_block<R: Read, W: Write>(
+    rd: &mut LineReader<R>,
+    out: &mut W,
+    report: &mut SurgeryReport,
+) -> Result<BlockEnd, StreamError> {
+    loop {
+        let Some(l) = rd.next_line()? else {
+            return Ok(BlockEnd::Eof);
+        };
+        if !l.terminated {
+            return Err(StreamError::TruncatedTail { line: l.number });
+        }
+        if is_trial_header(l.bytes) {
+            return Ok(BlockEnd::Header(l.bytes.to_vec()));
+        }
+        let number = l.number;
+        let len = l.bytes.len() as u64;
+        write_line(out, l.bytes, number)?;
+        report.lines += 1;
+        report.bytes += len + 1;
+    }
+}
+
+/// Reads a shard's first header, rejecting content before it.
+fn prime<R: Read>(rd: &mut LineReader<R>) -> Result<Option<Vec<u8>>, StreamError> {
+    loop {
+        let Some(l) = rd.next_line()? else {
+            return Ok(None);
+        };
+        if !l.terminated {
+            return Err(StreamError::TruncatedTail { line: l.number });
+        }
+        if l.bytes.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        if is_trial_header(l.bytes) {
+            return Ok(Some(l.bytes.to_vec()));
+        }
+        return Err(StreamError::Shape {
+            line: l.number,
+            what: "expected a trial header as the first line of a shard",
+        });
+    }
+}
+
+/// Merges per-worker shard traces back into single-writer trial order:
+/// one block from each shard, round-robin in shard order, until all
+/// are exhausted (the inverse of the driver's `trial i → worker i % W`
+/// assignment).
+///
+/// # Errors
+///
+/// Line-numbered [`StreamError`]s from any input (line numbers are
+/// per-shard), [`StreamError::Shape`] for a shard that does not start
+/// with a trial header, and io failures on `out`.
+pub fn merge_traces<R: Read, W: Write>(
+    inputs: Vec<R>,
+    buf_bytes: usize,
+    out: &mut W,
+) -> Result<SurgeryReport, StreamError> {
+    let mut report = SurgeryReport::default();
+    let mut shards: Vec<Shard<R>> = Vec::with_capacity(inputs.len());
+    for src in inputs {
+        let mut rd = LineReader::new(src, buf_bytes);
+        let pending = prime(&mut rd)?;
+        shards.push(Shard { rd, pending });
+    }
+    loop {
+        let mut any = false;
+        for s in shards.iter_mut() {
+            let Some(header) = s.pending.take() else {
+                continue;
+            };
+            any = true;
+            report.trials += 1;
+            report.lines += 1;
+            report.bytes += header.len() as u64 + 1;
+            write_line(out, &header, 0)?;
+            match copy_block(&mut s.rd, out, &mut report)? {
+                BlockEnd::Eof => {}
+                BlockEnd::Header(h) => s.pending = Some(h),
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    out.flush()
+        .map_err(|err| StreamError::Io { line: 0, err })?;
+    Ok(report)
+}
+
+/// Splits a single-writer trace into `outs.len()` strided shards:
+/// trial block `i` goes to shard `i % outs.len()`, matching the
+/// parallel driver's assignment so [`merge_traces`] restores the
+/// original bytes exactly.
+///
+/// # Errors
+///
+/// [`StreamError::Shape`] when content precedes the first header, plus
+/// the reader's line-numbered errors; `outs` must be non-empty
+/// ([`StreamError::Shape`] at line 0 otherwise).
+pub fn split_trace<R: Read, W: Write>(
+    input: R,
+    buf_bytes: usize,
+    outs: &mut [W],
+) -> Result<SurgeryReport, StreamError> {
+    if outs.is_empty() {
+        return Err(StreamError::Shape {
+            line: 0,
+            what: "split needs at least one output shard",
+        });
+    }
+    let mut report = SurgeryReport::default();
+    let mut rd = LineReader::new(input, buf_bytes);
+    let mut pending = prime(&mut rd)?;
+    let mut trial = 0usize;
+    while let Some(header) = pending.take() {
+        let idx = trial % outs.len();
+        trial += 1;
+        let Some(out) = outs.get_mut(idx) else {
+            break;
+        };
+        report.trials += 1;
+        report.lines += 1;
+        report.bytes += header.len() as u64 + 1;
+        write_line(out, &header, 0)?;
+        match copy_block(&mut rd, out, &mut report)? {
+            BlockEnd::Eof => {}
+            BlockEnd::Header(h) => pending = Some(h),
+        }
+    }
+    for out in outs.iter_mut() {
+        out.flush()
+            .map_err(|err| StreamError::Io { line: 0, err })?;
+    }
+    Ok(report)
+}
+
+/// Cuts a trace into size-bounded pieces along trial boundaries: a new
+/// output is opened (via `open(index)`) for the first block and then
+/// whenever the current piece has reached `max_bytes` at a block
+/// boundary. Every piece starts with a trial header, so each is a
+/// valid standalone trace.
+///
+/// # Errors
+///
+/// As [`split_trace`], plus io failures from `open`.
+pub fn chunk_trace<R, W, F>(
+    input: R,
+    buf_bytes: usize,
+    max_bytes: u64,
+    mut open: F,
+) -> Result<(SurgeryReport, usize), StreamError>
+where
+    R: Read,
+    W: Write,
+    F: FnMut(usize) -> std::io::Result<W>,
+{
+    let mut report = SurgeryReport::default();
+    let mut rd = LineReader::new(input, buf_bytes);
+    let mut pending = prime(&mut rd)?;
+    let mut pieces = 0usize;
+    let mut current: Option<(W, u64)> = None;
+    while let Some(header) = pending.take() {
+        if matches!(current, Some((_, written)) if written >= max_bytes.max(1)) {
+            if let Some((mut done, _)) = current.take() {
+                done.flush()
+                    .map_err(|err| StreamError::Io { line: 0, err })?;
+            }
+        }
+        if current.is_none() {
+            let w = open(pieces).map_err(|err| StreamError::Io { line: 0, err })?;
+            pieces += 1;
+            current = Some((w, 0));
+        }
+        let Some((out, written)) = current.as_mut() else {
+            break;
+        };
+        report.trials += 1;
+        report.lines += 1;
+        report.bytes += header.len() as u64 + 1;
+        *written += header.len() as u64 + 1;
+        write_line(out, &header, 0)?;
+        let before = report.bytes;
+        match copy_block(&mut rd, out, &mut report)? {
+            BlockEnd::Eof => {}
+            BlockEnd::Header(h) => pending = Some(h),
+        }
+        *written += report.bytes - before;
+    }
+    if let Some((mut done, _)) = current.take() {
+        done.flush()
+            .map_err(|err| StreamError::Io { line: 0, err })?;
+    }
+    Ok((report, pieces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(router: &str, k: u32, msgs: u32) -> String {
+        let mut out = format!(
+            "{{\"seq\":0,\"tick\":0,\"ev\":\"trial\",\"router\":\"{router}\",\"k\":{k}}}\n"
+        );
+        for m in 0..msgs {
+            out.push_str(&format!(
+                "{{\"seq\":{m},\"tick\":0,\"ev\":\"send\",\"msg\":{m},\"s\":1,\"t\":2}}\n"
+            ));
+        }
+        out
+    }
+
+    fn corpus() -> String {
+        (0..7)
+            .map(|i| block(&format!("r{i}"), i, i % 3 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn split_then_merge_is_the_identity() {
+        let whole = corpus();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut outs: Vec<Vec<u8>> = vec![Vec::new(); shards];
+            split_trace(whole.as_bytes(), 16, &mut outs).unwrap();
+            let inputs: Vec<&[u8]> = outs.iter().map(|v| v.as_slice()).collect();
+            let mut merged = Vec::new();
+            let rep = merge_traces(inputs, 16, &mut merged).unwrap();
+            assert_eq!(merged, whole.as_bytes(), "shards={shards}");
+            assert_eq!(rep.trials, 7);
+            assert_eq!(rep.bytes, whole.len() as u64);
+        }
+    }
+
+    #[test]
+    fn split_assigns_strided_blocks() {
+        let whole = corpus();
+        let mut outs: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        split_trace(whole.as_bytes(), 16, &mut outs).unwrap();
+        let s0 = String::from_utf8(outs[0].clone()).unwrap();
+        assert!(s0.contains("\"router\":\"r0\""));
+        assert!(s0.contains("\"router\":\"r3\""));
+        assert!(s0.contains("\"router\":\"r6\""));
+        assert!(!s0.contains("\"router\":\"r1\""));
+        let s1 = String::from_utf8(outs[1].clone()).unwrap();
+        assert!(s1.contains("\"router\":\"r1\"") && s1.contains("\"router\":\"r4\""));
+    }
+
+    #[test]
+    fn merge_rejects_a_headerless_shard() {
+        let bad = "{\"seq\":0,\"tick\":0,\"ev\":\"send\",\"msg\":0}\n";
+        let mut out = Vec::new();
+        let err = merge_traces(vec![bad.as_bytes()], 16, &mut out).unwrap_err();
+        assert!(matches!(err, StreamError::Shape { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn merge_rejects_a_torn_shard() {
+        let torn = block("r0", 1, 2);
+        let torn = &torn[..torn.len() - 1];
+        let mut out = Vec::new();
+        let err = merge_traces(vec![torn.as_bytes()], 16, &mut out).unwrap_err();
+        assert!(matches!(err, StreamError::TruncatedTail { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        let whole = block("solo", 9, 2);
+        let inputs: Vec<&[u8]> = vec![whole.as_bytes(), b""];
+        let mut merged = Vec::new();
+        merge_traces(inputs, 16, &mut merged).unwrap();
+        assert_eq!(merged, whole.as_bytes());
+    }
+
+    #[test]
+    fn chunks_cut_on_trial_boundaries() {
+        let whole = corpus();
+        // Writers that share a grow-on-open piece store, since
+        // `chunk_trace` owns the `W` values it opens.
+        struct Sink(std::rc::Rc<std::cell::RefCell<Vec<Vec<u8>>>>, usize);
+        impl Write for Sink {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut()[self.1].extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let cell = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let cell2 = cell.clone();
+        let (rep, n) = chunk_trace(whole.as_bytes(), 16, 150, move |i| {
+            cell2.borrow_mut().push(Vec::new());
+            Ok(Sink(cell2.clone(), i))
+        })
+        .unwrap();
+        let pieces: Vec<Vec<u8>> = cell.borrow().clone();
+        assert!(n >= 2, "150-byte cap must cut {} bytes", whole.len());
+        assert_eq!(pieces.len(), n);
+        // Every piece starts with a header and re-concatenates to the
+        // original corpus.
+        let mut joined = Vec::new();
+        for p in &pieces {
+            assert!(is_trial_header(p.split(|&b| b == b'\n').next().unwrap()));
+            joined.extend_from_slice(p);
+        }
+        assert_eq!(joined, whole.as_bytes());
+        assert_eq!(rep.trials, 7);
+    }
+
+    #[test]
+    fn header_detection_requires_the_trial_event() {
+        assert!(is_trial_header(
+            b"{\"seq\":0,\"tick\":0,\"ev\":\"trial\",\"router\":\"x\",\"k\":1}"
+        ));
+        // First recorder line of a span also has seq 0 — not a header.
+        assert!(!is_trial_header(
+            b"{\"seq\":0,\"tick\":0,\"ev\":\"send\",\"msg\":0}"
+        ));
+    }
+}

@@ -251,6 +251,93 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut h = PowHistogram::new();
+        for v in [0u64, 3, 17, 1 << 40] {
+            h.observe(v);
+        }
+        let snapshot = h.clone();
+        // Non-empty ← empty: unchanged.
+        h.merge(&PowHistogram::new());
+        assert_eq!(h, snapshot);
+        // Empty ← non-empty: becomes the other side exactly,
+        // including the min sentinel.
+        let mut e = PowHistogram::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+        assert_eq!(e.min(), Some(0));
+        assert_eq!(e.max(), Some(1 << 40));
+        // Empty ← empty stays empty (and still reports no stats).
+        let mut ee = PowHistogram::new();
+        ee.merge(&PowHistogram::new());
+        assert_eq!(ee.count(), 0);
+        assert_eq!(ee.min(), None);
+    }
+
+    #[test]
+    fn merge_propagates_min_max_across_disjoint_ranges() {
+        let mut lo = PowHistogram::new();
+        lo.observe(2);
+        lo.observe(5);
+        let mut hi = PowHistogram::new();
+        hi.observe(1 << 20);
+        lo.merge(&hi);
+        assert_eq!(lo.min(), Some(2));
+        assert_eq!(lo.max(), Some(1 << 20));
+        assert_eq!(lo.count(), 3);
+        assert_eq!(lo.sum(), 7 + (1 << 20));
+        // The far bucket is reachable by percentile after the merge.
+        assert_eq!(lo.percentile(100), Some(1 << 20));
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_independent() {
+        // Shard-merge order must never matter: tracecat merges
+        // per-worker shard stats in whatever order the files arrive.
+        let mut shards: Vec<PowHistogram> = (0..4)
+            .map(|s| {
+                let mut h = PowHistogram::new();
+                for v in 0..50u64 {
+                    h.observe(v * 13 + s);
+                }
+                h
+            })
+            .collect();
+        // Left fold: ((a+b)+c)+d.
+        let mut left = shards[0].clone();
+        for s in &shards[1..] {
+            left.merge(s);
+        }
+        // Right fold: a+(b+(c+d)).
+        let mut right = shards.pop().expect("four shards");
+        while let Some(mut s) = shards.pop() {
+            s.merge(&right);
+            right = s;
+        }
+        assert_eq!(left, right);
+        assert_eq!(left.count(), 200);
+    }
+
+    #[test]
+    fn incremental_accumulation_matches_batch() {
+        // Streaming one observation at a time (tracecat's fold path)
+        // must equal observing the same values in one shot.
+        let values: Vec<u64> = (0..1000u64)
+            .map(|v| v.wrapping_mul(2654435761) >> 16)
+            .collect();
+        let mut stream = PowHistogram::new();
+        let mut batch = PowHistogram::new();
+        for &v in &values {
+            let mut single = PowHistogram::new();
+            single.observe(v);
+            stream.merge(&single);
+            batch.observe(v);
+        }
+        assert_eq!(stream, batch);
+        assert_eq!(format!("{stream:?}"), format!("{batch:?}"));
+    }
+
+    #[test]
     fn percentile_rejects_out_of_range() {
         let mut h = PowHistogram::new();
         h.observe(4);

@@ -29,6 +29,11 @@
 //!   journeys reconstructed from a parsed trace, which the simulator's
 //!   replay checker verifies against the graph (locality, dilation,
 //!   conservation).
+//! * [`analytics`]: bounded-memory streaming analysis of multi-GB
+//!   trace corpora — a chunked line reader, an incremental witness
+//!   fold, the pluggable [`analytics::Mode`] trait behind
+//!   `bin/tracecat` (summary / stats / loops / imperiled), and
+//!   trial-block stream surgery (merge / split / chunk / diff).
 //!
 //! The crate sits below `locality-graph` in the dependency order, so
 //! node identifiers here are raw `u32` indices; interpreting them
@@ -54,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod analytics;
 pub mod hist;
 pub mod json;
 pub mod names;
@@ -61,6 +67,7 @@ pub mod record;
 pub mod registry;
 pub mod witness;
 
+pub use analytics::{run_mode, Mode, StreamError, StreamReport, TailMode};
 pub use hist::PowHistogram;
 pub use json::{Json, JsonError};
 pub use record::{Event, Level, Recorder};

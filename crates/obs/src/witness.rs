@@ -128,6 +128,47 @@ pub fn parse_trace(text: &str) -> Result<Vec<Json>, TraceError> {
     Ok(out)
 }
 
+/// Builds a fresh witness from a `send` event. Shared by the batch
+/// collector below and the streaming `analytics::WitnessFold` so the
+/// two folds cannot drift.
+pub(crate) fn witness_from_send(ev: &Json, tick: u64, msg: u64) -> RouteWitness {
+    RouteWitness {
+        msg,
+        s: ev.u64_of("s").unwrap_or(0) as u32,
+        t: ev.u64_of("t").unwrap_or(0) as u32,
+        sent_at: tick,
+        ..RouteWitness::default()
+    }
+}
+
+/// Applies one non-`send` message-scoped event to its open witness.
+/// Shared by the batch collector below and the streaming
+/// `analytics::WitnessFold`.
+pub(crate) fn apply_event(w: &mut RouteWitness, kind: &str, tick: u64, ev: &Json) {
+    match kind {
+        "hop" => w.hops.push(WitnessHop {
+            tick,
+            node: ev.u64_of("node").unwrap_or(0) as u32,
+            from: ev.u64_of("from").map(|v| v as u32),
+            to: ev.u64_of("to").unwrap_or(0) as u32,
+            rule: ev.str_of("rule").unwrap_or("?").to_string(),
+            attempt: ev.u64_of("att").unwrap_or(0) as u32,
+            provisioned_at: ev.u64_of("prov").unwrap_or(0),
+        }),
+        "retry" => w.retries = ev.u64_of("att").unwrap_or(0) as u32,
+        "deliver" => w.delivered_at = Some(tick),
+        "fate" => {
+            w.fate = ev.str_of("fate").map(str::to_string);
+            w.fate_tick = Some(tick);
+            w.fate_detail = ev
+                .str_of("why")
+                .or_else(|| ev.str_of("err"))
+                .map(str::to_string);
+        }
+        _ => {}
+    }
+}
+
 /// Folds a parsed event stream into route witnesses, in `send` order.
 /// Events that are not message-scoped (`fault`, `reprov`, spans,
 /// metrics) are ignored; a repeated `send` for an id opens a new
@@ -145,42 +186,14 @@ pub fn collect_witnesses(events: &[Json]) -> Vec<RouteWitness> {
             continue;
         };
         if kind == "send" {
-            let w = RouteWitness {
-                msg,
-                s: ev.u64_of("s").unwrap_or(0) as u32,
-                t: ev.u64_of("t").unwrap_or(0) as u32,
-                sent_at: tick,
-                ..RouteWitness::default()
-            };
             open.insert(msg, out.len());
-            out.push(w);
+            out.push(witness_from_send(ev, tick, msg));
             continue;
         }
         let Some(w) = open.get(&msg).and_then(|&i| out.get_mut(i)) else {
             continue;
         };
-        match kind {
-            "hop" => w.hops.push(WitnessHop {
-                tick,
-                node: ev.u64_of("node").unwrap_or(0) as u32,
-                from: ev.u64_of("from").map(|v| v as u32),
-                to: ev.u64_of("to").unwrap_or(0) as u32,
-                rule: ev.str_of("rule").unwrap_or("?").to_string(),
-                attempt: ev.u64_of("att").unwrap_or(0) as u32,
-                provisioned_at: ev.u64_of("prov").unwrap_or(0),
-            }),
-            "retry" => w.retries = ev.u64_of("att").unwrap_or(0) as u32,
-            "deliver" => w.delivered_at = Some(tick),
-            "fate" => {
-                w.fate = ev.str_of("fate").map(str::to_string);
-                w.fate_tick = Some(tick);
-                w.fate_detail = ev
-                    .str_of("why")
-                    .or_else(|| ev.str_of("err"))
-                    .map(str::to_string);
-            }
-            _ => {}
-        }
+        apply_event(w, kind, tick, ev);
     }
     out
 }

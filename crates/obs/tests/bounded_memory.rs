@@ -1,0 +1,87 @@
+//! The bounded-memory proof for the streaming analytics engine: a
+//! ~10 MB and a ~100 MB synthetic trace are both streamed through
+//! `stats` under a counting global allocator, and the peak live-bytes
+//! delta of the two runs must match — RSS is O(live trials + registry),
+//! never O(trace size).
+//!
+//! This lives in its own integration-test binary (not the obs unit
+//! tests) for two reasons: a `#[global_allocator]` is process-wide, and
+//! the obs library forbids `unsafe` while the counting allocator shim
+//! cannot avoid it. The file contains exactly one `#[test]` so no
+//! concurrent test can pollute the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use locality_obs::analytics::stats::StatsMode;
+use locality_obs::analytics::synth::SynthTrace;
+use locality_obs::analytics::{run_mode, Mode, TailMode, DEFAULT_BUF_BYTES};
+
+/// System allocator wrapped with live/peak byte counters.
+struct Counting;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+/// Streams a `trials × msgs` synthetic trace through `stats` and
+/// returns `(peak live bytes above the starting waterline, trace
+/// bytes consumed)`.
+fn peak_over_stats(trials: u64, msgs: u64) -> (usize, u64) {
+    let floor = LIVE.load(Ordering::Relaxed);
+    PEAK.store(floor, Ordering::Relaxed);
+    let mut mode = StatsMode::new();
+    let src = SynthTrace::new(trials, msgs, 7);
+    let report = run_mode(src, DEFAULT_BUF_BYTES, TailMode::Strict, &mut mode)
+        .expect("synthetic trace streams cleanly");
+    let rendered = mode.render(&report);
+    assert!(rendered.contains(&format!("{trials} trials")), "{rendered}");
+    (PEAK.load(Ordering::Relaxed) - floor, report.bytes)
+}
+
+#[test]
+fn stats_peak_memory_is_independent_of_trace_size() {
+    // Warm-up run so one-time registry growth (rule names, fate
+    // columns, the read buffer's first allocation) is off the books
+    // for both measured runs alike.
+    let _ = peak_over_stats(10, 50);
+
+    let (small_peak, small_bytes) = peak_over_stats(10, 1_250);
+    let (big_peak, big_bytes) = peak_over_stats(10, 12_500);
+
+    // The big corpus must genuinely be the ≥100 MB acceptance corpus,
+    // an order of magnitude past the small one.
+    assert!(
+        big_bytes >= 100 * 1024 * 1024,
+        "big corpus is only {big_bytes} bytes"
+    );
+    assert!(big_bytes >= 9 * small_bytes);
+
+    // Same trial count, same registry → the 10× corpus may not move
+    // the peak beyond noise (buffer reallocation rounding). A reader
+    // that buffered whole trials or leaked per-line state would blow
+    // past this immediately at ~93 MB of extra input.
+    assert!(
+        big_peak <= small_peak + 256 * 1024,
+        "peak grew with trace size: {small_peak} -> {big_peak} \
+         over {small_bytes} -> {big_bytes} bytes"
+    );
+}

@@ -69,6 +69,9 @@ gate oracle_cold_start_speedup \
 gate sustained_qps_at_slo \
   "$(extract "$perf_now" sustained_qps_at_slo)" \
   "$(extract "$(cat BENCH_perfsmoke.json)" sustained_qps_at_slo)"
+gate tracecat_mb_per_sec \
+  "$(extract "$perf_now" tracecat_mb_per_sec)" \
+  "$(extract "$(cat BENCH_perfsmoke.json)" tracecat_mb_per_sec)"
 
 echo "==> sharded-scale throughput gate"
 # The sharded-simulator headline: hops/sec/core at n=32768, S=4, from
@@ -112,6 +115,24 @@ if [ "$out_a" != "$out_b" ]; then
 fi
 cargo run -q --release -p locality-bench --bin tracecat -- \
   diff "$trace_dir/a.jsonl" "$trace_dir/b.jsonl"
+
+echo "==> per-worker trace shards merge byte-identical (tracecat merge)"
+# The soak written as 8 per-worker shard files (trial i -> shard i%8,
+# the parallel driver's strided assignment), recombined with
+# `tracecat merge`, must reproduce the single-writer trace byte for
+# byte — the shard/merge surgery is a pure inversion, never a rewrite.
+out_striped="$(cargo run -q --release -p locality-bench --bin chaos -- \
+  --seed 7 --trace-shards 8 --trace-shard-dir "$trace_dir/shards")"
+if [ "$out_a" != "$out_striped" ]; then
+  echo "chaos: seed 7 report differs when writing shard traces" >&2
+  exit 1
+fi
+cargo run -q --release -p locality-bench --bin tracecat -- \
+  merge "$trace_dir"/shards/shard-*.jsonl --out "$trace_dir/merged.jsonl" 2> /dev/null
+cmp "$trace_dir/a.jsonl" "$trace_dir/merged.jsonl" || {
+  echo "tracecat: merged worker shards differ from the single-writer trace" >&2
+  exit 1
+}
 
 echo "==> sharded chaos byte-identity (--shards 4 vs unsharded)"
 # Partitioning every storm's network into 4 shards must not move a
